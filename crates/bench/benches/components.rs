@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the simulator's building blocks:
+//! sparse memory, functional emulator, branch predictor, cache
+//! hierarchy and MSHR file. These quantify simulation throughput, not
+//! the paper's results (those come from the `experiments` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vr_frontend::{DirectionPredictor, Tage};
+use vr_isa::{Asm, Cpu, Memory, Reg};
+use vr_mem::{Access, MemConfig, MemorySystem, Requestor};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory");
+    g.throughput(Throughput::Elements(1));
+    let mut mem = Memory::new();
+    mem.write_u64_slice(0x1000, &vec![7u64; 1 << 16]);
+    let mut i = 0u64;
+    g.bench_function("read_u64", |b| {
+        b.iter(|| {
+            i = (i + 8) & 0xffff;
+            black_box(mem.read_u64(0x1000 + i))
+        })
+    });
+    g.bench_function("write_u64", |b| {
+        b.iter(|| {
+            i = (i + 8) & 0xffff;
+            mem.write_u64(0x1000 + i, i);
+        })
+    });
+    g.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    // A tight arithmetic loop.
+    let mut a = Asm::new();
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, 1_000_000_000);
+    let top = a.here();
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.xor(Reg::T2, Reg::T0, Reg::T1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    let prog = a.assemble();
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("step", |b| {
+        b.iter(|| {
+            cpu.step(&prog, &mut mem).expect("in bounds");
+        })
+    });
+    g.finish();
+}
+
+fn bench_tage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tage");
+    let mut t = Tage::default_8kb();
+    let mut i = 0u64;
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("predict_and_train", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(t.predict_and_train(i % 64, i % 7 != 0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.throughput(Throughput::Elements(1));
+
+    let mut ms = MemorySystem::new(MemConfig::table1());
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    g.bench_function("l1_hit", |b| {
+        ms.access(0x1000, Access::Load, Requestor::Main, 1, 0).unwrap();
+        b.iter(|| {
+            now += 1;
+            black_box(ms.access(0x1000, Access::Load, Requestor::Main, 1, now))
+        })
+    });
+    g.bench_function("streaming_misses", |b| {
+        b.iter(|| {
+            now += 300;
+            addr += 64;
+            black_box(ms.access(0x100_0000 + addr, Access::Load, Requestor::Main, 2, now))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_memory, bench_emulator, bench_tage, bench_memory_system
+);
+criterion_main!(benches);

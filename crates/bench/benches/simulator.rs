@@ -1,0 +1,40 @@
+//! Criterion end-to-end benchmarks: whole-simulator throughput per
+//! technique, and quick-mode regenerations of the paper's headline
+//! comparison (small inputs; the full-scale figures come from the
+//! `experiments` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vr_bench::{run_technique, Technique};
+use vr_core::CoreConfig;
+use vr_workloads::{hpcdb, Scale};
+
+const BUDGET: u64 = 20_000;
+
+fn bench_techniques(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_kangaroo_20k_insts");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(BUDGET));
+    let w = hpcdb::kangaroo(Scale::Test);
+    for tech in Technique::HEADLINE {
+        g.bench_function(tech.label(), |b| {
+            b.iter(|| black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_deep_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_hj8_20k_insts");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(BUDGET));
+    let w = hpcdb::hashjoin(Scale::Test, 8);
+    for tech in [Technique::Baseline, Technique::Vr] {
+        g.bench_function(tech.label(), |b| {
+            b.iter(|| black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_deep_chain);
+criterion_main!(benches);

@@ -1,0 +1,573 @@
+//! Regenerates every table and figure of the Vector Runahead
+//! evaluation (DESIGN.md §5 maps each id to the paper artifact).
+//!
+//! ```text
+//! experiments <id> [--insts N] [--all-inputs] [--quick]
+//!
+//! ids: table1 table2 fig-perf fig-rob fig-breakdown fig-mlp
+//!      fig-accuracy fig-timeliness fig-veclen fig-interval table-hw
+//!      all
+//! ```
+//!
+//! `--insts N`     instruction budget per run (default 200000)
+//! `--all-inputs`  run GAP on all five graph presets (default KR + UR)
+//! `--quick`       small inputs and budgets (smoke test)
+
+use std::collections::HashMap;
+
+use vr_bench::{pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique};
+use vr_core::{
+    harmonic_mean, CoreConfig, RunaheadConfig,
+};
+use vr_mem::{HitLevel, MemConfig, Requestor};
+use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
+
+struct Opts {
+    insts: u64,
+    presets: Vec<GraphPreset>,
+    scale: Scale,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("help");
+    let mut insts: u64 = 200_000;
+    let mut presets = vec![GraphPreset::Kron, GraphPreset::Urand];
+    let mut scale = Scale::Paper;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--insts" => {
+                insts = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("error: --insts requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--all-inputs" => presets = GraphPreset::ALL.to_vec(),
+            "--quick" => {
+                scale = Scale::Test;
+                insts = 60_000;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = Opts { insts, presets, scale };
+
+    match id {
+        "table1" => table1(),
+        "table2" => table2(&opts),
+        "fig-perf" => fig_perf(&opts),
+        "fig-rob" => fig_rob(&opts),
+        "fig-breakdown" => fig_breakdown(&opts),
+        "fig-mlp" => fig_mlp(&opts),
+        "fig-accuracy" => fig_accuracy(&opts),
+        "fig-timeliness" => fig_timeliness(&opts),
+        "fig-veclen" => fig_veclen(&opts),
+        "fig-interval" => fig_interval(&opts),
+        "table-hw" => table_hw(),
+        "fig-ablation" => fig_ablation(&opts),
+        "fig-mshr" => fig_mshr(&opts),
+        "all" => {
+            table1();
+            table2(&opts);
+            fig_perf(&opts);
+            fig_rob(&opts);
+            fig_breakdown(&opts);
+            fig_mlp(&opts);
+            fig_accuracy(&opts);
+            fig_timeliness(&opts);
+            fig_veclen(&opts);
+            fig_interval(&opts);
+            fig_ablation(&opts);
+            fig_mshr(&opts);
+            table_hw();
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments <table1|table2|fig-perf|fig-rob|fig-breakdown|fig-mlp|\
+                 fig-accuracy|fig-timeliness|fig-veclen|fig-interval|fig-ablation|fig-mshr|\
+                 table-hw|all> [--insts N] [--all-inputs] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_set(opts: &Opts) -> Vec<Workload> {
+    match opts.scale {
+        Scale::Paper => workload_set(&opts.presets),
+        Scale::Test => vr_bench::quick_workload_set(),
+    }
+}
+
+/// A smaller, representative subset for parameter sweeps.
+fn sweep_set(opts: &Opts) -> Vec<Workload> {
+    let scale = opts.scale;
+    let mut v = vec![
+        vr_workloads::hpcdb::kangaroo(scale),
+        vr_workloads::hpcdb::hashjoin(scale, 2),
+        vr_workloads::hpcdb::hashjoin(scale, 8),
+        vr_workloads::hpcdb::camel(scale),
+    ];
+    let g = GraphPreset::Kron.generate(scale);
+    v.push(vr_workloads::gap::bfs_on(&g, GraphPreset::Kron));
+    v.push(vr_workloads::gap::sssp_on(&g, GraphPreset::Kron));
+    v
+}
+
+// ---------------------------------------------------------------- table 1
+
+fn table1() {
+    let c = CoreConfig::table1();
+    let m = MemConfig::table1();
+    println!("\n== Table 1: baseline configuration for the OoO core ==\n");
+    let mut t = Table::new(&["parameter", "value"]);
+    t.row(vec!["Core".into(), "4.0 GHz, out-of-order".into()]);
+    t.row(vec!["ROB size".into(), c.rob.to_string()]);
+    t.row(vec![
+        "Queue sizes".into(),
+        format!("issue ({}), load ({}), store ({})", c.iq, c.lq, c.sq),
+    ]);
+    t.row(vec![
+        "Processor width".into(),
+        format!("{}-wide fetch/dispatch/rename/commit", c.width),
+    ]);
+    t.row(vec!["Pipeline depth".into(), format!("{} front-end stages", c.frontend_depth)]);
+    t.row(vec!["Branch predictor".into(), "8 KB TAGE-SC-L (TAGE + loop predictor + statistical corrector)".into()]);
+    t.row(vec![
+        "Functional units".into(),
+        format!(
+            "{} int add ({}c), {} int mult ({}c), {} int div ({}c)",
+            c.fu.int_alu, c.lat.int_alu, c.fu.int_mul, c.lat.int_mul, c.fu.int_div, c.lat.int_div
+        ),
+    ]);
+    t.row(vec![
+        "".into(),
+        format!(
+            "{} fp add ({}c), {} fp mult ({}c), {} fp div ({}c)",
+            c.fu.fp_add, c.lat.fp_add, c.fu.fp_mul, c.lat.fp_mul, c.fu.fp_div, c.lat.fp_div
+        ),
+    ]);
+    t.row(vec!["Vector units".into(), format!("{} ALU (vector-runahead engine)", c.fu.vec_alu)]);
+    t.row(vec![
+        "Register file".into(),
+        format!("{} int, {} fp physical", c.int_regs, c.fp_regs),
+    ]);
+    t.row(vec![
+        "L1 D-cache".into(),
+        format!(
+            "{} KB, assoc {}, {}-cycle, {} MSHRs, stride pf ({} streams)",
+            m.l1d.size_bytes >> 10,
+            m.l1d.assoc,
+            m.l1d.latency,
+            m.mshrs,
+            m.stride_params.0
+        ),
+    ]);
+    t.row(vec![
+        "Private L2".into(),
+        format!("{} KB, assoc {}, {}-cycle", m.l2.size_bytes >> 10, m.l2.assoc, m.l2.latency),
+    ]);
+    t.row(vec![
+        "Shared L3".into(),
+        format!("{} MB, assoc {}, {}-cycle", m.l3.size_bytes >> 20, m.l3.assoc, m.l3.latency),
+    ]);
+    t.row(vec![
+        "Memory".into(),
+        format!(
+            "{}-cycle min latency, 64 B per {} cycles (51.2 GB/s @ 4 GHz)",
+            m.dram_min_latency, m.dram_cycles_per_line
+        ),
+    ]);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- table 2
+
+fn table2(opts: &Opts) {
+    println!("\n== Table 2: graph inputs (synthetic stand-ins) + measured LLC MPKI ==\n");
+    let mut t = Table::new(&["input", "nodes(K)", "edges(K)", "footprint(MB)", "LLC MPKI"]);
+    for p in GraphPreset::ALL {
+        let g = p.generate(opts.scale);
+        // Aggregate MPKI over the five GAP kernels on the baseline.
+        let mut misses = 0u64;
+        let mut insts = 0u64;
+        for w in gap_suite(opts.scale, p) {
+            let s = run_technique(&w, CoreConfig::table1(), Technique::Baseline, opts.insts / 2);
+            misses += s.mem.loads_served_at(HitLevel::Dram);
+            insts += s.instructions;
+        }
+        let mpki = misses as f64 * 1000.0 / insts as f64;
+        t.row(vec![
+            p.abbrev().into(),
+            format!("{:.1}", g.num_nodes() as f64 / 1e3),
+            format!("{:.1}", g.num_edges() as f64 / 1e3),
+            format!("{:.1}", g.footprint_bytes() as f64 / (1 << 20) as f64),
+            format!("{mpki:.1}"),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- fig 7
+
+fn fig_perf(opts: &Opts) {
+    println!(
+        "\n== Fig. performance: IPC normalized to the baseline OoO (budget {} insts) ==\n",
+        opts.insts
+    );
+    let set = build_set(opts);
+    let mut t = Table::new(&["benchmark", "PRE", "IMP", "VR", "Oracle"]);
+    let mut speedups: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut vr_chart = BarChart::new("VR speedup over the baseline OoO");
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let mut cells = vec![w.name.clone()];
+        for tech in [Technique::Pre, Technique::Imp, Technique::Vr, Technique::Oracle] {
+            let s = run_technique(w, CoreConfig::table1(), tech, opts.insts);
+            let sp = s.speedup_over(&base);
+            speedups.entry(tech.label()).or_default().push(sp);
+            if tech == Technique::Vr {
+                vr_chart.bar(&w.name, sp);
+            }
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hmean = vec!["h-mean".to_string()];
+    for tech in ["PRE", "IMP", "VR", "Oracle"] {
+        hmean.push(ratio(harmonic_mean(&speedups[tech])));
+    }
+    t.row(hmean);
+    print!("{}", t.render());
+    println!();
+    print!("{}", vr_chart.render());
+}
+
+// ---------------------------------------------------------------- fig 2 / 12
+
+fn fig_rob(opts: &Opts) {
+    println!(
+        "\n== Fig. ROB sensitivity: OoO and VR vs ROB size (back-end queues and PRF \
+         scaled in proportion), normalized to OoO@350; plus full-window stall fraction ==\n"
+    );
+    let set = sweep_set(opts);
+    let robs = [128usize, 192, 224, 350, 512];
+    let mut t =
+        Table::new(&["ROB", "OoO IPC", "VR IPC", "OoO norm", "VR norm", "VR/OoO", "stall%"]);
+    // Geometric aggregation across the sweep set.
+    let mut base350 = Vec::new();
+    for w in &set {
+        let s = run_technique(w, CoreConfig::with_rob_scaled(350), Technique::Baseline, opts.insts);
+        base350.push(s.ipc());
+    }
+    for rob in robs {
+        let mut ooo_norm = Vec::new();
+        let mut vr_norm = Vec::new();
+        let mut ooo_ipc = Vec::new();
+        let mut vr_ipc = Vec::new();
+        let mut stall = Vec::new();
+        for (i, w) in set.iter().enumerate() {
+            eprintln!("  [run] rob={rob} {} …", w.name);
+            let core = CoreConfig::with_rob_scaled(rob);
+            let b = run_technique(w, core.clone(), Technique::Baseline, opts.insts);
+            let v = run_technique(w, core, Technique::Vr, opts.insts);
+            ooo_ipc.push(b.ipc());
+            vr_ipc.push(v.ipc());
+            ooo_norm.push(b.ipc() / base350[i]);
+            vr_norm.push(v.ipc() / base350[i]);
+            stall.push(b.full_rob_stall_fraction());
+        }
+        let gm = |v: &[f64]| {
+            (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+        };
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        t.row(vec![
+            rob.to_string(),
+            format!("{:.3}", gm(&ooo_ipc)),
+            format!("{:.3}", gm(&vr_ipc)),
+            ratio(gm(&ooo_norm)),
+            ratio(gm(&vr_norm)),
+            ratio(gm(&vr_ipc) / gm(&ooo_ipc)),
+            pct(avg(&stall)),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- fig 8
+
+fn fig_breakdown(opts: &Opts) {
+    println!(
+        "\n== Fig. breakdown: VR, +eager (decoupled) trigger, +loop-bound discovery \
+         [extensions], normalized to baseline ==\n"
+    );
+    let set = sweep_set(opts);
+    let mut t = Table::new(&["benchmark", "VR", "+eager", "+eager+discovery"]);
+    let mut agg = [Vec::new(), Vec::new(), Vec::new()];
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let variants = [
+            RunaheadConfig::vector(),
+            RunaheadConfig { eager_trigger: true, ..RunaheadConfig::vector() },
+            RunaheadConfig {
+                eager_trigger: true,
+                loop_bound_discovery: true,
+                ..RunaheadConfig::vector()
+            },
+        ];
+        let mut cells = vec![w.name.clone()];
+        for (i, ra) in variants.into_iter().enumerate() {
+            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts);
+            let sp = s.speedup_over(&base);
+            agg[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    t.row(vec![
+        "h-mean".into(),
+        ratio(harmonic_mean(&agg[0])),
+        ratio(harmonic_mean(&agg[1])),
+        ratio(harmonic_mean(&agg[2])),
+    ]);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- fig 9
+
+fn fig_mlp(opts: &Opts) {
+    println!("\n== Fig. MLP: average outstanding L1-D misses (MSHRs used per cycle) ==\n");
+    let set = build_set(opts);
+    let mut t = Table::new(&["benchmark", "OoO", "VR"]);
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        t.row(vec![w.name.clone(), format!("{:.2}", b.mlp()), format!("{:.2}", v.mlp())]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- fig 10
+
+fn fig_accuracy(opts: &Opts) {
+    println!(
+        "\n== Fig. accuracy/coverage: DRAM line reads normalized to the baseline, \
+         split main thread vs runahead ==\n"
+    );
+    let set = build_set(opts);
+    let mut t =
+        Table::new(&["benchmark", "OoO total", "VR main", "VR runahead", "VR total(norm)"]);
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        let bt = b.mem.dram_reads_total() as f64;
+        let main = v.mem.dram_reads_by(Requestor::Main) as f64;
+        let ra = v.mem.dram_reads_by(Requestor::Runahead) as f64;
+        let vt = v.mem.dram_reads_total() as f64;
+        t.row(vec![
+            w.name.clone(),
+            format!("{bt:.0}"),
+            format!("{:.2}", main / bt),
+            format!("{:.2}", ra / bt),
+            format!("{:.2}", vt / bt),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- fig 11
+
+fn fig_timeliness(opts: &Opts) {
+    println!(
+        "\n== Fig. timeliness: where the main thread finds runahead-prefetched lines ==\n"
+    );
+    let set = build_set(opts);
+    let mut t = Table::new(&["benchmark", "L1", "L2", "L3", "off-chip"]);
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        let f = v.mem.timeliness_fractions();
+        t.row(vec![w.name.clone(), pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3])]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- veclen
+
+fn fig_veclen(opts: &Opts) {
+    println!(
+        "\n== Fig. vector length: VR speedup over baseline vs vectorization degree K ==\n"
+    );
+    let set = sweep_set(opts);
+    let lanes = [16usize, 32, 64, 128];
+    let mut t = Table::new(&["benchmark", "K=16", "K=32", "K=64", "K=128"]);
+    let mut agg = vec![Vec::new(); lanes.len()];
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let mut cells = vec![w.name.clone()];
+        for (i, &k) in lanes.iter().enumerate() {
+            let ra = RunaheadConfig { vr_lanes: k, ..RunaheadConfig::vector() };
+            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts);
+            let sp = s.speedup_over(&base);
+            agg[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["h-mean".to_string()];
+    for a in &agg {
+        hm.push(ratio(harmonic_mean(a)));
+    }
+    t.row(hm);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- interval
+
+fn fig_interval(opts: &Opts) {
+    println!(
+        "\n== Fig. trigger/interval statistics (VR): entries, runahead-time, \
+         full-window stall, delayed-termination commit stall ==\n"
+    );
+    let set = build_set(opts);
+    let mut t = Table::new(&[
+        "benchmark",
+        "entries",
+        "ra-time",
+        "stall(OoO)",
+        "delay-stall",
+        "batches",
+        "lanes",
+        "inv",
+    ]);
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        t.row(vec![
+            w.name.clone(),
+            v.runahead_entries.to_string(),
+            pct(v.runahead_cycles as f64 / v.cycles as f64),
+            pct(b.full_rob_stall_fraction()),
+            pct(v.delayed_termination_stall_cycles as f64 / v.cycles as f64),
+            v.vr_batches.to_string(),
+            v.vr_lanes_spawned.to_string(),
+            v.vr_lanes_invalidated.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- ablations
+
+/// Design-choice ablations of the VR engine implementation (the
+/// choices DESIGN.md §4 calls out): VIR pipelining, reconvergence,
+/// bounded termination.
+fn fig_ablation(opts: &Opts) {
+    println!(
+        "\n== Fig. design ablations: VR variants, speedup over the baseline OoO ==\n"
+    );
+    let set = sweep_set(opts);
+    let variants: [(&str, RunaheadConfig); 4] = [
+        ("VR", RunaheadConfig::vector()),
+        (
+            "no VIR pipelining",
+            RunaheadConfig { vir_pipelining: false, ..RunaheadConfig::vector() },
+        ),
+        (
+            "+reconvergence",
+            RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() },
+        ),
+        (
+            "+bounded term (64)",
+            RunaheadConfig { termination_slack: Some(64), ..RunaheadConfig::vector() },
+        ),
+    ];
+    let mut t = Table::new(&["benchmark", "VR", "no-pipe", "+reconv", "+bounded"]);
+    let mut agg = vec![Vec::new(); variants.len()];
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        let mut cells = vec![w.name.clone()];
+        for (i, (_, ra)) in variants.iter().enumerate() {
+            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra.clone(), opts.insts);
+            let sp = s.speedup_over(&base);
+            agg[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["h-mean".to_string()];
+    for a in &agg {
+        hm.push(ratio(harmonic_mean(a)));
+    }
+    t.row(hm);
+    print!("{}", t.render());
+}
+
+/// Sensitivity to the MSHR count — the resource VR saturates.
+fn fig_mshr(opts: &Opts) {
+    println!("\n== Fig. MSHR sensitivity: VR speedup over same-MSHR baseline ==\n");
+    let set = sweep_set(opts);
+    let counts = [8usize, 16, 24, 48];
+    let mut t = Table::new(&["benchmark", "8", "16", "24", "48"]);
+    let mut agg = vec![Vec::new(); counts.len()];
+    for w in &set {
+        eprintln!("  [run] {} …", w.name);
+        let mut cells = vec![w.name.clone()];
+        for (i, &m) in counts.iter().enumerate() {
+            let mem_cfg = MemConfig { mshrs: m, ..MemConfig::table1() };
+            let base = run_custom(
+                w,
+                CoreConfig::table1(),
+                mem_cfg.clone(),
+                RunaheadConfig::none(),
+                opts.insts,
+            );
+            let vr = run_custom(
+                w,
+                CoreConfig::table1(),
+                mem_cfg,
+                RunaheadConfig::vector(),
+                opts.insts,
+            );
+            let sp = vr.speedup_over(&base);
+            agg[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["h-mean".to_string()];
+    for a in &agg {
+        hm.push(ratio(harmonic_mean(a)));
+    }
+    t.row(hm);
+    print!("{}", t.render());
+}
+
+// ---------------------------------------------------------------- hw table
+
+fn table_hw() {
+    println!("\n== Hardware overhead of the Vector Runahead structures ==\n");
+    let mut t = Table::new(&["structure", "bits", "bytes"]);
+    let items = vr_core::hardware_overhead_bits(128);
+    let mut total = 0u64;
+    for (name, bits) in &items {
+        total += bits;
+        t.row(vec![(*name).into(), bits.to_string(), format!("{:.1}", *bits as f64 / 8.0)]);
+    }
+    t.row(vec!["TOTAL".into(), total.to_string(), format!("{:.0}", (total as f64 / 8.0).ceil())]);
+    print!("{}", t.render());
+}

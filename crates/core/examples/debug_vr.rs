@@ -1,0 +1,103 @@
+//! Developer diagnostic: baseline vs VR on the B[A[i]] microbenchmark.
+
+use vr_core::{CoreConfig, RunaheadConfig, Simulator};
+use vr_isa::{Asm, Memory, Program, Reg};
+use vr_mem::{HitLevel, MemConfig, Requestor};
+
+/// `D[C[B[A[i]]]]`-style chain of `depth` dependent random levels
+/// behind a striding index load (kangaroo / hash-join shape).
+fn indirect_chain(len: u64, iters: i64, depth: usize) -> (Program, Memory) {
+    let a_base = 0x100_0000u64;
+    let b_base = 0x4000_0000u64;
+    let mut mem = Memory::new();
+    let mut x = 88172645463325252u64;
+    let mut rnd = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..len {
+        mem.write_u64(a_base + i * 8, rnd() % len);
+    }
+    for i in 0..len {
+        mem.write_u64(b_base + i * 8, rnd() % len);
+    }
+    let mut asm = Asm::new();
+    asm.li(Reg::A0, a_base as i64);
+    asm.li(Reg::A1, b_base as i64);
+    asm.li(Reg::T0, 0);
+    asm.li(Reg::T1, iters);
+    let top = asm.here();
+    asm.slli(Reg::T2, Reg::T0, 3);
+    asm.add(Reg::T2, Reg::T2, Reg::A0);
+    asm.ld(Reg::T3, Reg::T2, 0); // A[i] (striding)
+    for _ in 0..depth {
+        // "hash" the index: a handful of ALU ops, as real hash-join /
+        // graph kernels do between indirections.
+        asm.slli(Reg::T4, Reg::T3, 13);
+        asm.xor(Reg::T3, Reg::T3, Reg::T4);
+        asm.srli(Reg::T4, Reg::T3, 7);
+        asm.xor(Reg::T3, Reg::T3, Reg::T4);
+        asm.slli(Reg::T4, Reg::T3, 17);
+        asm.xor(Reg::T3, Reg::T3, Reg::T4);
+        asm.andi(Reg::T3, Reg::T3, (len - 1) as i64);
+        asm.slli(Reg::T3, Reg::T3, 3);
+        asm.add(Reg::T3, Reg::T3, Reg::A1);
+        asm.ld(Reg::T3, Reg::T3, 0); // next level (random)
+    }
+    asm.addi(Reg::T0, Reg::T0, 1);
+    asm.blt(Reg::T0, Reg::T1, top);
+    asm.halt();
+    (asm.assemble(), mem)
+}
+
+fn main() {
+    let depth: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let (prog, mem) = indirect_chain(1 << 19, 20_000, depth);
+    for (name, ra) in [("base", RunaheadConfig::none()), ("vr", RunaheadConfig::vector())] {
+        let mut sim = Simulator::new(
+            CoreConfig::table1(),
+            MemConfig::table1(),
+            ra,
+            prog.clone(),
+            mem.clone(),
+            &[],
+        );
+        let s = sim.run(1_000_000);
+        println!("== {name} ==");
+        println!("  ipc {:.3}  cycles {}  mlp {:.2}", s.ipc(), s.cycles, s.mlp());
+        println!(
+            "  ra entries {}  ra cycles {}  delayed stall {}  full-rob stall {:.1}%",
+            s.runahead_entries,
+            s.runahead_cycles,
+            s.delayed_termination_stall_cycles,
+            100.0 * s.full_rob_stall_fraction()
+        );
+        println!(
+            "  vr batches {}  lanes {}  invalidated {}  no-stride {}",
+            s.vr_batches, s.vr_lanes_spawned, s.vr_lanes_invalidated, s.vr_no_stride_intervals
+        );
+        println!(
+            "  loads L1 {} L2 {} L3 {} DRAM {} (merges {})",
+            s.mem.loads_served_at(HitLevel::L1),
+            s.mem.loads_served_at(HitLevel::L2),
+            s.mem.loads_served_at(HitLevel::L3),
+            s.mem.loads_served_at(HitLevel::Dram),
+            s.mem.load_merges,
+        );
+        println!(
+            "  dram reads main {} ra {} stride {} imp {}  wb {}",
+            s.mem.dram_reads_by(Requestor::Main),
+            s.mem.dram_reads_by(Requestor::Runahead),
+            s.mem.dram_reads_by(Requestor::Stride),
+            s.mem.dram_reads_by(Requestor::Imp),
+            s.mem.dram_writebacks,
+        );
+        println!(
+            "  ra pf used {} / issued {}  timeliness {:?}",
+            s.mem.pf_used[1], s.mem.pf_issued[1], s.mem.timeliness_fractions()
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Core and runahead configuration (the paper's Table 1).
+
+use vr_isa::Reg;
+
+/// Functional-unit pool: how many operations of each class may begin
+/// execution per cycle (fully pipelined except the dividers).
+#[derive(Clone, Copy, Debug)]
+pub struct FuPool {
+    /// Simple integer ALUs ("4 int add").
+    pub int_alu: usize,
+    /// Integer multipliers ("1 int mult").
+    pub int_mul: usize,
+    /// Integer dividers ("1 int div", unpipelined).
+    pub int_div: usize,
+    /// FP adders ("1 fp add").
+    pub fp_add: usize,
+    /// FP multipliers ("1 fp mult").
+    pub fp_mul: usize,
+    /// FP dividers ("1 fp div", unpipelined).
+    pub fp_div: usize,
+    /// L1-D load ports.
+    pub load_ports: usize,
+    /// L1-D store (address) ports.
+    pub store_ports: usize,
+    /// Vector ALUs available to the vector-runahead engine
+    /// ("3 ALU" vector units).
+    pub vec_alu: usize,
+}
+
+/// Execution latencies in cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct Latencies {
+    /// Simple integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide (unpipelined).
+    pub int_div: u64,
+    /// FP add/sub/convert/compare.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide (unpipelined).
+    pub fp_div: u64,
+}
+
+/// Out-of-order core configuration.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Fetch/dispatch/rename/commit width ("5-wide").
+    pub width: usize,
+    /// Reorder buffer entries (350 baseline).
+    pub rob: usize,
+    /// Issue queue entries (128).
+    pub iq: usize,
+    /// Load queue entries (128).
+    pub lq: usize,
+    /// Store queue entries (72).
+    pub sq: usize,
+    /// Front-end depth in stages (15): fetch-to-dispatch latency and
+    /// the penalty refilled on a pipeline flush.
+    pub frontend_depth: u64,
+    /// Integer physical registers (256).
+    pub int_regs: usize,
+    /// FP physical registers (256).
+    pub fp_regs: usize,
+    /// Functional units.
+    pub fu: FuPool,
+    /// Latencies.
+    pub lat: Latencies,
+    /// Post-commit store buffer entries before commit back-pressures.
+    pub store_buffer: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 core: 4 GHz, 5-wide, 350-entry ROB,
+    /// IQ 128 / LQ 128 / SQ 72, 15 front-end stages, Ice-Lake-inspired.
+    pub fn table1() -> CoreConfig {
+        CoreConfig {
+            width: 5,
+            rob: 350,
+            iq: 128,
+            lq: 128,
+            sq: 72,
+            frontend_depth: 15,
+            int_regs: 256,
+            fp_regs: 256,
+            fu: FuPool {
+                int_alu: 4,
+                int_mul: 1,
+                int_div: 1,
+                fp_add: 1,
+                fp_mul: 1,
+                fp_div: 1,
+                load_ports: 2,
+                store_ports: 1,
+                vec_alu: 3,
+            },
+            lat: Latencies { int_alu: 1, int_mul: 3, int_div: 18, fp_add: 3, fp_mul: 5, fp_div: 6 },
+            store_buffer: 64,
+        }
+    }
+
+    /// Table 1 with a different ROB size, scaling nothing else (the
+    /// paper's ROB-sensitivity sweep keeps other resources fixed).
+    pub fn with_rob(rob: usize) -> CoreConfig {
+        CoreConfig { rob, ..CoreConfig::table1() }
+    }
+
+    /// Table 1 scaled: ROB plus back-end queues and physical register
+    /// files scaled proportionally (the paper's "scale all the
+    /// back-end structures" variant; also the configuration the ROB
+    /// sweep uses, because with a fixed 256-entry PRF the effective
+    /// window stops growing past ≈280 in-flight instructions).
+    pub fn with_rob_scaled(rob: usize) -> CoreConfig {
+        let base = CoreConfig::table1();
+        let scale = rob as f64 / base.rob as f64;
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(8);
+        CoreConfig {
+            rob,
+            iq: s(base.iq),
+            lq: s(base.lq),
+            sq: s(base.sq),
+            int_regs: s(base.int_regs).max(Reg::COUNT * 2),
+            fp_regs: s(base.fp_regs).max(Reg::COUNT * 2),
+            ..base
+        }
+    }
+}
+
+/// Which runahead technique the core runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunaheadKind {
+    /// Plain out-of-order execution (plus the always-on stride
+    /// prefetcher): the paper's baseline.
+    None,
+    /// Classic invalidation-based runahead (Mutlu et al., HPCA'03):
+    /// triggered on a full-ROB stall behind an LLC miss; pipeline is
+    /// flushed on exit.
+    Classic,
+    /// Precise Runahead Execution (Naithani et al., HPCA'20): slice
+    /// filtering (modelled as doubled effective runahead throughput)
+    /// and no exit flush.
+    Precise,
+    /// Vector Runahead (the paper's contribution): speculative
+    /// vectorization of striding-load dependence chains with delayed
+    /// termination.
+    Vector,
+}
+
+/// Runahead engine configuration.
+#[derive(Clone, Debug)]
+pub struct RunaheadConfig {
+    /// Technique to run.
+    pub kind: RunaheadKind,
+    /// Vectorization degree K: scalar-equivalent lanes per batch
+    /// (64 default; the sensitivity experiment sweeps 16–128).
+    pub vr_lanes: usize,
+    /// Maximum instructions followed along one dependence chain
+    /// before the batch is abandoned (the literature's 200-instruction
+    /// runahead timeout).
+    pub chain_budget: usize,
+    /// Instructions the scalar scan may process while looking for a
+    /// striding load before giving up on vectorizing this interval.
+    pub scan_budget: usize,
+    /// EXTENSION (off by default; the follow-on paper's "Offload"
+    /// step): trigger vector runahead whenever a confident striding
+    /// load executes, without waiting for a full-ROB stall, and let
+    /// the main thread keep fetching.
+    pub eager_trigger: bool,
+    /// Minimum cycles between eager triggers.
+    pub eager_cooldown: u64,
+    /// EXTENSION (off by default; the follow-on paper's "Discovery"
+    /// step): cap the vectorization degree at the observed remaining
+    /// loop trip count to avoid over-fetch past the loop bound.
+    pub loop_bound_discovery: bool,
+    /// EXTENSION (off by default = the paper's unbounded delayed
+    /// termination): abandon a batch whose chain *generation* is
+    /// stalled more than this many cycles past the interval end —
+    /// bounds the commit stall under memory-bandwidth saturation.
+    pub termination_slack: Option<u64>,
+    /// EXTENSION (off by default; the follow-on paper's GPU-style
+    /// reconvergence stack): divergent lanes are parked and executed
+    /// after the leading group reaches the termination point, instead
+    /// of being invalidated.
+    pub reconvergence: bool,
+    /// ABLATION (on by default = the paper's design): overlap the 16
+    /// vector copies of each chain level in the vector issue register,
+    /// so consumers wait only for the first copy's data. Off =
+    /// barrier the whole chain on the slowest lane of every gather.
+    pub vir_pipelining: bool,
+}
+
+impl RunaheadConfig {
+    /// No runahead (baseline OoO).
+    pub fn none() -> RunaheadConfig {
+        RunaheadConfig::of(RunaheadKind::None)
+    }
+
+    /// Defaults for a given technique.
+    pub fn of(kind: RunaheadKind) -> RunaheadConfig {
+        RunaheadConfig {
+            kind,
+            vr_lanes: 64,
+            chain_budget: 200,
+            scan_budget: 512,
+            eager_trigger: false,
+            eager_cooldown: 200,
+            loop_bound_discovery: false,
+            termination_slack: None,
+            reconvergence: false,
+            vir_pipelining: true,
+        }
+    }
+
+    /// Vector Runahead as evaluated in the paper.
+    pub fn vector() -> RunaheadConfig {
+        RunaheadConfig::of(RunaheadKind::Vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = CoreConfig::table1();
+        assert_eq!(c.width, 5);
+        assert_eq!(c.rob, 350);
+        assert_eq!(c.iq, 128);
+        assert_eq!(c.lq, 128);
+        assert_eq!(c.sq, 72);
+        assert_eq!(c.frontend_depth, 15);
+        assert_eq!(c.int_regs, 256);
+        assert_eq!(c.fu.int_alu, 4);
+        assert_eq!(c.lat.int_div, 18);
+        assert_eq!(c.lat.fp_mul, 5);
+    }
+
+    #[test]
+    fn rob_sweep_changes_only_rob() {
+        let c = CoreConfig::with_rob(128);
+        assert_eq!(c.rob, 128);
+        assert_eq!(c.iq, 128);
+        assert_eq!(c.sq, 72);
+    }
+
+    #[test]
+    fn scaled_sweep_scales_backend() {
+        let c = CoreConfig::with_rob_scaled(700);
+        assert_eq!(c.rob, 700);
+        assert_eq!(c.iq, 256);
+        assert_eq!(c.lq, 256);
+        assert_eq!(c.sq, 144);
+        let small = CoreConfig::with_rob_scaled(128);
+        assert!(small.iq < 128 && small.iq >= 8);
+    }
+
+    #[test]
+    fn runahead_defaults() {
+        let r = RunaheadConfig::vector();
+        assert_eq!(r.kind, RunaheadKind::Vector);
+        assert_eq!(r.vr_lanes, 64);
+        assert!(!r.eager_trigger);
+        assert!(!r.loop_bound_discovery);
+        assert_eq!(RunaheadConfig::none().kind, RunaheadKind::None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Scalar runahead engines: classic invalidation-based runahead and
+//! Precise Runahead Execution (PRE).
+//!
+//! Both pre-execute the *future* instruction stream from the committed
+//! architectural state during a full-ROB stall. Registers whose values
+//! depend on a long-latency (LLC-missing) load are INV-propagated, so
+//! dependent loads cannot compute addresses — the first-level-only
+//! coverage limitation the paper's motivation describes. Vector
+//! Runahead (in [`crate::vector`]) removes it by *waiting* for each
+//! vectorized gather level.
+
+use vr_isa::{Cpu, Memory, Program, RegRef, StoreOverlay};
+use vr_mem::{Access, HitLevel, MemorySystem, Requestor};
+
+/// Shared per-cycle context handed to the runahead engines by the
+/// simulator.
+pub(crate) struct RaCtx<'a> {
+    pub prog: &'a Program,
+    pub mem: &'a Memory,
+    pub ms: &'a mut MemorySystem,
+    pub now: u64,
+}
+
+/// The classic / PRE scalar runahead engine.
+#[derive(Clone, Debug)]
+pub struct ScalarRunahead {
+    cursor: Cpu,
+    overlay: StoreOverlay,
+    inv: [bool; RegRef::FLAT_COUNT],
+    /// Instructions pre-executed so far.
+    insts: u64,
+    /// Whether the cursor ran off the program or halted.
+    dead: bool,
+    /// Instructions processed per cycle. PRE's slice filtering is
+    /// modelled as doubled effective throughput (see DESIGN.md).
+    width: usize,
+}
+
+impl ScalarRunahead {
+    /// Starts an engine from the committed architectural state
+    /// (`cpu`, positioned at the blocking load's PC) with the blocking
+    /// load's destination already INV.
+    pub fn new(cpu: Cpu, blocked_dst: Option<RegRef>, width: usize) -> ScalarRunahead {
+        let mut inv = [false; RegRef::FLAT_COUNT];
+        if let Some(d) = blocked_dst {
+            inv[d.flat_index()] = true;
+        }
+        ScalarRunahead { cursor: cpu, overlay: StoreOverlay::new(), inv, insts: 0, dead: false, width }
+    }
+
+    /// Instructions pre-executed so far.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Whether the engine can do no further work.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Runs one cycle of runahead pre-execution; returns instructions
+    /// processed.
+    pub(crate) fn step_cycle(&mut self, ctx: &mut RaCtx<'_>) -> u64 {
+        let mut done = 0;
+        for _ in 0..self.width {
+            if self.dead {
+                break;
+            }
+            let Some(inst) = ctx.prog.fetch(self.cursor.pc()) else {
+                self.dead = true;
+                break;
+            };
+            let inst = *inst;
+
+            // Compute INV status of sources before executing.
+            let src_inv = inst.srcs().any(|s| self.inv[s.flat_index()]);
+
+            // A valid-address load needs an MSHR slot available in
+            // case it misses; otherwise retry next cycle (this is the
+            // MSHR-limited MLP of scalar runahead).
+            let is_mem = inst.is_load() || inst.is_store();
+            if inst.is_load() && !src_inv && !ctx.ms.mshr_free(ctx.now) {
+                break;
+            }
+
+            let step = match self.cursor.step_spec(ctx.prog, ctx.mem, &mut self.overlay) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            };
+            if step.halted {
+                self.dead = true;
+            }
+            self.insts += 1;
+            done += 1;
+
+            // Memory behaviour.
+            let mut loaded_long = false;
+            if is_mem && !src_inv {
+                if let Some(me) = step.mem {
+                    if !me.is_store {
+                        match ctx.ms.access(me.addr, Access::Load, Requestor::Runahead, step.pc, ctx.now)
+                        {
+                            Ok(out) => loaded_long = out.hit == HitLevel::Dram,
+                            // MSHR raced away: treat like a miss.
+                            Err(_) => loaded_long = true,
+                        }
+                    }
+                    // Runahead stores never touch the memory system
+                    // (they are dropped; forwarding happens via the
+                    // overlay).
+                }
+            }
+
+            // INV propagation into the destination.
+            if let Some(d) = step.inst.dst() {
+                self.inv[d.flat_index()] = src_inv || (step.inst.is_load() && loaded_long);
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_isa::{Asm, Reg};
+    use vr_mem::MemConfig;
+
+    fn ctx_parts() -> (Memory, MemorySystem) {
+        (Memory::new(), MemorySystem::new(MemConfig::tiny_for_tests()))
+    }
+
+    /// Program: A[i] chain → B[A[i]] (one level of indirection).
+    /// Classic runahead prefetches A (stride) and the *first* level B
+    /// only when A hits; after an A miss, B's address is INV.
+    #[test]
+    fn inv_propagation_blocks_dependents_of_misses() {
+        let mut a = Asm::new();
+        // x10 = &A = 0x10000 ; x11 = &B = 0x20000
+        a.ld(Reg::T0, Reg::A0, 0); // A[0]  (will miss → INV t0)
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::A1);
+        a.ld(Reg::T2, Reg::T1, 0); // B[A[0]] — INV address, no access
+        a.halt();
+        let prog = a.assemble();
+
+        let (mut mem, mut ms) = ctx_parts();
+        mem.write_u64(0x10000, 5);
+
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x10000);
+        cpu.set_x(Reg::A1, 0x20000);
+
+        let mut ra = ScalarRunahead::new(cpu, None, 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 0 };
+        ra.step_cycle(&mut c);
+
+        // Only the A access reached the memory system.
+        assert_eq!(ms.stats().dram_reads_by(Requestor::Runahead), 1);
+    }
+
+    /// When the first load *hits* (prefetched earlier), the dependent
+    /// level is reachable.
+    #[test]
+    fn dependents_of_hits_are_prefetched() {
+        let mut a = Asm::new();
+        a.ld(Reg::T0, Reg::A0, 0);
+        a.slli(Reg::T1, Reg::T0, 3);
+        a.add(Reg::T1, Reg::T1, Reg::A1);
+        a.ld(Reg::T2, Reg::T1, 0);
+        a.halt();
+        let prog = a.assemble();
+
+        let (mut mem, mut ms) = ctx_parts();
+        mem.write_u64(0x10000, 5);
+        // Pre-warm A's line so the first load hits in L1.
+        ms.access(0x10000, Access::Load, Requestor::Main, 0, 0).unwrap();
+
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x10000);
+        cpu.set_x(Reg::A1, 0x20000);
+
+        let mut ra = ScalarRunahead::new(cpu, None, 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 1000 };
+        ra.step_cycle(&mut c);
+
+        // Both A (hit) and B[5] were accessed.
+        assert!(ms.in_l1(0x20000 + 5 * 8) || ms.outstanding_misses(1000) > 0);
+        assert_eq!(ms.stats().dram_reads_by(Requestor::Runahead), 1); // B miss
+    }
+
+    #[test]
+    fn blocked_destination_starts_inv() {
+        let mut a = Asm::new();
+        a.slli(Reg::T1, Reg::T0, 3); // t1 <- f(t0): INV since t0 is the blocked dst
+        a.add(Reg::T1, Reg::T1, Reg::A1);
+        a.ld(Reg::T2, Reg::T1, 0); // INV address: no access
+        a.halt();
+        let prog = a.assemble();
+
+        let (mem, mut ms) = ctx_parts();
+        let cpu = Cpu::new();
+        let mut ra = ScalarRunahead::new(cpu, Some(RegRef::Int(Reg::T0)), 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 0 };
+        ra.step_cycle(&mut c);
+        assert_eq!(ms.stats().dram_reads_total(), 0);
+    }
+
+    #[test]
+    fn inv_is_cleared_by_untainted_overwrite() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0x30000); // overwrites the INV register with a constant
+        a.ld(Reg::T1, Reg::T0, 0); // now a valid address again
+        a.halt();
+        let prog = a.assemble();
+
+        let (mem, mut ms) = ctx_parts();
+        let cpu = Cpu::new();
+        let mut ra = ScalarRunahead::new(cpu, Some(RegRef::Int(Reg::T0)), 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 0 };
+        ra.step_cycle(&mut c);
+        assert_eq!(ms.stats().dram_reads_total(), 1);
+    }
+
+    #[test]
+    fn runahead_stores_never_reach_memory() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 42);
+        a.st(Reg::T0, Reg::A0, 0);
+        a.ld(Reg::T1, Reg::A0, 0); // forwarded from overlay
+        a.halt();
+        let prog = a.assemble();
+
+        let (mem, mut ms) = ctx_parts();
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x40000);
+        let mut ra = ScalarRunahead::new(cpu, None, 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 0 };
+        ra.step_cycle(&mut c);
+        // The load still probes the cache (prefetch effect), but no
+        // store traffic exists and memory is untouched.
+        assert_eq!(ms.stats().demand_stores, 0);
+        assert_eq!(mem.read_u64(0x40000), 0);
+        assert!(ra.is_dead());
+        assert_eq!(ra.insts(), 4);
+    }
+
+    #[test]
+    fn width_bounds_per_cycle_progress() {
+        let mut a = Asm::new();
+        for _ in 0..20 {
+            a.nop();
+        }
+        a.halt();
+        let prog = a.assemble();
+        let (mem, mut ms) = ctx_parts();
+        let mut ra = ScalarRunahead::new(Cpu::new(), None, 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 0 };
+        assert_eq!(ra.step_cycle(&mut c), 5);
+        let mut c = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 1 };
+        assert_eq!(ra.step_cycle(&mut c), 5);
+    }
+}

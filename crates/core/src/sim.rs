@@ -1,0 +1,879 @@
+//! The out-of-order core timing model and runahead orchestration.
+
+use std::collections::{HashMap, VecDeque};
+
+use vr_frontend::{Btb, DirectionPredictor, Ras, TageScL};
+use vr_isa::{Cpu, Memory, OpClass, Program, Reg, RegRef, Step};
+use vr_mem::{Access, HitLevel, MemConfig, MemorySystem};
+
+use crate::config::{CoreConfig, RunaheadConfig, RunaheadKind};
+use crate::runahead::{RaCtx, ScalarRunahead};
+use crate::stats::SimStats;
+use crate::trace::{PipelineTrace, TraceRecord};
+use crate::vector::{VectorRunahead, VrStatus};
+
+/// Cycles a decoupled (eager-trigger extension) vector-runahead
+/// episode runs before yielding.
+const EAGER_INTERVAL: u64 = 400;
+
+/// Cap on the front-end buffer (fetched but not dispatched
+/// instructions): width × front-end depth plus one extra fetch group.
+fn fetch_q_cap(cfg: &CoreConfig) -> usize {
+    cfg.width * cfg.frontend_depth as usize + cfg.width
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Clone, Debug)]
+struct Slot {
+    seq: u64,
+    step: Step,
+    fetch_at: u64,
+    dispatched: bool,
+    dispatch_at: u64,
+    issued: bool,
+    issue_at: u64,
+    done_at: Option<u64>,
+    mispredicted: bool,
+    src_seqs: [Option<u64>; 2],
+    hit: Option<HitLevel>,
+}
+
+impl Slot {
+    fn is_load(&self) -> bool {
+        self.step.inst.is_load()
+    }
+    fn is_store(&self) -> bool {
+        self.step.inst.is_store()
+    }
+    fn done_by(&self, cycle: u64) -> bool {
+        self.done_at.is_some_and(|d| d <= cycle)
+    }
+}
+
+enum Engine {
+    Scalar(Box<ScalarRunahead>),
+    Vector(Box<VectorRunahead>),
+}
+
+struct RunaheadEpisode {
+    engine: Engine,
+    /// Cycle the blocking load returns (or the eager episode expires).
+    end_at: u64,
+    /// Decoupled episodes (eager-trigger extension) do not stall
+    /// fetch/commit and do not flush on exit.
+    decoupled: bool,
+}
+
+/// Per-cycle functional-unit budget.
+#[derive(Default)]
+struct FuBudget {
+    int_alu: usize,
+    int_mul: usize,
+    fp_add: usize,
+    fp_mul: usize,
+    loads: usize,
+    stores: usize,
+    total: usize,
+}
+
+/// The simulator: a 5-wide out-of-order core (Table 1) over the
+/// `vr-mem` hierarchy, with optional runahead engines including Vector
+/// Runahead.
+///
+/// The execution model is functional-first: the fetch unit executes
+/// instructions functionally in program order and the timing model
+/// replays their *timing* through rename/dispatch/issue/commit. See
+/// DESIGN.md §4 for the documented approximations.
+pub struct Simulator {
+    cfg: CoreConfig,
+    ra_cfg: RunaheadConfig,
+    prog: Program,
+    mem: Memory,
+    ms: MemorySystem,
+    bp: TageScL,
+    btb: Btb,
+    ras: Ras,
+
+    fetch_cpu: Cpu,
+    fetch_done: bool,
+    committed: Cpu,
+
+    fetch_q: VecDeque<Slot>,
+    rob: VecDeque<Slot>,
+    next_seq: u64,
+    last_writer: HashMap<usize, u64>,
+    free_int: isize,
+    free_fp: isize,
+    iq_used: usize,
+    lq_used: usize,
+    sq_used: usize,
+    store_buffer: VecDeque<(u64, u64)>,
+    pending_branch: Option<u64>,
+    div_busy_until: u64,
+    fdiv_busy_until: u64,
+
+    runahead: Option<RunaheadEpisode>,
+    eager_last: u64,
+    /// Dispatch was blocked by a back-end resource (ROB, IQ, LQ/SQ or
+    /// physical registers) last cycle. In this RISC ISA nearly every
+    /// instruction writes a register, so the PRF binds slightly before
+    /// the ROB itself; the runahead trigger therefore fires on any
+    /// back-end-full stall behind an LLC miss, which is the paper's
+    /// full-ROB trigger in spirit (see DESIGN.md §4).
+    backend_stalled: bool,
+
+    cycle: u64,
+    last_commit_cycle: u64,
+    committed_insts: u64,
+    halted: bool,
+    stats: SimStats,
+    tracer: Option<PipelineTrace>,
+}
+
+impl Simulator {
+    /// Builds a simulator over a program, an initial memory image, and
+    /// initial register values.
+    pub fn new(
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        ra_cfg: RunaheadConfig,
+        prog: Program,
+        mem: Memory,
+        init_regs: &[(Reg, u64)],
+    ) -> Simulator {
+        let mut cpu = Cpu::new();
+        for &(r, v) in init_regs {
+            cpu.set_x(r, v);
+        }
+        let free_int = cfg.int_regs as isize - Reg::COUNT as isize;
+        let free_fp = cfg.fp_regs as isize - Reg::COUNT as isize;
+        Simulator {
+            ms: MemorySystem::new(mem_cfg),
+            bp: TageScL::default_8kb(),
+            btb: Btb::default(),
+            ras: Ras::default(),
+            fetch_cpu: cpu.clone(),
+            fetch_done: false,
+            committed: cpu,
+            fetch_q: VecDeque::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            last_writer: HashMap::new(),
+            free_int,
+            free_fp,
+            iq_used: 0,
+            lq_used: 0,
+            sq_used: 0,
+            store_buffer: VecDeque::new(),
+            pending_branch: None,
+            div_busy_until: 0,
+            fdiv_busy_until: 0,
+            runahead: None,
+            eager_last: 0,
+            backend_stalled: false,
+            cycle: 0,
+            last_commit_cycle: 0,
+            committed_insts: 0,
+            halted: false,
+            stats: SimStats::default(),
+            tracer: None,
+            cfg,
+            ra_cfg,
+            prog,
+            mem,
+        }
+    }
+
+    /// Runs until `halt` commits or `max_insts` instructions commit;
+    /// returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for one
+    /// million cycles (a simulator bug, not a workload property).
+    pub fn run(&mut self, max_insts: u64) -> SimStats {
+        while !self.halted && self.committed_insts < max_insts {
+            self.tick();
+            assert!(
+                self.cycle - self.last_commit_cycle < 1_000_000,
+                "no commit progress for 1M cycles at cycle {} (pc {:?}, rob {} entries, \
+                 runahead {})",
+                self.cycle,
+                self.rob.front().map(|s| s.step.pc),
+                self.rob.len(),
+                self.runahead.is_some(),
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.instructions = self.committed_insts;
+        self.stats.mshr_occupancy_integral = self.ms.mshr_occupancy_integral();
+        self.stats.mem = self.ms.stats().clone();
+        self.stats.clone()
+    }
+
+    /// Warm up for `warmup` committed instructions, then measure a
+    /// region of interest of `roi` instructions and return *its*
+    /// statistics only — the paper's ROI methodology (caches,
+    /// predictors and prefetcher state stay warm across the boundary).
+    pub fn run_roi(&mut self, warmup: u64, roi: u64) -> SimStats {
+        let before = self.run(warmup);
+        let after = self.run(warmup + roi);
+        after.delta(&before)
+    }
+
+    /// Enables pipeline tracing, retaining the last `capacity`
+    /// committed instructions' stage timestamps (see
+    /// [`PipelineTrace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(PipelineTrace::new(capacity));
+    }
+
+    /// The pipeline trace, if enabled.
+    pub fn trace(&self) -> Option<&PipelineTrace> {
+        self.tracer.as_ref()
+    }
+
+    /// Memory image accessor (for architectural-result checks after a
+    /// bounded `run`).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    fn tick(&mut self) {
+        let c = self.cycle;
+
+        // 1. Runahead engine.
+        self.step_runahead(c);
+
+        // 2. Commit.
+        let committed = self.commit(c);
+
+        // 3. Post-commit store buffer drain.
+        self.drain_store_buffer(c);
+
+        // 4. Runahead trigger check.
+        self.maybe_trigger(c);
+
+        // 5. Issue / execute.
+        self.issue(c);
+
+        // 6. Dispatch.
+        self.dispatch(c);
+
+        // 7. Fetch.
+        self.fetch(c);
+
+        // 8. Stats.
+        if committed == 0 && !self.halted {
+            self.stats.commit_stall_cycles += 1;
+            if self.rob.len() >= self.cfg.rob || self.backend_stalled {
+                self.stats.full_rob_stall_cycles += 1;
+            }
+        }
+        if self.runahead.is_some() {
+            self.stats.runahead_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    // ---- runahead ---------------------------------------------------
+
+    fn step_runahead(&mut self, c: u64) {
+        let Some(ep) = &mut self.runahead else { return };
+        let interval_over = c >= ep.end_at;
+        let mut finished = false;
+        let mut flush = false;
+        match &mut ep.engine {
+            Engine::Scalar(eng) => {
+                if interval_over {
+                    finished = true;
+                    flush = self.ra_cfg.kind == RunaheadKind::Classic;
+                } else {
+                    let mut ctx =
+                        RaCtx { prog: &self.prog, mem: &self.mem, ms: &mut self.ms, now: c };
+                    self.stats.runahead_insts += eng.step_cycle(&mut ctx);
+                }
+            }
+            Engine::Vector(eng) => {
+                let mut ctx = RaCtx { prog: &self.prog, mem: &self.mem, ms: &mut self.ms, now: c };
+                if eng.step_cycle(&mut ctx, interval_over) == VrStatus::Finished {
+                    finished = true;
+                    flush = !ep.decoupled;
+                    if !ep.decoupled && c > ep.end_at {
+                        self.stats.delayed_termination_stall_cycles += c - ep.end_at;
+                    }
+                }
+            }
+        }
+        if finished {
+            let ep = self.runahead.take().expect("episode exists");
+            if let Engine::Vector(eng) = &ep.engine {
+                self.stats.vr_batches += eng.batches;
+                self.stats.vr_batches_aborted += eng.batches_aborted;
+                self.stats.vr_lanes_spawned += eng.lanes_spawned;
+                self.stats.vr_lanes_invalidated += eng.lanes_invalidated;
+                self.stats.vr_lanes_reconverged += eng.lanes_reconverged;
+                if !eng.found_stride {
+                    self.stats.vr_no_stride_intervals += 1;
+                }
+            }
+            if flush {
+                self.flush_after_head(c);
+            }
+        }
+    }
+
+    fn maybe_trigger(&mut self, c: u64) {
+        if self.runahead.is_some() || self.ra_cfg.kind == RunaheadKind::None {
+            return;
+        }
+        // Canonical trigger: back-end full (ROB or an equivalent
+        // resource), head is an LLC-missing load whose data has not
+        // returned.
+        let Some(head) = self.rob.front() else { return };
+        let full = self.rob.len() >= self.cfg.rob || self.backend_stalled;
+        let blocked = head.is_load()
+            && head.issued
+            && !head.done_by(c)
+            && head.hit == Some(HitLevel::Dram);
+        if !(full && blocked) {
+            return;
+        }
+        let end_at = head.done_at.expect("issued load has a completion time");
+        let mut cpu = self.committed.clone();
+        cpu.set_pc(head.step.pc);
+        let blocked_dst = head.step.inst.dst();
+        let engine = match self.ra_cfg.kind {
+            RunaheadKind::Classic => Engine::Scalar(Box::new(ScalarRunahead::new(
+                cpu,
+                blocked_dst,
+                self.cfg.width,
+            ))),
+            // PRE's slice filtering focuses the same front-end
+            // bandwidth on load slices; modelled at core width with no
+            // exit flush (DESIGN.md §4).
+            RunaheadKind::Precise => Engine::Scalar(Box::new(ScalarRunahead::new(
+                cpu,
+                blocked_dst,
+                self.cfg.width,
+            ))),
+            RunaheadKind::Vector => Engine::Vector(Box::new(VectorRunahead::new(
+                cpu,
+                &self.ra_cfg,
+                self.cfg.width,
+                self.cfg.fu.vec_alu,
+            ))),
+            RunaheadKind::None => unreachable!(),
+        };
+        self.runahead = Some(RunaheadEpisode { engine, end_at, decoupled: false });
+        self.stats.runahead_entries += 1;
+    }
+
+    /// Eager (decoupled) trigger — extension used by the breakdown
+    /// ablation only.
+    fn maybe_trigger_eager(&mut self, c: u64, load_pc: u64) {
+        if !self.ra_cfg.eager_trigger
+            || self.ra_cfg.kind != RunaheadKind::Vector
+            || self.runahead.is_some()
+            || c < self.eager_last + self.ra_cfg.eager_cooldown
+        {
+            return;
+        }
+        let Some(entry) = self.ms.stride_detector().entry(load_pc) else { return };
+        if self.ms.stride_detector().confident_stride(load_pc).is_none() {
+            return;
+        }
+        let last_addr = entry.last_addr;
+        let mut cpu = self.committed.clone();
+        cpu.set_pc(load_pc);
+        let mut eng = VectorRunahead::new(cpu, &self.ra_cfg, self.cfg.width, self.cfg.fu.vec_alu);
+        eng.seed_base(load_pc, last_addr);
+        self.runahead = Some(RunaheadEpisode {
+            engine: Engine::Vector(Box::new(eng)),
+            end_at: c + EAGER_INTERVAL,
+            decoupled: true,
+        });
+        self.stats.runahead_entries += 1;
+        self.eager_last = c;
+    }
+
+    /// Invalidation-style runahead exit: everything younger than the
+    /// ROB head is squashed and re-fetched (its *timing* is reset; the
+    /// functional record is reused — see DESIGN.md §4).
+    fn flush_after_head(&mut self, c: u64) {
+        if self.rob.len() <= 1 {
+            self.recompute_resources();
+            return;
+        }
+        let tail: Vec<Slot> = self.rob.drain(1..).collect();
+        let width = self.cfg.width as u64;
+        for (i, mut s) in tail.into_iter().enumerate().rev() {
+            s.fetch_at = c + i as u64 / width;
+            s.dispatched = false;
+            s.issued = false;
+            s.done_at = None;
+            s.hit = None;
+            s.src_seqs = [None, None];
+            self.fetch_q.push_front(s);
+        }
+        self.recompute_resources();
+    }
+
+    fn recompute_resources(&mut self) {
+        self.last_writer.clear();
+        self.iq_used = 0;
+        self.lq_used = 0;
+        self.sq_used = 0;
+        let mut int_alloc = 0isize;
+        let mut fp_alloc = 0isize;
+        for s in &self.rob {
+            if !s.issued {
+                self.iq_used += 1;
+            }
+            if s.is_load() {
+                self.lq_used += 1;
+            }
+            if s.is_store() {
+                self.sq_used += 1;
+            }
+            if let Some(d) = s.step.inst.dst() {
+                self.last_writer.insert(d.flat_index(), s.seq);
+                match d {
+                    RegRef::Int(_) => int_alloc += 1,
+                    RegRef::Fp(_) => fp_alloc += 1,
+                }
+            }
+        }
+        self.free_int = self.cfg.int_regs as isize - Reg::COUNT as isize - int_alloc;
+        self.free_fp = self.cfg.fp_regs as isize - Reg::COUNT as isize - fp_alloc;
+    }
+
+    // ---- commit -----------------------------------------------------
+
+    fn commit(&mut self, c: u64) -> usize {
+        // Non-decoupled runahead blocks commit (delayed termination
+        // cost for VR; classic exits exactly when the head returns).
+        if matches!(&self.runahead, Some(ep) if !ep.decoupled) {
+            return 0;
+        }
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.dispatched || !head.done_by(c) {
+                break;
+            }
+            if head.is_store() && self.store_buffer.len() >= self.cfg.store_buffer {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("head exists");
+            // Architectural state.
+            if let Some(w) = slot.step.write {
+                self.committed.apply(w);
+            }
+            self.committed.set_pc(slot.step.next_pc);
+            // Prefetcher training happens at commit: the stride
+            // detector / RPT must observe each load PC's address
+            // sequence *in program order* (issue order is scrambled by
+            // out-of-order execution and MSHR retries).
+            if slot.is_load() {
+                let me = slot.step.mem.expect("load has a memory effect");
+                let mem = &self.mem;
+                self.ms.train_prefetchers(slot.step.pc, me.addr, me.value, c, |a| mem.read(a, 8));
+                self.maybe_trigger_eager(c, slot.step.pc);
+            }
+            // Resources.
+            if slot.is_load() {
+                self.lq_used -= 1;
+            }
+            if slot.is_store() {
+                self.sq_used -= 1;
+                self.store_buffer.push_back((slot.step.mem.expect("store has addr").addr, slot.step.pc));
+            }
+            if let Some(d) = slot.step.inst.dst() {
+                match d {
+                    RegRef::Int(_) => self.free_int += 1,
+                    RegRef::Fp(_) => self.free_fp += 1,
+                }
+                if self.last_writer.get(&d.flat_index()) == Some(&slot.seq) {
+                    self.last_writer.remove(&d.flat_index());
+                }
+            }
+            if slot.step.inst.is_cond_branch() {
+                self.stats.branches += 1;
+                if slot.mispredicted {
+                    self.stats.mispredicts += 1;
+                }
+            }
+            if let Some(tr) = &mut self.tracer {
+                tr.push(TraceRecord {
+                    seq: slot.seq,
+                    pc: slot.step.pc,
+                    inst: slot.step.inst,
+                    fetch_at: slot.fetch_at,
+                    dispatch_at: slot.dispatch_at,
+                    issue_at: slot.issue_at,
+                    complete_at: slot.done_at.unwrap_or(c),
+                    commit_at: c,
+                    mispredicted: slot.mispredicted,
+                });
+            }
+            self.committed_insts += 1;
+            self.last_commit_cycle = c;
+            n += 1;
+            if slot.step.halted {
+                self.halted = true;
+                break;
+            }
+        }
+        n
+    }
+
+    fn drain_store_buffer(&mut self, c: u64) {
+        for _ in 0..self.cfg.fu.store_ports {
+            let Some(&(addr, pc)) = self.store_buffer.front() else { break };
+            match self.ms.access(addr, Access::Store, vr_mem::Requestor::Main, pc, c) {
+                Ok(_) => {
+                    self.store_buffer.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    // ---- issue / execute -------------------------------------------
+
+    fn new_budget(&self) -> FuBudget {
+        FuBudget {
+            int_alu: self.cfg.fu.int_alu,
+            int_mul: self.cfg.fu.int_mul,
+            fp_add: self.cfg.fu.fp_add,
+            fp_mul: self.cfg.fu.fp_mul,
+            loads: self.cfg.fu.load_ports,
+            stores: self.cfg.fu.store_ports,
+            total: self.cfg.width,
+        }
+    }
+
+    fn issue(&mut self, c: u64) {
+        let mut budget = self.new_budget();
+        let head_seq = match self.rob.front() {
+            Some(s) => s.seq,
+            None => return,
+        };
+        let mut load_retry_blocked = false;
+
+        for i in 0..self.rob.len() {
+            if budget.total == 0 {
+                break;
+            }
+            let (ready, class) = {
+                let s = &self.rob[i];
+                if !s.dispatched || s.issued {
+                    continue;
+                }
+                let mut ready = true;
+                for src in s.src_seqs.iter().flatten() {
+                    if *src < head_seq {
+                        continue; // producer already committed
+                    }
+                    let idx = (src - head_seq) as usize;
+                    debug_assert!(idx < i, "producer must be older");
+                    if !self.rob[idx].done_by(c) {
+                        ready = false;
+                        break;
+                    }
+                }
+                (ready, s.step.inst.class())
+            };
+            if !ready {
+                continue;
+            }
+
+            // Functional-unit availability.
+            let lat = match class {
+                OpClass::None => {
+                    // nop/halt: complete immediately, no FU.
+                    let s = &mut self.rob[i];
+                    s.issued = true;
+                    s.issue_at = c;
+                    s.done_at = Some(c + 1);
+                    self.iq_used -= 1;
+                    continue;
+                }
+                OpClass::IntAlu | OpClass::Branch => {
+                    if budget.int_alu == 0 {
+                        continue;
+                    }
+                    budget.int_alu -= 1;
+                    self.cfg.lat.int_alu
+                }
+                OpClass::IntMul => {
+                    if budget.int_mul == 0 {
+                        continue;
+                    }
+                    budget.int_mul -= 1;
+                    self.cfg.lat.int_mul
+                }
+                OpClass::IntDiv => {
+                    if self.div_busy_until > c {
+                        continue;
+                    }
+                    self.div_busy_until = c + self.cfg.lat.int_div;
+                    self.cfg.lat.int_div
+                }
+                OpClass::FpAdd => {
+                    if budget.fp_add == 0 {
+                        continue;
+                    }
+                    budget.fp_add -= 1;
+                    self.cfg.lat.fp_add
+                }
+                OpClass::FpMul => {
+                    if budget.fp_mul == 0 {
+                        continue;
+                    }
+                    budget.fp_mul -= 1;
+                    self.cfg.lat.fp_mul
+                }
+                OpClass::FpDiv => {
+                    if self.fdiv_busy_until > c {
+                        continue;
+                    }
+                    self.fdiv_busy_until = c + self.cfg.lat.fp_div;
+                    self.cfg.lat.fp_div
+                }
+                OpClass::Load => {
+                    if budget.loads == 0 || load_retry_blocked {
+                        continue;
+                    }
+                    budget.loads -= 1;
+                    0 // handled below
+                }
+                OpClass::Store => {
+                    if budget.stores == 0 {
+                        continue;
+                    }
+                    budget.stores -= 1;
+                    1 // address generation
+                }
+            };
+
+            if class == OpClass::Load {
+                match self.issue_load(i, c) {
+                    Ok(()) => {}
+                    Err(()) => {
+                        // MSHR full: retry next cycle; keep program
+                        // order among loads.
+                        load_retry_blocked = true;
+                        continue;
+                    }
+                }
+            } else {
+                let s = &mut self.rob[i];
+                s.issued = true;
+                s.issue_at = c;
+                s.done_at = Some(c + lat);
+            }
+            self.iq_used -= 1;
+            budget.total -= 1;
+        }
+    }
+
+    fn issue_load(&mut self, i: usize, c: u64) -> Result<(), ()> {
+        let (addr, width, pc, value) = {
+            let me = self.rob[i].step.mem.expect("load has a memory effect");
+            (me.addr, me.width.bytes(), self.rob[i].step.pc, me.value)
+        };
+        // Store-to-load forwarding from an older in-flight store that
+        // fully covers this load.
+        let mut forwarded = false;
+        for j in (0..i).rev() {
+            let s = &self.rob[j];
+            if !s.is_store() {
+                continue;
+            }
+            let sm = s.step.mem.expect("store has addr");
+            if sm.addr == addr && sm.width.bytes() >= width {
+                if s.done_by(c) {
+                    forwarded = true;
+                }
+                break; // nearest older store decides either way
+            }
+        }
+        if forwarded {
+            let s = &mut self.rob[i];
+            s.issued = true;
+            s.issue_at = c;
+            s.done_at = Some(c + self.ms.config().l1d.latency);
+            s.hit = Some(HitLevel::L1);
+            return Ok(());
+        }
+
+        match self.ms.access(addr, Access::Load, vr_mem::Requestor::Main, pc, c) {
+            Ok(out) => {
+                let s = &mut self.rob[i];
+                s.issued = true;
+                s.issue_at = c;
+                s.done_at = Some(out.ready_at);
+                s.hit = Some(out.hit);
+                let _ = value;
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    // ---- dispatch ---------------------------------------------------
+
+    fn dispatch(&mut self, c: u64) {
+        self.backend_stalled = false;
+        for _ in 0..self.cfg.width {
+            let Some(front) = self.fetch_q.front() else { break };
+            if front.fetch_at + self.cfg.frontend_depth > c {
+                break;
+            }
+            let inst = front.step.inst;
+            let blocked = self.rob.len() >= self.cfg.rob
+                || self.iq_used >= self.cfg.iq
+                || (inst.is_load() && self.lq_used >= self.cfg.lq)
+                || (inst.is_store() && self.sq_used >= self.cfg.sq)
+                || match inst.dst() {
+                    Some(RegRef::Int(_)) => self.free_int == 0,
+                    Some(RegRef::Fp(_)) => self.free_fp == 0,
+                    None => false,
+                };
+            if blocked {
+                self.backend_stalled = true;
+                break;
+            }
+            let mut slot = self.fetch_q.pop_front().expect("front exists");
+            slot.dispatched = true;
+            slot.dispatch_at = c;
+            // Resolve dependences against in-flight producers.
+            let mut srcs = [None, None];
+            for (k, src) in inst.srcs().enumerate() {
+                if let Some(&seq) = self.last_writer.get(&src.flat_index()) {
+                    srcs[k] = Some(seq);
+                }
+            }
+            slot.src_seqs = srcs;
+            if let Some(d) = inst.dst() {
+                self.last_writer.insert(d.flat_index(), slot.seq);
+                match d {
+                    RegRef::Int(_) => self.free_int -= 1,
+                    RegRef::Fp(_) => self.free_fp -= 1,
+                }
+            }
+            self.iq_used += 1;
+            if inst.is_load() {
+                self.lq_used += 1;
+            }
+            if inst.is_store() {
+                self.sq_used += 1;
+            }
+            self.rob.push_back(slot);
+        }
+    }
+
+    // ---- fetch ------------------------------------------------------
+
+    fn fetch(&mut self, c: u64) {
+        // Non-decoupled runahead owns the front-end.
+        if matches!(&self.runahead, Some(ep) if !ep.decoupled) {
+            return;
+        }
+        // Misprediction: fetch resumes the cycle after the branch
+        // resolves.
+        if let Some(bseq) = self.pending_branch {
+            let resolved = self.rob.front().is_none_or(|head| bseq < head.seq)
+                || self
+                    .rob
+                    .iter()
+                    .find(|s| s.seq == bseq)
+                    .is_some_and(|s| s.done_by(c));
+            if resolved {
+                self.pending_branch = None;
+            }
+            return;
+        }
+        if self.fetch_done {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.fetch_q.len() >= fetch_q_cap(&self.cfg) {
+                break;
+            }
+            let step = match self.fetch_cpu.step(&self.prog, &mut self.mem) {
+                Ok(s) => s,
+                Err(e) => panic!("workload ran off the program: {e}"),
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut slot = Slot {
+                seq,
+                step,
+                fetch_at: c,
+                dispatched: false,
+                dispatch_at: 0,
+                issued: false,
+                issue_at: 0,
+                done_at: None,
+                mispredicted: false,
+                src_seqs: [None, None],
+                hit: None,
+            };
+            let mut stop = false;
+            if let Some(taken) = step.taken {
+                let pred = self.bp.predict_and_train(step.pc, taken);
+                if pred != taken {
+                    slot.mispredicted = true;
+                    self.pending_branch = Some(seq);
+                    stop = true;
+                }
+            } else if matches!(step.inst.op, vr_isa::Op::Jalr) {
+                // Indirect jump: the target must come from the RAS (for
+                // returns through the link register) or the BTB;
+                // mismatch costs a full redirect like a mispredicted
+                // branch.
+                let is_return = step.inst.rs1 == Reg::RA.index() as u8;
+                let predicted = if is_return {
+                    self.ras.pop()
+                } else {
+                    self.btb.lookup(step.pc).map(|e| e.target)
+                };
+                if predicted != Some(step.next_pc) {
+                    slot.mispredicted = true;
+                    self.pending_branch = Some(seq);
+                    stop = true;
+                }
+                if !is_return {
+                    self.btb.update(step.pc, step.next_pc, false);
+                }
+            }
+            if matches!(step.inst.op, vr_isa::Op::Jal) && step.inst.rd == Reg::RA.index() as u8 {
+                // Call: push the return address for the matching jalr.
+                self.ras.push(step.pc + 1);
+            }
+            if step.halted {
+                self.fetch_done = true;
+                stop = true;
+            }
+            let redirected = step.redirected();
+            self.fetch_q.push_back(slot);
+            if stop || redirected {
+                break; // one taken branch per fetch group
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("committed_insts", &self.committed_insts)
+            .field("rob", &self.rob.len())
+            .field("runahead", &self.runahead.is_some())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulation statistics: everything the paper's figures need.
+
+use vr_mem::MemStats;
+
+/// End-of-run statistics produced by [`crate::Simulator::run`].
+#[derive(Clone, Default, Debug)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub instructions: u64,
+
+    /// Cycles on which commit made no progress while the ROB was
+    /// completely full (the trigger-opportunity metric of Fig. 2).
+    pub full_rob_stall_cycles: u64,
+    /// Cycles on which commit made no progress for any reason.
+    pub commit_stall_cycles: u64,
+
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+
+    /// Times a runahead interval was entered.
+    pub runahead_entries: u64,
+    /// Cycles spent inside runahead intervals.
+    pub runahead_cycles: u64,
+    /// Instructions pre-executed by the scalar runahead engines.
+    pub runahead_insts: u64,
+    /// Cycles commit remained stalled *after* the blocking load had
+    /// returned, because Vector Runahead's delayed termination had not
+    /// finished the chain (the ~7% commit-stall cost the follow-on
+    /// paper measures).
+    pub delayed_termination_stall_cycles: u64,
+
+    /// Vectorized batches executed by Vector Runahead.
+    pub vr_batches: u64,
+    /// Batches abandoned by bounded delayed termination (generation
+    /// stalled past the interval end behind a saturated memory
+    /// system).
+    pub vr_batches_aborted: u64,
+    /// Scalar-equivalent lanes spawned in total.
+    pub vr_lanes_spawned: u64,
+    /// Lanes invalidated by control-flow divergence or faults.
+    pub vr_lanes_invalidated: u64,
+    /// Divergent lanes parked and resumed via the reconvergence-stack
+    /// extension.
+    pub vr_lanes_reconverged: u64,
+    /// Intervals in which no striding load was found (fell back to
+    /// scalar runahead behaviour).
+    pub vr_no_stride_intervals: u64,
+
+    /// Memory-system counters at end of run.
+    pub mem: MemStats,
+    /// MSHR occupancy integral (Σ outstanding-miss cycles).
+    pub mshr_occupancy_integral: u64,
+}
+
+impl SimStats {
+    /// Counter-wise difference `self − earlier`: the statistics of the
+    /// region executed *between* two snapshots of the same simulator.
+    /// Used by [`crate::Simulator::run_roi`] to implement
+    /// warmup-then-measure (the paper's region-of-interest
+    /// methodology).
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        let mem = MemStats {
+            demand_loads: self.mem.demand_loads - earlier.mem.demand_loads,
+            demand_stores: self.mem.demand_stores - earlier.mem.demand_stores,
+            load_hits: std::array::from_fn(|i| self.mem.load_hits[i] - earlier.mem.load_hits[i]),
+            load_merges: self.mem.load_merges - earlier.mem.load_merges,
+            dram_reads: std::array::from_fn(|i| {
+                self.mem.dram_reads[i] - earlier.mem.dram_reads[i]
+            }),
+            dram_writebacks: self.mem.dram_writebacks - earlier.mem.dram_writebacks,
+            pf_issued: std::array::from_fn(|i| self.mem.pf_issued[i] - earlier.mem.pf_issued[i]),
+            pf_used: std::array::from_fn(|i| self.mem.pf_used[i] - earlier.mem.pf_used[i]),
+            pf_dropped_mshr: self.mem.pf_dropped_mshr - earlier.mem.pf_dropped_mshr,
+            timeliness: std::array::from_fn(|i| {
+                self.mem.timeliness[i] - earlier.mem.timeliness[i]
+            }),
+        };
+        SimStats {
+            cycles: self.cycles - earlier.cycles,
+            instructions: self.instructions - earlier.instructions,
+            full_rob_stall_cycles: self.full_rob_stall_cycles - earlier.full_rob_stall_cycles,
+            commit_stall_cycles: self.commit_stall_cycles - earlier.commit_stall_cycles,
+            branches: self.branches - earlier.branches,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            runahead_entries: self.runahead_entries - earlier.runahead_entries,
+            runahead_cycles: self.runahead_cycles - earlier.runahead_cycles,
+            runahead_insts: self.runahead_insts - earlier.runahead_insts,
+            delayed_termination_stall_cycles: self.delayed_termination_stall_cycles
+                - earlier.delayed_termination_stall_cycles,
+            vr_batches: self.vr_batches - earlier.vr_batches,
+            vr_batches_aborted: self.vr_batches_aborted - earlier.vr_batches_aborted,
+            vr_lanes_spawned: self.vr_lanes_spawned - earlier.vr_lanes_spawned,
+            vr_lanes_invalidated: self.vr_lanes_invalidated - earlier.vr_lanes_invalidated,
+            vr_lanes_reconverged: self.vr_lanes_reconverged - earlier.vr_lanes_reconverged,
+            vr_no_stride_intervals: self.vr_no_stride_intervals - earlier.vr_no_stride_intervals,
+            mem,
+            mshr_occupancy_integral: self.mshr_occupancy_integral
+                - earlier.mshr_occupancy_integral,
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Average outstanding L1-D misses per cycle (the MLP metric of
+    /// the memory-level-parallelism figure).
+    pub fn mlp(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mshr_occupancy_integral as f64 / self.cycles as f64
+    }
+
+    /// Fraction of cycles stalled on a full ROB.
+    pub fn full_rob_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.full_rob_stall_cycles as f64 / self.cycles as f64
+    }
+
+    /// Branch misprediction rate (per committed conditional branch).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        self.mispredicts as f64 / self.branches as f64
+    }
+
+    /// Speedup of `self` over a `baseline` run of the same workload.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        if self.ipc() == 0.0 || baseline.ipc() == 0.0 {
+            return 0.0;
+        }
+        self.ipc() / baseline.ipc()
+    }
+}
+
+/// Harmonic mean of a slice of speedups (how the paper aggregates).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_guards() {
+        let s = SimStats { cycles: 100, instructions: 250, ..SimStats::default() };
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+        assert_eq!(SimStats::default().mlp(), 0.0);
+    }
+
+    #[test]
+    fn speedup() {
+        let base = SimStats { cycles: 200, instructions: 100, ..SimStats::default() };
+        let fast = SimStats { cycles: 100, instructions: 100, ..SimStats::default() };
+        assert_eq!(fast.speedup_over(&base), 2.0);
+    }
+
+    #[test]
+    fn harmonic_mean_behaviour() {
+        assert_eq!(harmonic_mean(&[1.0, 1.0]), 1.0);
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn rates() {
+        let s = SimStats {
+            cycles: 100,
+            full_rob_stall_cycles: 25,
+            branches: 10,
+            mispredicts: 3,
+            ..SimStats::default()
+        };
+        assert_eq!(s.full_rob_stall_fraction(), 0.25);
+        assert!((s.mispredict_rate() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pipeline tracing: per-instruction stage timestamps with a textual
+//! pipeline-diagram renderer (the moral equivalent of gem5's
+//! `O3PipeView`).
+
+use std::collections::VecDeque;
+
+use vr_isa::Inst;
+
+/// Stage timestamps of one committed instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Cycle fetched.
+    pub fetch_at: u64,
+    /// Cycle dispatched into the back-end.
+    pub dispatch_at: u64,
+    /// Cycle issued to a functional unit.
+    pub issue_at: u64,
+    /// Cycle the result became available.
+    pub complete_at: u64,
+    /// Cycle committed.
+    pub commit_at: u64,
+    /// Whether this instruction was a mispredicted branch.
+    pub mispredicted: bool,
+}
+
+/// Bounded ring buffer of the most recent [`TraceRecord`]s.
+#[derive(Debug)]
+pub struct PipelineTrace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    total: u64,
+}
+
+impl PipelineTrace {
+    /// Creates a trace keeping the last `capacity` commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> PipelineTrace {
+        assert!(capacity > 0, "trace needs capacity");
+        PipelineTrace { records: VecDeque::with_capacity(capacity), capacity, total: 0 }
+    }
+
+    /// Appends a record, evicting the oldest beyond capacity.
+    pub fn push(&mut self, r: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(r);
+        self.total += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total records ever pushed (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained window as a pipeline diagram:
+    ///
+    /// ```text
+    /// seq    pc  F        D        I        X        C         instruction
+    /// 12     7   100      115      116      117      118       add x6, x6, x5
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "seq      pc       F         D         I         X         C          instruction\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<8} {:<9} {:<9} {:<9} {:<9} {:<9} {}{}",
+                r.seq,
+                r.pc,
+                r.fetch_at,
+                r.dispatch_at,
+                r.issue_at,
+                r.complete_at,
+                r.commit_at,
+                r.inst,
+                if r.mispredicted { "   <MISPREDICT>" } else { "" },
+            );
+        }
+        out
+    }
+
+    /// Sanity-checks monotonicity of every record's stage order.
+    pub fn is_well_ordered(&self) -> bool {
+        self.records.iter().all(|r| {
+            r.fetch_at <= r.dispatch_at
+                && r.dispatch_at <= r.issue_at
+                && r.issue_at <= r.complete_at
+                && r.complete_at <= r.commit_at
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            pc: seq * 2,
+            inst: Inst::NOP,
+            fetch_at: 10,
+            dispatch_at: 25,
+            issue_at: 26,
+            complete_at: 27,
+            commit_at: 28,
+            mispredicted: seq % 2 == 1,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_newest() {
+        let mut t = PipelineTrace::new(3);
+        for s in 0..10 {
+            t.push(rec(s));
+        }
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(t.total_recorded(), 10);
+    }
+
+    #[test]
+    fn rendering_contains_stages_and_flags() {
+        let mut t = PipelineTrace::new(4);
+        t.push(rec(1));
+        let s = t.render();
+        assert!(s.contains("nop"));
+        assert!(s.contains("<MISPREDICT>"));
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn well_ordered_check() {
+        let mut t = PipelineTrace::new(4);
+        t.push(rec(0));
+        assert!(t.is_well_ordered());
+        let mut bad = rec(1);
+        bad.commit_at = 0;
+        t.push(bad);
+        assert!(!t.is_well_ordered());
+    }
+}

@@ -1,0 +1,954 @@
+//! The Vector Runahead engine (the paper's contribution).
+//!
+//! On entering a runahead interval, the engine *scans* the future
+//! instruction stream from the committed architectural state until it
+//! meets a load the stride detector is confident about. It then
+//! *speculatively vectorizes*: K scalar-equivalent lanes are forked,
+//! lane *l* executing the striding load at `addr + stride·(l+1)`
+//! (future loop iterations), and every instruction whose sources are
+//! tainted by the striding load executes K-wide (SIMT). All K
+//! addresses of a tainted ("gather") load issue to the memory system
+//! together — MSHR-limited — and the chain *waits* for the slowest
+//! lane before the next dependence level: this is how VR reaches the
+//! second, third, … level of an indirect chain, which INV-based scalar
+//! runahead cannot.
+//!
+//! Control flow follows lane 0; lanes whose next PC diverges are
+//! invalidated (ISCA'21 semantics — no reconvergence stack). When
+//! lane 0 returns to the striding load, the batch is complete; if the
+//! blocking load has meanwhile returned, the engine still finishes the
+//! in-flight batch first (*delayed termination*), stalling commit.
+
+use vr_isa::{Cpu, Op, Reg, RegRef, StoreOverlay};
+
+use crate::config::RunaheadConfig;
+use crate::runahead::RaCtx;
+use vr_mem::{Access, Requestor};
+
+/// How many scalar gather sub-accesses the vector unit can inject into
+/// the memory pipeline per cycle (one full AVX-512-equivalent vector
+/// of 8×64-bit lanes).
+const GATHER_ISSUE_PER_CYCLE: usize = 8;
+
+
+/// Result of one engine cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VrStatus {
+    /// Still working (scanning, gathering, or following a chain).
+    Working,
+    /// At a batch boundary with the interval over: safe to leave
+    /// runahead mode.
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+struct Lane {
+    cpu: Cpu,
+    overlay: StoreOverlay,
+    /// Executing in the current SIMT group.
+    active: bool,
+    /// Suspended on the reconvergence stack (extension).
+    parked: bool,
+    /// Reached the chain termination point.
+    done: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Batch {
+    stride_pc: u64,
+    lanes: Vec<Lane>,
+    taint: [bool; RegRef::FLAT_COUNT],
+    /// Cycle at which each architectural register's *data* is
+    /// available to the chain. Gathers set their destination's entry
+    /// to the slowest lane's fill time; consumers stall on it, but
+    /// instructions that don't read gather results (e.g. the loop
+    /// back-edge) flow past — this is what lets delayed termination
+    /// leave once the final level's accesses are *generated* rather
+    /// than *returned*.
+    reg_ready: [u64; RegRef::FLAT_COUNT],
+    /// Structural barrier: no chain progress before this cycle.
+    wait_until: u64,
+    /// Gather sub-accesses not yet accepted by the memory system.
+    pending_gather: Vec<(usize, u64)>,
+    /// Destination register of the in-flight gather.
+    gather_dst: Option<usize>,
+    gather_ready_max: u64,
+    /// Ready time of the first vector copy (first 8 lanes) of the
+    /// in-flight gather level.
+    first_copy_ready: u64,
+    /// Sub-accesses issued so far for the in-flight gather level.
+    issued_in_level: usize,
+    chain_insts: usize,
+    /// Parked divergent lane groups awaiting execution (reconvergence
+    /// extension); each entry is the lane set of one divergent path.
+    reconv_stack: Vec<Vec<usize>>,
+    /// Loop-bound discovery saw the loop end inside this batch: no
+    /// further batches of this stride exist.
+    last_batch: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Scan {
+    cursor: Cpu,
+    overlay: StoreOverlay,
+    remaining: usize,
+    dead: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Scan(Box<Scan>),
+    Batch(Box<Batch>),
+}
+
+/// The Vector Runahead engine for one runahead interval (re-created at
+/// each trigger).
+#[derive(Clone, Debug)]
+pub struct VectorRunahead {
+    lanes: usize,
+    chain_budget: usize,
+    discovery: bool,
+    termination_slack: Option<u64>,
+    reconvergence: bool,
+    vir_pipelining: bool,
+    vec_alu: usize,
+    width: usize,
+    phase: Phase,
+    /// Continuation point for repeated batches of the same striding
+    /// load: real VR refills the vector issue register from the stride
+    /// detector, so batch *n* starts K strides past batch *n−1*
+    /// regardless of the (scalar, non-vectorized) induction registers.
+    next_base: Option<(u64, u64)>,
+    /// Whether any striding load was vectorized this interval.
+    pub found_stride: bool,
+    /// Batches completed or started.
+    pub batches: u64,
+    /// Batches abandoned by bounded delayed termination.
+    pub batches_aborted: u64,
+    /// Total scalar-equivalent lanes spawned.
+    pub lanes_spawned: u64,
+    /// Lanes invalidated by divergence or faults.
+    pub lanes_invalidated: u64,
+    /// Divergent lanes parked and later resumed via the reconvergence
+    /// stack (extension; zero when it is disabled).
+    pub lanes_reconverged: u64,
+}
+
+impl VectorRunahead {
+    /// Starts an engine from the committed architectural state,
+    /// positioned at the blocking load's PC.
+    pub fn new(cpu: Cpu, cfg: &RunaheadConfig, width: usize, vec_alu: usize) -> VectorRunahead {
+        VectorRunahead {
+            lanes: cfg.vr_lanes,
+            chain_budget: cfg.chain_budget,
+            discovery: cfg.loop_bound_discovery,
+            termination_slack: cfg.termination_slack,
+            reconvergence: cfg.reconvergence,
+            vir_pipelining: cfg.vir_pipelining,
+            vec_alu: vec_alu.max(1),
+            width,
+            phase: Phase::Scan(Box::new(Scan {
+                cursor: cpu,
+                overlay: StoreOverlay::new(),
+                remaining: cfg.scan_budget,
+                dead: false,
+            })),
+            next_base: None,
+            found_stride: false,
+            batches: 0,
+            batches_aborted: 0,
+            lanes_spawned: 0,
+            lanes_invalidated: 0,
+            lanes_reconverged: 0,
+        }
+    }
+
+    /// Runs one cycle; `interval_over` is true once the blocking load
+    /// has returned (the engine then finishes the current batch and
+    /// reports [`VrStatus::Finished`] — delayed termination).
+    pub(crate) fn step_cycle(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
+        match &mut self.phase {
+            Phase::Scan(_) => self.step_scan(ctx, interval_over),
+            Phase::Batch(_) => self.step_batch(ctx, interval_over),
+        }
+    }
+
+    // ---- scan phase -------------------------------------------------
+
+    fn step_scan(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
+        let Phase::Scan(scan) = &mut self.phase else { unreachable!() };
+        let Scan { cursor, overlay, remaining, dead } = &mut **scan;
+        if interval_over {
+            return VrStatus::Finished;
+        }
+        if *dead || *remaining == 0 {
+            return VrStatus::Working; // idle until the interval ends
+        }
+        for _ in 0..self.width {
+            if *remaining == 0 {
+                break;
+            }
+            *remaining -= 1;
+            let Some(inst) = ctx.prog.fetch(cursor.pc()) else {
+                *dead = true;
+                break;
+            };
+            let inst = *inst;
+            // A striding load? Vectorize from here.
+            if matches!(inst.op, Op::Ld(_) | Op::Fld) {
+                if let Some(stride) = ctx.ms.stride_detector().confident_stride(cursor.pc()) {
+                    let cursor = cursor.clone();
+                    let overlay = overlay.clone();
+                    self.start_batch(ctx, cursor, overlay, inst, stride);
+                    return VrStatus::Working;
+                }
+            }
+            match cursor.step_spec(ctx.prog, ctx.mem, overlay) {
+                Ok(step) => {
+                    if step.halted {
+                        *dead = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    *dead = true;
+                    break;
+                }
+            }
+        }
+        VrStatus::Working
+    }
+
+    /// Observes the future trip count of the loop around `stride_pc`
+    /// by running a throw-away cursor forward (the loop-bound
+    /// discovery extension).
+    /// Returns `Some(trips)` when the probe *observed the loop end*
+    /// within its budget (the cap applies), or `None` when it ran out
+    /// of budget with the loop still going (no evidence of a bound —
+    /// vectorize fully).
+    fn discover_trip_count(
+        &self,
+        ctx: &RaCtx<'_>,
+        cursor: &Cpu,
+        overlay: &StoreOverlay,
+        stride_pc: u64,
+    ) -> Option<usize> {
+        let mut probe = cursor.clone();
+        let mut ov = overlay.clone();
+        let mut count = 0usize;
+        // Step past the striding load first so re-encounters count.
+        for step_no in 0..self.lanes * 64 {
+            match probe.step_spec(ctx.prog, ctx.mem, &mut ov) {
+                Ok(s) => {
+                    if s.halted {
+                        return Some(count.max(1)); // loop (and program) ended
+                    }
+                    if step_no > 0 && probe.pc() == stride_pc {
+                        count += 1;
+                        if count >= self.lanes {
+                            return None; // enough iterations exist
+                        }
+                    }
+                }
+                Err(_) => return Some(count.max(1)),
+            }
+        }
+        // Budget exhausted without reaching K re-encounters: if the
+        // striding load never recurred at all, the "loop" left this
+        // region — cap hard; otherwise the iterations are just long,
+        // and the observed count is a safe lower bound to cap at only
+        // when the exit was actually seen. Without exit evidence,
+        // vectorize fully.
+        if count == 0 {
+            Some(1)
+        } else {
+            None
+        }
+    }
+
+    fn start_batch(
+        &mut self,
+        ctx: &mut RaCtx<'_>,
+        cursor: Cpu,
+        overlay: StoreOverlay,
+        inst: vr_isa::Inst,
+        stride: i64,
+    ) {
+        let stride_pc = cursor.pc();
+        let reg_base = cursor.x(Reg::new(inst.rs1)).wrapping_add(inst.imm as u64);
+        let base_addr = match self.next_base {
+            Some((pc, addr)) if pc == stride_pc => addr,
+            _ => reg_base,
+        };
+        let width_bytes = inst.mem_width().map_or(8, |w| w.bytes());
+
+        let mut k = self.lanes;
+        let mut setup_cost = 1;
+        let mut last_batch = false;
+        if self.discovery {
+            if let Some(trips) = self.discover_trip_count(ctx, &cursor, &overlay, stride_pc) {
+                if trips < k {
+                    k = trips;
+                    last_batch = true;
+                }
+            }
+            setup_cost = 8; // discovery bookkeeping latency
+        }
+
+        self.found_stride = true;
+        self.batches += 1;
+        self.lanes_spawned += k as u64;
+        self.next_base =
+            Some((stride_pc, base_addr.wrapping_add((stride as u64).wrapping_mul(k as u64))));
+
+        let mut taint = [false; RegRef::FLAT_COUNT];
+        let dst = inst.dst();
+        if let Some(d) = dst {
+            taint[d.flat_index()] = true;
+        }
+
+        let mut lanes = Vec::with_capacity(k);
+        let mut pending = Vec::with_capacity(k);
+        for l in 0..k {
+            let mut cpu = cursor.clone();
+            let addr = base_addr.wrapping_add((stride as u64).wrapping_mul(l as u64 + 1));
+            // Execute the striding load manually for this lane's
+            // future iteration.
+            let value = ctx.mem.read(addr, width_bytes);
+            match dst {
+                Some(RegRef::Int(r)) => cpu.set_x(r, value),
+                Some(RegRef::Fp(f)) => cpu.set_f(f, f64::from_bits(value)),
+                None => {}
+            }
+            cpu.set_pc(stride_pc + 1);
+            lanes.push(Lane { cpu, overlay: overlay.clone(), active: true, parked: false, done: false });
+            pending.push((l, addr));
+        }
+
+        let mut reg_ready = [0u64; RegRef::FLAT_COUNT];
+        // Until the striding gather completes, its destination's data
+        // is unavailable; the entry is finalized when the last
+        // sub-access issues.
+        if let Some(d) = dst {
+            reg_ready[d.flat_index()] = u64::MAX;
+        }
+        self.phase = Phase::Batch(Box::new(Batch {
+            stride_pc,
+            lanes,
+            taint,
+            reg_ready,
+            wait_until: ctx.now + setup_cost,
+            pending_gather: pending,
+            gather_dst: dst.map(RegRef::flat_index),
+            gather_ready_max: 0,
+            first_copy_ready: 0,
+            issued_in_level: 0,
+            chain_insts: 0,
+            reconv_stack: Vec::new(),
+            last_batch,
+        }));
+    }
+
+    // ---- batch phase ------------------------------------------------
+
+    fn step_batch(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
+        let Phase::Batch(batch) = &mut self.phase else { unreachable!() };
+
+        if ctx.now < batch.wait_until {
+            // Bounded delayed termination (extension, off by default):
+            // the interval is over and chain generation is stalled
+            // well into the future behind a saturated memory system.
+            if let Some(slack) = self.termination_slack {
+                if interval_over && batch.wait_until - ctx.now > slack {
+                    self.batches_aborted += 1;
+                    return self.finish_batch(ctx, interval_over);
+                }
+            }
+            return VrStatus::Working;
+        }
+
+        // 1. Drain any pending gather sub-accesses, MSHR-limited.
+        if !batch.pending_gather.is_empty() {
+            let mut issued = 0;
+            while issued < GATHER_ISSUE_PER_CYCLE {
+                let Some(&(lane, addr)) = batch.pending_gather.first() else { break };
+                match ctx.ms.access(addr, Access::Load, Requestor::Runahead, batch.stride_pc, ctx.now)
+                {
+                    Ok(out) => {
+                        batch.gather_ready_max = batch.gather_ready_max.max(out.ready_at);
+                        if batch.issued_in_level < GATHER_ISSUE_PER_CYCLE {
+                            batch.first_copy_ready = batch.first_copy_ready.max(out.ready_at);
+                        }
+                        batch.issued_in_level += 1;
+                        batch.pending_gather.remove(0);
+                        issued += 1;
+                        let _ = lane;
+                    }
+                    Err(_) => break, // MSHRs full: retry next cycle
+                }
+            }
+            if batch.pending_gather.is_empty() {
+                // Data-ready time of the gather's destination: the
+                // slowest lane of the *first vector copy*. The VIR
+                // overlaps the 16 vector copies of each chain level
+                // ("16 AVX-512 vectors in flight simultaneously"), so
+                // later copies pipeline behind the first rather than
+                // barriering the whole chain.
+                if let Some(d) = batch.gather_dst.take() {
+                    batch.reg_ready[d] = if self.vir_pipelining {
+                        batch.first_copy_ready
+                    } else {
+                        batch.gather_ready_max
+                    };
+                }
+                batch.gather_ready_max = 0;
+                batch.first_copy_ready = 0;
+            }
+            return VrStatus::Working;
+        }
+
+        // 2. Batch boundary?
+        let lane0_pc = match batch.lanes.iter().find(|l| l.active) {
+            Some(l) => l.cpu.pc(),
+            None => {
+                // The current group died: resume a parked divergent
+                // group if any, otherwise abandon the batch.
+                if self.pop_reconvergence_group() {
+                    return VrStatus::Working;
+                }
+                return self.finish_batch(ctx, interval_over);
+            }
+        };
+        let group_terminated = lane0_pc == batch.stride_pc
+            || batch.chain_insts >= self.chain_budget
+            || ctx.prog.fetch(lane0_pc).is_none();
+        if group_terminated {
+            // The active group reached the reconvergence point (the
+            // vector-runahead termination point).
+            for lane in batch.lanes.iter_mut().filter(|l| l.active) {
+                lane.active = false;
+                lane.done = true;
+            }
+            if self.pop_reconvergence_group() {
+                return VrStatus::Working;
+            }
+            return self.finish_batch(ctx, interval_over);
+        }
+        let inst = *ctx.prog.fetch(lane0_pc).expect("checked above");
+
+        // 3. Execute one chain instruction across all active lanes.
+        let tainted = inst.srcs().any(|s| batch.taint[s.flat_index()]);
+        let is_gather_load = inst.is_load() && tainted;
+        let is_scalar_load = inst.is_load() && !tainted;
+
+        // Dataflow stall: the instruction reads a register whose
+        // (gather) data has not returned yet.
+        let operands_ready_at =
+            inst.srcs().map(|s| batch.reg_ready[s.flat_index()]).max().unwrap_or(0);
+        if operands_ready_at > ctx.now {
+            batch.wait_until = operands_ready_at;
+            return VrStatus::Working;
+        }
+
+        if is_scalar_load && !ctx.ms.mshr_free(ctx.now) {
+            return VrStatus::Working; // retry next cycle
+        }
+
+        let mut active: Vec<usize> = (0..batch.lanes.len()).filter(|&i| batch.lanes[i].active).collect();
+        let mut gather_addrs: Vec<(usize, u64)> = Vec::new();
+        let mut scalar_load_ready: Option<u64> = None;
+
+        let mut stepped: Vec<(usize, u64)> = Vec::with_capacity(active.len());
+        for &i in &active {
+            let lane = &mut batch.lanes[i];
+            let step = match lane.cpu.step_spec(ctx.prog, ctx.mem, &mut lane.overlay) {
+                Ok(s) => s,
+                Err(_) => {
+                    lane.active = false;
+                    self.lanes_invalidated += 1;
+                    continue;
+                }
+            };
+            if step.halted {
+                lane.active = false;
+                self.lanes_invalidated += 1;
+                continue;
+            }
+            if let Some(me) = step.mem {
+                if !me.is_store {
+                    if is_gather_load {
+                        gather_addrs.push((i, me.addr));
+                    } else if is_scalar_load && scalar_load_ready.is_none() {
+                        // One shared access for the whole vector.
+                        if let Ok(out) =
+                            ctx.ms.access(me.addr, Access::Load, Requestor::Runahead, step.pc, ctx.now)
+                        {
+                            scalar_load_ready = Some(out.ready_at);
+                        }
+                    }
+                }
+            }
+            stepped.push((i, lane.cpu.pc()));
+        }
+        // Divergence: follow the first live lane's control flow.
+        // Deviating lanes are invalidated (ISCA'21 baseline) or parked
+        // on the reconvergence stack (extension).
+        if let Some(&(_, pc0)) = stepped.first() {
+            let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+            for &(i, pc) in &stepped[1..] {
+                if pc == pc0 {
+                    continue;
+                }
+                if self.reconvergence {
+                    let lane = &mut batch.lanes[i];
+                    lane.active = false;
+                    lane.parked = true;
+                    match groups.iter_mut().find(|(gpc, _)| *gpc == pc) {
+                        Some((_, g)) => g.push(i),
+                        None => groups.push((pc, vec![i])),
+                    }
+                } else {
+                    batch.lanes[i].active = false;
+                    self.lanes_invalidated += 1;
+                }
+            }
+            for (_, g) in groups {
+                batch.reconv_stack.push(g);
+            }
+        }
+        batch.chain_insts += 1;
+
+        // 4. Taint propagation (shared across lanes — lockstep).
+        if let Some(d) = inst.dst() {
+            batch.taint[d.flat_index()] = tainted;
+        }
+
+        // 5. Charge the cost of this chain instruction and record the
+        // destination's data-ready time.
+        active.retain(|&i| batch.lanes[i].active);
+        let k_active = active.len().max(1);
+        let mut next_free = ctx.now + 1;
+        if tainted {
+            let vec_uops = k_active.div_ceil(8);
+            next_free = ctx.now + (vec_uops.div_ceil(self.vec_alu) as u64).max(1);
+        }
+        let dst_idx = inst.dst().map(RegRef::flat_index);
+        if is_gather_load {
+            batch.pending_gather = gather_addrs;
+            batch.gather_dst = dst_idx;
+            batch.gather_ready_max = 0;
+            batch.first_copy_ready = 0;
+            batch.issued_in_level = 0;
+            if let Some(d) = dst_idx {
+                batch.reg_ready[d] = u64::MAX; // finalized at issue drain
+            }
+            batch.wait_until = next_free;
+        } else {
+            if let Some(d) = dst_idx {
+                batch.reg_ready[d] = match scalar_load_ready {
+                    Some(r) => r,
+                    None => next_free,
+                };
+            }
+            batch.wait_until = next_free;
+        }
+        VrStatus::Working
+    }
+
+    /// Resumes the most recently parked divergent lane group, if any
+    /// (reconvergence-stack extension). Returns whether a group was
+    /// resumed.
+    fn pop_reconvergence_group(&mut self) -> bool {
+        let Phase::Batch(batch) = &mut self.phase else { return false };
+        let Some(group) = batch.reconv_stack.pop() else { return false };
+        for i in group {
+            let lane = &mut batch.lanes[i];
+            if lane.parked {
+                lane.parked = false;
+                lane.active = true;
+                self.lanes_reconverged += 1;
+            }
+        }
+        true
+    }
+
+    fn finish_batch(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
+        let Phase::Batch(batch) = &mut self.phase else { unreachable!() };
+        // Continue scanning from the most advanced surviving lane (it
+        // sits at the striding load of a further future iteration), so
+        // the next batch covers the iterations after this one.
+        let next_cursor = if batch.last_batch {
+            None // discovery saw the loop end: nothing left to vectorize
+        } else {
+            batch
+                .lanes
+                .iter()
+                .rev()
+                .find(|l| l.active || l.done)
+                .map(|l| (l.cpu.clone(), l.overlay.clone()))
+        };
+        let _ = ctx;
+        match next_cursor {
+            Some((cpu, overlay)) => {
+                self.phase = Phase::Scan(Box::new(Scan {
+                    cursor: cpu,
+                    overlay,
+                    remaining: self.width * 4,
+                    dead: false,
+                }));
+            }
+            None => {
+                // No survivors: go idle for the rest of the interval.
+                self.phase = Phase::Scan(Box::new(Scan {
+                    cursor: Cpu::new(),
+                    overlay: StoreOverlay::new(),
+                    remaining: 0,
+                    dead: true,
+                }));
+            }
+        }
+        if interval_over {
+            VrStatus::Finished
+        } else {
+            VrStatus::Working
+        }
+    }
+
+    /// Whether the engine is mid-batch (used to account delayed
+    /// termination).
+    pub fn in_batch(&self) -> bool {
+        matches!(self.phase, Phase::Batch(_))
+    }
+
+    /// Seeds the first batch's base address for `stride_pc` from the
+    /// stride detector's most recent observation — used by the eager
+    /// (decoupled) trigger extension, where the committed register
+    /// state lags the triggering load by a full ROB.
+    pub fn seed_base(&mut self, stride_pc: u64, last_addr: u64) {
+        self.next_base = Some((stride_pc, last_addr));
+    }
+}
+
+/// Itemized storage cost of the Vector Runahead hardware additions, in
+/// bits, following the paper family's "Hardware Overhead" accounting.
+/// `lanes` is the vectorization degree K (mask widths scale with it).
+pub fn hardware_overhead_bits(lanes: usize) -> Vec<(&'static str, u64)> {
+    let lanes = lanes as u64;
+    vec![
+        // 32-entry stride detector: 48b PC + 48b addr + 16b stride +
+        // 2b confidence + 1b innermost per entry.
+        ("stride detector (32 entries)", 32 * (48 + 48 + 16 + 2 + 1)),
+        // Vector register allocation table: 16 architectural entries ×
+        // 16 physical register ids × 9 bits.
+        ("vector register allocation table", 16 * 16 * 9),
+        // Vector issue register: K-bit mask + issued/executed bits per
+        // vector uop (K/8) + 64b uop/imm + 9b dst + 2×10b src per uop.
+        ("vector issue register", lanes + 2 * (lanes / 8) + 64 + (9 + 20) * 16),
+        // Front-end buffer: 8 decoded micro-ops × 64 bits.
+        ("front-end micro-op buffer", 8 * 64),
+        // Taint tracker: one bit per architectural integer register.
+        ("taint tracker", 16),
+        // Final-load register (48-bit PC).
+        ("final-load register", 48),
+    ]
+}
+
+/// Total overhead in bytes (rounded up).
+pub fn hardware_overhead_bytes(lanes: usize) -> u64 {
+    let bits: u64 = hardware_overhead_bits(lanes).iter().map(|(_, b)| *b).sum();
+    bits.div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_isa::{Asm, Memory, Program};
+    use vr_mem::{MemConfig, MemorySystem};
+
+    /// Builds `for i { t = A[i]; u = B[t*8]; }` and a warm stride
+    /// detector for A's load PC.
+    fn indirect_setup() -> (Program, Memory, MemorySystem, Cpu, u64) {
+        let mut a = Asm::new();
+        // x10=&A, x11=&B, x5=i(bytes), x6=end
+        let loop_top = a.here();
+        a.add(Reg::T2, Reg::A0, Reg::T0); // 0: &A[i]
+        let stride_pc = a.pos();
+        a.ld(Reg::T3, Reg::T2, 0); // 1: t = A[i]      ← striding load
+        a.slli(Reg::T4, Reg::T3, 3); // 2
+        a.add(Reg::T4, Reg::T4, Reg::A1); // 3
+        a.ld(Reg::T5, Reg::T4, 0); // 4: u = B[t]      ← dependent load
+        a.addi(Reg::T0, Reg::T0, 8); // 5
+        a.blt(Reg::T0, Reg::T1, loop_top); // 6
+        a.halt();
+        let prog = a.assemble();
+
+        let mut mem = Memory::new();
+        for i in 0..256u64 {
+            mem.write_u64(0x10000 + i * 8, (i * 37) % 256); // A
+        }
+        let mut ms = MemorySystem::new(MemConfig::table1());
+        // Warm the stride detector on A's PC.
+        for i in 0..4u64 {
+            let _ = ms.stride_detector();
+            // train via train_prefetchers (stride detector trains even
+            // with the prefetcher disabled in this config).
+            ms.train_prefetchers(stride_pc as u64, 0x10000 + i * 8, 0, i, |_| 0);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x10000);
+        cpu.set_x(Reg::A1, 0x20000);
+        cpu.set_x(Reg::T0, 4 * 8); // i = 4 (stride detector trained up to 3)
+        cpu.set_x(Reg::T1, 256 * 8);
+        (prog, mem, ms, cpu, stride_pc as u64)
+    }
+
+    fn run_engine(
+        vr: &mut VectorRunahead,
+        prog: &Program,
+        mem: &Memory,
+        ms: &mut MemorySystem,
+        cycles: u64,
+    ) -> u64 {
+        let mut now = 0;
+        while now < cycles {
+            let mut ctx = RaCtx { prog, mem, ms, now };
+            vr.step_cycle(&mut ctx, false);
+            now += 1;
+        }
+        now
+    }
+
+    #[test]
+    fn vectorizes_both_levels_of_an_indirect_chain() {
+        let (prog, mem, mut ms, cpu, _) = indirect_setup();
+        let cfg = RunaheadConfig { vr_lanes: 16, ..RunaheadConfig::vector() };
+        let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
+        run_engine(&mut vr, &prog, &mem, &mut ms, 2000);
+
+        assert!(vr.found_stride, "must find the striding load");
+        assert!(vr.batches >= 1);
+        assert_eq!(vr.lanes_spawned % 16, 0);
+        // The dependent level B[A[i]] must have been prefetched: check
+        // a future B address is resident or fetched. With i=4 and 16
+        // lanes, lanes cover A[5..21] ⇒ B[(i·37)%256] for those i.
+        let covered = (5..21u64)
+            .filter(|i| {
+                let b_addr = 0x20000 + ((i * 37) % 256) * 8;
+                ms.in_l1(b_addr)
+            })
+            .count();
+        assert!(covered >= 12, "only {covered}/16 dependent lines prefetched");
+    }
+
+    #[test]
+    fn no_confident_stride_means_no_batches() {
+        let (prog, mem, _, cpu, _) = indirect_setup();
+        // Fresh memory system: detector untrained.
+        let mut ms = MemorySystem::new(MemConfig::table1());
+        let mut vr = VectorRunahead::new(cpu, &RunaheadConfig::vector(), 5, 3);
+        run_engine(&mut vr, &prog, &mem, &mut ms, 300);
+        assert!(!vr.found_stride);
+        assert_eq!(vr.batches, 0);
+        // And once the interval is over, it reports Finished.
+        let mut ctx = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: 301 };
+        assert_eq!(vr.step_cycle(&mut ctx, true), VrStatus::Finished);
+    }
+
+    #[test]
+    fn delayed_termination_finishes_the_batch_first() {
+        let (prog, mem, mut ms, cpu, _) = indirect_setup();
+        let cfg = RunaheadConfig { vr_lanes: 16, ..RunaheadConfig::vector() };
+        let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
+        // Run until the engine is mid-batch.
+        let mut now = 0;
+        while !vr.in_batch() && now < 100 {
+            let mut ctx = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now };
+            vr.step_cycle(&mut ctx, false);
+            now += 1;
+        }
+        assert!(vr.in_batch());
+        // Now the interval ends; the engine must keep Working until
+        // the batch boundary, then report Finished.
+        let mut finished_at = None;
+        for t in now..now + 5000 {
+            let mut ctx = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now: t };
+            if vr.step_cycle(&mut ctx, true) == VrStatus::Finished {
+                finished_at = Some(t);
+                break;
+            }
+        }
+        let f = finished_at.expect("delayed termination must eventually finish");
+        assert!(f > now, "must spend at least one cycle completing the chain");
+    }
+
+    #[test]
+    fn multiple_batches_march_down_the_array() {
+        let (prog, mem, mut ms, cpu, _) = indirect_setup();
+        let cfg = RunaheadConfig { vr_lanes: 8, ..RunaheadConfig::vector() };
+        let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
+        run_engine(&mut vr, &prog, &mem, &mut ms, 6000);
+        assert!(vr.batches >= 2, "expected several batches, got {}", vr.batches);
+    }
+
+    #[test]
+    fn loop_bound_discovery_caps_lanes() {
+        let (prog, mem, mut ms, mut cpu, _) = indirect_setup();
+        // Only 6 iterations remain.
+        cpu.set_x(Reg::T0, (256 - 6) * 8);
+        let cfg = RunaheadConfig {
+            vr_lanes: 64,
+            loop_bound_discovery: true,
+            ..RunaheadConfig::vector()
+        };
+        let mut vr = VectorRunahead::new(cpu.clone(), &cfg, 5, 3);
+        run_engine(&mut vr, &prog, &mem, &mut ms, 1500);
+        assert!(vr.found_stride);
+        assert!(
+            vr.lanes_spawned <= 8,
+            "discovery should cap lanes near the 6 remaining iterations, got {}",
+            vr.lanes_spawned
+        );
+
+        // Without discovery, the full 64 lanes are spawned (overfetch).
+        let mut ms2 = MemorySystem::new(MemConfig::table1());
+        for i in 0..4u64 {
+            ms2.train_prefetchers(1, 0x10000 + i * 8, 0, i, |_| 0);
+        }
+        let cfg2 = RunaheadConfig { vr_lanes: 64, ..RunaheadConfig::vector() };
+        let mut vr2 = VectorRunahead::new(cpu, &cfg2, 5, 3);
+        run_engine(&mut vr2, &prog, &mem, &mut ms2, 1500);
+        assert!(vr2.lanes_spawned >= 64);
+    }
+
+    #[test]
+    fn divergent_lanes_are_invalidated() {
+        // Loop where lanes branch on the loaded value's parity and the
+        // values alternate: half the lanes must die.
+        let mut a = Asm::new();
+        let loop_top = a.here();
+        a.add(Reg::T2, Reg::A0, Reg::T0); // 0
+        a.ld(Reg::T3, Reg::T2, 0); // 1 ← striding load
+        a.andi(Reg::T4, Reg::T3, 1); // 2
+        let skip = a.label();
+        a.beq(Reg::T4, Reg::ZERO, skip); // 3: diverges by parity
+        a.slli(Reg::T5, Reg::T3, 3); // 4
+        a.add(Reg::T5, Reg::T5, Reg::A1); // 5
+        a.ld(Reg::T6, Reg::T5, 0); // 6
+        a.bind(skip);
+        a.addi(Reg::T0, Reg::T0, 8); // 7
+        a.blt(Reg::T0, Reg::T1, loop_top); // 8
+        a.halt();
+        let prog = a.assemble();
+
+        let mut mem = Memory::new();
+        for i in 0..128u64 {
+            mem.write_u64(0x10000 + i * 8, i); // alternating parity
+        }
+        let mut ms = MemorySystem::new(MemConfig::table1());
+        for i in 0..4u64 {
+            ms.train_prefetchers(1, 0x10000 + i * 8, 0, i, |_| 0);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x10000);
+        cpu.set_x(Reg::A1, 0x20000);
+        cpu.set_x(Reg::T0, 32);
+        cpu.set_x(Reg::T1, 128 * 8);
+
+        let cfg = RunaheadConfig { vr_lanes: 16, ..RunaheadConfig::vector() };
+        let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
+        run_engine(&mut vr, &prog, &mem, &mut ms, 3000);
+        assert!(vr.found_stride);
+        assert!(
+            vr.lanes_invalidated >= 7,
+            "alternating parity must kill ≈half the lanes per batch, got {}",
+            vr.lanes_invalidated
+        );
+    }
+
+    #[test]
+    fn reconvergence_extension_executes_divergent_paths() {
+        // Same alternating-parity divergence as above, but with the
+        // reconvergence stack: the odd lanes' if-body loads must also
+        // be prefetched instead of the lanes dying.
+        let mut a = Asm::new();
+        let loop_top = a.here();
+        a.add(Reg::T2, Reg::A0, Reg::T0); // 0
+        a.ld(Reg::T3, Reg::T2, 0); // 1 ← striding load
+        a.andi(Reg::T4, Reg::T3, 1); // 2
+        let skip = a.label();
+        a.beq(Reg::T4, Reg::ZERO, skip); // 3: diverges by parity
+        a.slli(Reg::T5, Reg::T3, 3); // 4
+        a.add(Reg::T5, Reg::T5, Reg::A1); // 5
+        a.ld(Reg::T6, Reg::T5, 0); // 6: only odd lanes reach this
+        a.bind(skip);
+        a.addi(Reg::T0, Reg::T0, 8); // 7
+        a.blt(Reg::T0, Reg::T1, loop_top); // 8
+        a.halt();
+        let prog = a.assemble();
+
+        let mut mem = Memory::new();
+        for i in 0..128u64 {
+            mem.write_u64(0x10000 + i * 8, i);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_x(Reg::A0, 0x10000);
+        cpu.set_x(Reg::A1, 0x20000);
+        // Base A[3]: lane 0 loads A[4] = 4 (even) and takes the skip
+        // path, so the if-body load sits entirely on the *divergent*
+        // (odd) lanes — only reconvergence can prefetch it.
+        cpu.set_x(Reg::T0, 24);
+        cpu.set_x(Reg::T1, 128 * 8);
+
+        let run = |reconverge: bool| {
+            let mut ms = MemorySystem::new(MemConfig::table1());
+            for i in 0..4u64 {
+                ms.train_prefetchers(1, 0x10000 + i * 8, 0, i, |_| 0);
+            }
+            let cfg = RunaheadConfig {
+                vr_lanes: 16,
+                reconvergence: reconverge,
+                ..RunaheadConfig::vector()
+            };
+            let mut vr = VectorRunahead::new(cpu.clone(), &cfg, 5, 3);
+            let mut now = 0;
+            while now < 3000 {
+                let mut ctx = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now };
+                vr.step_cycle(&mut ctx, false);
+                now += 1;
+            }
+            // Count prefetched if-body targets B[v] for odd v in the
+            // first batch's lane range (A indices 4..20 ⇒ values 4..20).
+            let covered = (4..20u64)
+                .filter(|v| v % 2 == 1 && ms.in_l1(0x20000 + v * 8))
+                .count();
+            (vr, covered)
+        };
+
+        let (vr_off, covered_off) = run(false);
+        assert!(vr_off.lanes_invalidated > 0);
+        assert_eq!(vr_off.lanes_reconverged, 0);
+
+        let (vr_on, covered_on) = run(true);
+        assert!(vr_on.lanes_reconverged > 0, "divergent lanes must be parked and resumed");
+        assert!(
+            covered_on > covered_off,
+            "reconvergence must prefetch divergent-path loads: {covered_on} vs {covered_off}"
+        );
+        assert!(
+            vr_on.lanes_invalidated < vr_off.lanes_invalidated,
+            "parking replaces invalidation"
+        );
+    }
+
+    #[test]
+    fn overhead_accounting_is_about_a_kilobyte() {
+        let bytes = hardware_overhead_bytes(128);
+        assert!(
+            (500..2000).contains(&bytes),
+            "VR hardware overhead should be ≈1 KB, got {bytes}"
+        );
+        let items = hardware_overhead_bits(128);
+        assert!(items.iter().any(|(n, _)| n.contains("stride detector")));
+        assert_eq!(items.iter().find(|(n, _)| n.contains("stride")).unwrap().1, 32 * 115);
+    }
+}

@@ -1,0 +1,189 @@
+//! Feature-level tests of the runahead engines through the full
+//! simulator: extensions, delayed termination, flush behaviour.
+
+use vr_core::{CoreConfig, RunaheadConfig, RunaheadKind, Simulator};
+use vr_isa::{Asm, Memory, Program, Reg};
+use vr_mem::MemConfig;
+
+/// `acc += T[mix(A[i])]` over DRAM-resident tables (the canonical VR
+/// workload shape).
+fn indirect_kernel_depth(len: u64, iters: i64, depth: usize) -> (Program, Memory) {
+    let a_base = 0x100_0000u64;
+    let _t_base = 0x4000_0000u64; // tables base; passed via A1 in run()
+    let mut mem = Memory::new();
+    let mut x = 99u64;
+    for i in 0..len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mem.write_u64(a_base + i * 8, x % len);
+    }
+    let mut a = Asm::new();
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters);
+    a.li(Reg::S2, 0);
+    let top = a.here();
+    a.slli(Reg::T2, Reg::T0, 3);
+    a.add(Reg::T2, Reg::T2, Reg::A0);
+    a.ld(Reg::T3, Reg::T2, 0);
+    for _ in 0..depth {
+        a.srli(Reg::T4, Reg::T3, 9);
+        a.xor(Reg::T3, Reg::T3, Reg::T4);
+        a.andi(Reg::T3, Reg::T3, (len - 1) as i64);
+        a.slli(Reg::T3, Reg::T3, 3);
+        a.add(Reg::T3, Reg::T3, Reg::A1);
+        a.ld(Reg::T3, Reg::T3, 0);
+    }
+    a.add(Reg::S2, Reg::S2, Reg::T3);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    (a.assemble(), mem)
+}
+
+fn indirect_kernel(len: u64, iters: i64) -> (Program, Memory) {
+    indirect_kernel_depth(len, iters, 1)
+}
+
+fn run(prog: &Program, mem: &Memory, ra: RunaheadConfig, insts: u64) -> vr_core::SimStats {
+    let mut sim = Simulator::new(
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        ra,
+        prog.clone(),
+        mem.clone(),
+        &[(Reg::A0, 0x100_0000), (Reg::A1, 0x4000_0000)],
+    );
+    sim.run(insts)
+}
+
+#[test]
+fn eager_trigger_extension_enters_more_often() {
+    let (prog, mem) = indirect_kernel(1 << 21, 100_000);
+    let plain = run(&prog, &mem, RunaheadConfig::vector(), 250_000);
+    let eager = run(
+        &prog,
+        &mem,
+        RunaheadConfig { eager_trigger: true, ..RunaheadConfig::vector() },
+        250_000,
+    );
+    assert!(eager.runahead_entries > 0);
+    assert!(
+        eager.runahead_entries + eager.vr_batches >= plain.runahead_entries,
+        "eager mode should at least match trigger opportunities: {} vs {}",
+        eager.runahead_entries,
+        plain.runahead_entries
+    );
+    // Decoupled episodes never charge delayed-termination commit stall.
+    assert!(eager.instructions >= 250_000);
+}
+
+#[test]
+fn delayed_termination_is_accounted() {
+    let (prog, mem) = indirect_kernel(1 << 21, 100_000);
+    let vr = run(&prog, &mem, RunaheadConfig::vector(), 250_000);
+    assert!(vr.vr_batches > 0);
+    assert!(
+        vr.delayed_termination_stall_cycles > 0,
+        "finishing chains past the interval must be visible in stats"
+    );
+    assert!(vr.delayed_termination_stall_cycles < vr.cycles);
+}
+
+#[test]
+fn bounded_termination_extension_caps_the_stall() {
+    // Two dependent levels: generating level 2 requires waiting for
+    // level-1 gather data, which is where the cap can fire.
+    let (prog, mem) = indirect_kernel_depth(1 << 21, 100_000, 2);
+    let unbounded = run(&prog, &mem, RunaheadConfig::vector(), 250_000);
+    let bounded = run(
+        &prog,
+        &mem,
+        RunaheadConfig { termination_slack: Some(0), ..RunaheadConfig::vector() },
+        250_000,
+    );
+    assert!(
+        bounded.delayed_termination_stall_cycles <= unbounded.delayed_termination_stall_cycles,
+        "slack must not increase the delayed-termination stall"
+    );
+    assert!(bounded.vr_batches_aborted > 0, "the cap must actually fire on this workload");
+    assert_eq!(unbounded.vr_batches_aborted, 0, "faithful VR never aborts");
+}
+
+#[test]
+fn classic_runahead_pays_a_flush_pre_does_not() {
+    let (prog, mem) = indirect_kernel(1 << 21, 100_000);
+    let classic = run(&prog, &mem, RunaheadConfig::of(RunaheadKind::Classic), 250_000);
+    let pre = run(&prog, &mem, RunaheadConfig::of(RunaheadKind::Precise), 250_000);
+    assert!(classic.runahead_entries > 0);
+    assert!(pre.runahead_entries > 0);
+    // Identical engines except for the exit flush ⇒ PRE at least as
+    // fast.
+    assert!(
+        pre.ipc() >= classic.ipc() * 0.98,
+        "PRE (no flush) must not lose to classic: {:.3} vs {:.3}",
+        pre.ipc(),
+        classic.ipc()
+    );
+}
+
+#[test]
+fn vr_stats_are_internally_consistent() {
+    let (prog, mem) = indirect_kernel(1 << 21, 60_000);
+    let vr = run(&prog, &mem, RunaheadConfig::vector(), 150_000);
+    assert!(vr.vr_lanes_spawned >= vr.vr_batches, "each batch spawns at least one lane");
+    assert!(vr.vr_lanes_invalidated <= vr.vr_lanes_spawned);
+    assert!(vr.runahead_cycles <= vr.cycles);
+    assert!(vr.runahead_entries <= vr.vr_batches + vr.vr_no_stride_intervals + 1);
+    // Every runahead DRAM read is an issued prefetch; L2/L3-hit
+    // prefetches add to issued without reading DRAM.
+    assert!(vr.mem.pf_issued[1] >= vr.mem.dram_reads_by(vr_mem::Requestor::Runahead));
+    // And usage can never exceed issuance.
+    assert!(vr.mem.pf_used[1] <= vr.mem.pf_issued[1]);
+}
+
+#[test]
+fn vector_lane_sweep_is_monotone_in_coverage_on_long_streams() {
+    let (prog, mem) = indirect_kernel(1 << 21, 100_000);
+    let mut prev_used = 0;
+    for lanes in [16, 64] {
+        let s = run(
+            &prog,
+            &mem,
+            RunaheadConfig { vr_lanes: lanes, ..RunaheadConfig::vector() },
+            200_000,
+        );
+        let used = s.mem.pf_used[1];
+        assert!(
+            used + 200 >= prev_used,
+            "more lanes should not collapse useful prefetches: {used} after {prev_used}"
+        );
+        prev_used = used;
+    }
+}
+
+#[test]
+fn runahead_smoke_on_non_loop_code() {
+    // Straight-line code with a couple of cold loads: runahead paths
+    // must handle programs without any loop or striding load.
+    let mut a = Asm::new();
+    a.li(Reg::A0, 0x100_0000);
+    for i in 0..40 {
+        a.ld(Reg::T3, Reg::A0, i * 8);
+        a.add(Reg::S2, Reg::S2, Reg::T3);
+    }
+    a.halt();
+    let prog = a.assemble();
+    for kind in [RunaheadKind::Classic, RunaheadKind::Precise, RunaheadKind::Vector] {
+        let mut sim = Simulator::new(
+            CoreConfig::table1(),
+            MemConfig::table1(),
+            RunaheadConfig::of(kind),
+            prog.clone(),
+            Memory::new(),
+            &[],
+        );
+        let s = sim.run(u64::MAX);
+        assert_eq!(s.instructions, 82, "{kind:?}");
+    }
+}

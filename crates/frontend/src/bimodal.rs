@@ -1,0 +1,96 @@
+//! Bimodal (per-PC 2-bit counter) direction predictor.
+
+use crate::DirectionPredictor;
+
+/// Classic bimodal predictor: a table of 2-bit saturating counters
+/// indexed by the low PC bits.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        Bimodal { counters: vec![2; entries], mask: (entries as u64) - 1 }
+    }
+
+    fn slot(&mut self, pc: u64) -> &mut u8 {
+        let idx = (pc & self.mask) as usize;
+        &mut self.counters[idx]
+    }
+}
+
+impl Default for Bimodal {
+    /// A 4096-entry (1 KiB) bimodal predictor.
+    fn default() -> Bimodal {
+        Bimodal::new(4096)
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        let ctr = self.slot(pc);
+        let pred = *ctr >= 2;
+        *ctr = saturate(*ctr, taken);
+        pred
+    }
+}
+
+pub(crate) fn saturate(ctr: u8, up: bool) -> u8 {
+    if up {
+        (ctr + 1).min(3)
+    } else {
+        ctr.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..4 {
+            p.predict_and_train(8, true);
+        }
+        assert!(p.predict_and_train(8, true));
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..4 {
+            p.predict_and_train(8, true);
+        }
+        // One not-taken outcome must not flip the prediction...
+        p.predict_and_train(8, false);
+        assert!(p.predict_and_train(8, false));
+        // ...but the second should.
+        assert!(!p.predict_and_train(8, false));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_alias_within_table_size() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..4 {
+            p.predict_and_train(1, true);
+            p.predict_and_train(2, false);
+        }
+        assert!(p.predict_and_train(1, true));
+        assert!(!p.predict_and_train(2, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Bimodal::new(100);
+    }
+}

@@ -1,0 +1,128 @@
+//! Branch target buffer.
+
+/// One BTB entry: a predicted target for a control-flow instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Tag (upper PC bits).
+    pub tag: u64,
+    /// Predicted target PC.
+    pub target: u64,
+    /// Whether the entry holds a return (pops the RAS instead).
+    pub is_return: bool,
+}
+
+/// Set-associative branch target buffer with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    ways: usize,
+    set_mask: u64,
+    set_shift: u32,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets (power of two) and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways == 0`.
+    pub fn new(sets: usize, ways: usize) -> Btb {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        Btb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        (pc & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, pc: u64) -> u64 {
+        pc >> self.set_shift
+    }
+
+    /// Looks up the predicted target for `pc`, refreshing LRU on hit.
+    pub fn lookup(&mut self, pc: u64) -> Option<BtbEntry> {
+        let tag = self.tag_of(pc);
+        let set_idx = self.set_of(pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.tag == tag) {
+            let e = set.remove(pos);
+            set.insert(0, e); // MRU at front
+            return Some(set[0]);
+        }
+        None
+    }
+
+    /// Installs or updates the entry for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64, is_return: bool) {
+        let tag = self.tag_of(pc);
+        let set_idx = self.set_of(pc);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.tag == tag) {
+            set.remove(pos);
+        } else if set.len() == ways {
+            set.pop(); // evict LRU
+        }
+        set.insert(0, BtbEntry { tag, target, is_return });
+    }
+}
+
+impl Default for Btb {
+    /// A 1024-set, 4-way (4K-entry) BTB.
+    fn default() -> Btb {
+        Btb::new(1024, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut b = Btb::new(16, 2);
+        assert_eq!(b.lookup(0x40), None);
+        b.update(0x40, 0x99, false);
+        let e = b.lookup(0x40).unwrap();
+        assert_eq!(e.target, 0x99);
+        assert!(!e.is_return);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut b = Btb::new(16, 2);
+        // Three PCs mapping to set 0: 0, 16, 32.
+        b.update(0, 1, false);
+        b.update(16, 2, false);
+        b.lookup(0); // make 0 MRU
+        b.update(32, 3, false); // evicts 16
+        assert!(b.lookup(0).is_some());
+        assert!(b.lookup(16).is_none());
+        assert!(b.lookup(32).is_some());
+    }
+
+    #[test]
+    fn update_overwrites_existing_target() {
+        let mut b = Btb::default();
+        b.update(7, 100, false);
+        b.update(7, 200, true);
+        let e = b.lookup(7).unwrap();
+        assert_eq!(e.target, 200);
+        assert!(e.is_return);
+    }
+
+    #[test]
+    fn no_tag_aliasing_between_sets() {
+        let mut b = Btb::new(16, 1);
+        b.update(1, 11, false);
+        b.update(2, 22, false);
+        assert_eq!(b.lookup(1).unwrap().target, 11);
+        assert_eq!(b.lookup(2).unwrap().target, 22);
+    }
+}

@@ -1,0 +1,92 @@
+//! Return address stack.
+
+/// A fixed-depth return-address stack with wrap-around overwrite (the
+/// usual hardware behaviour: pushing onto a full stack silently
+/// clobbers the oldest entry).
+#[derive(Clone, Debug)]
+pub struct Ras {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+    size: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `size` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Ras {
+        assert!(size > 0, "RAS needs at least one entry");
+        Ras { entries: vec![0; size], top: 0, depth: 0, size }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.size;
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.size);
+    }
+
+    /// Pops the predicted return address (on a return). Returns `None`
+    /// if the stack has underflowed.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let v = self.entries[self.top];
+        self.top = (self.top + self.size - 1) % self.size;
+        self.depth -= 1;
+        Some(v)
+    }
+
+    /// Number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Default for Ras {
+    /// A 16-entry RAS.
+    fn default() -> Ras {
+        Ras::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(4);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_clobbers_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // clobbers 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn underflow_returns_none_and_recovers() {
+        let mut r = Ras::new(2);
+        assert_eq!(r.pop(), None);
+        r.push(9);
+        assert_eq!(r.pop(), Some(9));
+    }
+}

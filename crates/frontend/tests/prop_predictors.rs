@@ -1,0 +1,59 @@
+//! Property-based tests for the branch predictors.
+
+use proptest::prelude::*;
+use vr_frontend::{Bimodal, DirectionPredictor, Gshare, Tage};
+
+fn arb_trace() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..256, any::<bool>()), 1..2000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Predictors are deterministic state machines: identical traces
+    /// produce identical prediction sequences.
+    #[test]
+    fn tage_is_deterministic(trace in arb_trace()) {
+        let run = |mut p: Tage| -> Vec<bool> {
+            trace.iter().map(|&(pc, t)| p.predict_and_train(pc, t)).collect()
+        };
+        prop_assert_eq!(run(Tage::default_8kb()), run(Tage::default_8kb()));
+    }
+
+    /// A cloned predictor mid-stream continues identically to the
+    /// original (no hidden external state).
+    #[test]
+    fn tage_clone_equivalence(trace in arb_trace(), split in 0usize..500) {
+        let split = split.min(trace.len());
+        let mut p = Tage::default_8kb();
+        for &(pc, t) in &trace[..split] {
+            p.predict_and_train(pc, t);
+        }
+        let mut q = p.clone();
+        for &(pc, t) in &trace[split..] {
+            prop_assert_eq!(p.predict_and_train(pc, t), q.predict_and_train(pc, t));
+        }
+    }
+
+    /// On a perfectly-biased branch every predictor converges to
+    /// near-perfect accuracy.
+    #[test]
+    fn all_predictors_learn_constant_branches(pc in 0u64..4096, taken in any::<bool>()) {
+        fn late_accuracy(p: &mut dyn DirectionPredictor, pc: u64, taken: bool) -> f64 {
+            let mut correct = 0;
+            for i in 0..200 {
+                let pred = p.predict_and_train(pc, taken);
+                if i >= 100 && pred == taken {
+                    correct += 1;
+                }
+            }
+            correct as f64 / 100.0
+        }
+        let mut bim = Bimodal::default();
+        let mut gsh = Gshare::default();
+        let mut tage = Tage::default_8kb();
+        prop_assert!(late_accuracy(&mut bim, pc, taken) == 1.0);
+        prop_assert!(late_accuracy(&mut gsh, pc, taken) == 1.0);
+        prop_assert!(late_accuracy(&mut tage, pc, taken) >= 0.99);
+    }
+}

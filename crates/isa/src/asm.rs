@@ -1,0 +1,408 @@
+//! Label-resolving program builder.
+
+use crate::inst::{Inst, Op, Width};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+
+/// A forward- or backward-referenceable code location.
+///
+/// Created by [`Asm::label`] (unbound) or [`Asm::here`] (bound at the
+/// current position); bound later with [`Asm::bind`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Builder for [`Program`]s: emits instructions with method-per-op
+/// helpers and resolves [`Label`] branch targets at
+/// [`Asm::assemble`] time.
+///
+/// ```
+/// use vr_isa::{Asm, Reg};
+/// let mut a = Asm::new();
+/// let skip = a.label();
+/// a.beq(Reg::A0, Reg::ZERO, skip);
+/// a.addi(Reg::A1, Reg::A1, 1);
+/// a.bind(skip);
+/// a.halt();
+/// let prog = a.assemble();
+/// assert_eq!(prog.len(), 3);
+/// ```
+#[derive(Default, Debug)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current position (index of the next emitted instruction).
+    pub fn pos(&self) -> u64 {
+        self.insts.len() as u64
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let pos = self.pos();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(pos);
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn assemble(mut self) -> Program {
+        for (pos, label) in &self.fixups {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+            self.insts[*pos].imm = target as i64;
+        }
+        Program::new(self.insts)
+    }
+
+    fn emit(&mut self, op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) {
+        self.insts.push(Inst { op, rd, rs1, rs2, imm });
+    }
+
+    fn emit_to(&mut self, op: Op, rd: u8, rs1: u8, rs2: u8, target: Label) {
+        self.fixups.push((self.insts.len(), target));
+        self.emit(op, rd, rs1, rs2, 0);
+    }
+
+    // ---- misc ----
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Op::Nop, 0, 0, 0, 0);
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) {
+        self.emit(Op::Halt, 0, 0, 0, 0);
+    }
+
+    // ---- integer register-register ----
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Add, rd, rs1, rs2);
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Sub, rd, rs1, rs2);
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Mul, rd, rs1, rs2);
+    }
+    /// `rd = rs1 / rs2` (unsigned)
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Divu, rd, rs1, rs2);
+    }
+    /// `rd = rs1 % rs2` (unsigned)
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Remu, rd, rs1, rs2);
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::And, rd, rs1, rs2);
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Or, rd, rs1, rs2);
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Xor, rd, rs1, rs2);
+    }
+    /// `rd = rs1 << (rs2 & 63)`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Sll, rd, rs1, rs2);
+    }
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Srl, rd, rs1, rs2);
+    }
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Sra, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Slt, rd, rs1, rs2);
+    }
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Sltu, rd, rs1, rs2);
+    }
+    /// `rd = min(rs1, rs2)` (signed)
+    pub fn min(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Min, rd, rs1, rs2);
+    }
+    /// `rd = min(rs1, rs2)` (unsigned)
+    pub fn minu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.rrr(Op::Minu, rd, rs1, rs2);
+    }
+
+    fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(op, rd.index() as u8, rs1.index() as u8, rs2.index() as u8, 0);
+    }
+
+    // ---- integer register-immediate ----
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Addi, rd, rs1, imm);
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Andi, rd, rs1, imm);
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Ori, rd, rs1, imm);
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Xori, rd, rs1, imm);
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Slli, rd, rs1, imm);
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Srli, rd, rs1, imm);
+    }
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Srai, rd, rs1, imm);
+    }
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Slti, rd, rs1, imm);
+    }
+    /// `rd = (rs1 <u imm) ? 1 : 0`
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.rri(Op::Sltiu, rd, rs1, imm);
+    }
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Op::Li, rd.index() as u8, 0, 0, imm);
+    }
+    /// `rd = rs1` (register move; emitted as `addi rd, rs1, 0`)
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) {
+        self.addi(rd, rs1, 0);
+    }
+
+    fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(op, rd.index() as u8, rs1.index() as u8, 0, imm);
+    }
+
+    // ---- memory ----
+
+    /// 8-byte load: `rd = mem[rs1 + off]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.rri(Op::Ld(Width::D), rd, base, off);
+    }
+    /// 4-byte zero-extending load.
+    pub fn ldw(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.rri(Op::Ld(Width::W), rd, base, off);
+    }
+    /// 2-byte zero-extending load.
+    pub fn ldh(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.rri(Op::Ld(Width::H), rd, base, off);
+    }
+    /// 1-byte zero-extending load.
+    pub fn ldb(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.rri(Op::Ld(Width::B), rd, base, off);
+    }
+    /// 8-byte store: `mem[base + off] = src`
+    pub fn st(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Op::St(Width::D), 0, base.index() as u8, src.index() as u8, off);
+    }
+    /// 4-byte store.
+    pub fn stw(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Op::St(Width::W), 0, base.index() as u8, src.index() as u8, off);
+    }
+    /// 2-byte store.
+    pub fn sth(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Op::St(Width::H), 0, base.index() as u8, src.index() as u8, off);
+    }
+    /// 1-byte store.
+    pub fn stb(&mut self, src: Reg, base: Reg, off: i64) {
+        self.emit(Op::St(Width::B), 0, base.index() as u8, src.index() as u8, off);
+    }
+    /// Floating-point 8-byte load: `fd = mem[base + off]`
+    pub fn fld(&mut self, fd: FReg, base: Reg, off: i64) {
+        self.emit(Op::Fld, fd.index() as u8, base.index() as u8, 0, off);
+    }
+    /// Floating-point 8-byte store: `mem[base + off] = fsrc`
+    pub fn fst(&mut self, fsrc: FReg, base: Reg, off: i64) {
+        self.emit(Op::Fst, 0, base.index() as u8, fsrc.index() as u8, off);
+    }
+
+    // ---- floating point ----
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.fff(Op::Fadd, fd, fs1, fs2);
+    }
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.fff(Op::Fsub, fd, fs1, fs2);
+    }
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.fff(Op::Fmul, fd, fs1, fs2);
+    }
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.fff(Op::Fdiv, fd, fs1, fs2);
+    }
+    /// `fd = (f64) rs1` (unsigned)
+    pub fn fcvt(&mut self, fd: FReg, rs1: Reg) {
+        self.emit(Op::Fcvt, fd.index() as u8, rs1.index() as u8, 0, 0);
+    }
+    /// `rd = (u64) fs1` (truncating)
+    pub fn fcvti(&mut self, rd: Reg, fs1: FReg) {
+        self.emit(Op::Fcvti, rd.index() as u8, fs1.index() as u8, 0, 0);
+    }
+    /// `rd = (fs1 < fs2) ? 1 : 0`
+    pub fn flt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) {
+        self.emit(Op::Flt, rd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0);
+    }
+    /// `rd = (fs1 == fs2) ? 1 : 0`
+    pub fn feq(&mut self, rd: Reg, fs1: FReg, fs2: FReg) {
+        self.emit(Op::Feq, rd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0);
+    }
+
+    fn fff(&mut self, op: Op, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(op, fd.index() as u8, fs1.index() as u8, fs2.index() as u8, 0);
+    }
+
+    // ---- control flow ----
+
+    /// Branch to `target` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Beq, rs1, rs2, target);
+    }
+    /// Branch to `target` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Bne, rs1, rs2, target);
+    }
+    /// Branch to `target` if `rs1 <s rs2`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Blt, rs1, rs2, target);
+    }
+    /// Branch to `target` if `rs1 >=s rs2`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Bge, rs1, rs2, target);
+    }
+    /// Branch to `target` if `rs1 <u rs2`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Bltu, rs1, rs2, target);
+    }
+    /// Branch to `target` if `rs1 >=u rs2`.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(Op::Bgeu, rs1, rs2, target);
+    }
+    /// Unconditional jump to `target`, writing the link into `rd`.
+    pub fn jal(&mut self, rd: Reg, target: Label) {
+        self.emit_to(Op::Jal, rd.index() as u8, 0, 0, target);
+    }
+    /// Unconditional jump to `target` without linking.
+    pub fn j(&mut self, target: Label) {
+        self.jal(Reg::ZERO, target);
+    }
+    /// Indirect jump to `rs1 + off`, writing the link into `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, off: i64) {
+        self.emit(Op::Jalr, rd.index() as u8, rs1.index() as u8, 0, off);
+    }
+
+    fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: Label) {
+        self.emit_to(op, 0, rs1.index() as u8, rs2.index() as u8, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Op;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.label();
+        let back = a.here(); // index 0
+        a.nop(); // 0? no: here() binds at pos 0, nop at 0
+        a.beq(Reg::ZERO, Reg::ZERO, fwd); // 1
+        a.j(back); // 2
+        a.bind(fwd); // pos 3
+        a.halt(); // 3
+        let p = a.assemble();
+        assert_eq!(p.fetch(1).unwrap().imm, 3);
+        assert_eq!(p.fetch(2).unwrap().imm, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_assemble() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.j(l);
+        let _ = a.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.here();
+        a.nop();
+        a.bind(l);
+    }
+
+    #[test]
+    fn mv_is_addi_zero() {
+        let mut a = Asm::new();
+        a.mv(Reg::T0, Reg::A0);
+        let p = a.assemble();
+        let i = p.fetch(0).unwrap();
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.imm, 0);
+        assert_eq!(i.rs1, Reg::A0.index() as u8);
+    }
+
+    #[test]
+    fn pos_tracks_emission() {
+        let mut a = Asm::new();
+        assert_eq!(a.pos(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.pos(), 2);
+    }
+}

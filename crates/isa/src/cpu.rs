@@ -1,0 +1,605 @@
+//! Functional (untimed) interpreter.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Op, Width};
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::{FReg, Reg, RegRef};
+
+/// Architectural register + PC state, with a functional `step`.
+///
+/// Two stepping modes exist:
+///
+/// * [`Cpu::step`] — the *architectural* step used to generate the
+///   dynamic instruction stream: stores write through to [`Memory`].
+/// * [`Cpu::step_spec`] — the *speculative* step used by the runahead
+///   engines: stores are captured in a [`StoreOverlay`] (the "runahead
+///   cache") and never reach memory; loads see the overlay first.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    pc: u64,
+    halted: bool,
+    x: [u64; Reg::COUNT],
+    f: [f64; FReg::COUNT],
+    retired: u64,
+}
+
+/// Memory side-effect of one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEffect {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width.
+    pub width: Width,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// Loaded value (zero-extended) or stored value (raw bits).
+    pub value: u64,
+}
+
+/// Register write-back of one step. Floating-point values are carried
+/// as raw bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Destination register.
+    pub reg: RegRef,
+    /// New value (fp as bits).
+    pub value: u64,
+}
+
+/// Full report of one executed instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct Step {
+    /// PC the instruction was fetched from.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Memory effect, if any.
+    pub mem: Option<MemEffect>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// Register write-back, if any.
+    pub write: Option<RegWrite>,
+    /// PC of the next instruction.
+    pub next_pc: u64,
+    /// Whether this step halted the machine.
+    pub halted: bool,
+}
+
+impl Step {
+    /// Whether control flow left the fall-through path (taken branch
+    /// or jump).
+    pub fn redirected(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(1)
+    }
+}
+
+/// Error from a functional step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepError {
+    /// The PC fell outside the program (treated as a fault; runahead
+    /// engines invalidate the lane, the architectural core treats it
+    /// as a bug in the workload).
+    PcOutOfBounds(u64),
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::PcOutOfBounds(pc) => write!(f, "pc {pc} outside program"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Byte-granular store buffer used by speculative stepping: runahead
+/// stores land here instead of in [`Memory`], and later speculative
+/// loads observe them (store-to-load forwarding inside the runahead
+/// interval).
+#[derive(Clone, Default, Debug)]
+pub struct StoreOverlay {
+    bytes: HashMap<u64, u8>,
+}
+
+impl StoreOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> StoreOverlay {
+        StoreOverlay::default()
+    }
+
+    /// Number of overlaid bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the overlay is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Discards all overlaid bytes.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    fn store(&mut self, addr: u64, size: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate().take(size as usize) {
+            self.bytes.insert(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    fn load(&self, mem: &Memory, addr: u64, size: u64) -> u64 {
+        let mut out = [0u8; 8];
+        for (i, slot) in out.iter_mut().enumerate().take(size as usize) {
+            let a = addr.wrapping_add(i as u64);
+            *slot = match self.bytes.get(&a) {
+                Some(b) => *b,
+                None => (mem.read(a, 1) & 0xff) as u8,
+            };
+        }
+        u64::from_le_bytes(out)
+    }
+}
+
+/// Internal memory-port abstraction shared by the two stepping modes.
+trait Port {
+    fn load(&mut self, addr: u64, size: u64) -> u64;
+    fn store(&mut self, addr: u64, size: u64, value: u64);
+}
+
+struct ArchPort<'a>(&'a mut Memory);
+
+impl Port for ArchPort<'_> {
+    fn load(&mut self, addr: u64, size: u64) -> u64 {
+        self.0.read(addr, size)
+    }
+    fn store(&mut self, addr: u64, size: u64, value: u64) {
+        self.0.write(addr, size, value);
+    }
+}
+
+struct SpecPort<'a> {
+    mem: &'a Memory,
+    overlay: &'a mut StoreOverlay,
+}
+
+impl Port for SpecPort<'_> {
+    fn load(&mut self, addr: u64, size: u64) -> u64 {
+        self.overlay.load(self.mem, addr, size)
+    }
+    fn store(&mut self, addr: u64, size: u64, value: u64) {
+        self.overlay.store(addr, size, value);
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers zero and PC 0.
+    pub fn new() -> Cpu {
+        Cpu { pc: 0, halted: false, x: [0; Reg::COUNT], f: [0.0; FReg::COUNT], retired: 0 }
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Whether a `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an integer register (`x0` reads as 0).
+    pub fn x(&self, r: Reg) -> u64 {
+        self.x[r.index()]
+    }
+
+    /// Writes an integer register (`x0` writes are discarded).
+    pub fn set_x(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.x[r.index()] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn f(&self, r: FReg) -> f64 {
+        self.f[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_f(&mut self, r: FReg, value: f64) {
+        self.f[r.index()] = value;
+    }
+
+    /// Reads either register file by [`RegRef`], fp values as bits.
+    pub fn reg(&self, r: RegRef) -> u64 {
+        match r {
+            RegRef::Int(r) => self.x(r),
+            RegRef::Fp(r) => self.f(r).to_bits(),
+        }
+    }
+
+    /// Applies a [`RegWrite`] (used when restoring checkpointed state).
+    pub fn apply(&mut self, w: RegWrite) {
+        match w.reg {
+            RegRef::Int(r) => self.set_x(r, w.value),
+            RegRef::Fp(r) => self.set_f(r, f64::from_bits(w.value)),
+        }
+    }
+
+    /// Architectural step: executes the instruction at the current PC,
+    /// writing stores through to `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::PcOutOfBounds`] if the PC is outside the
+    /// program.
+    pub fn step(&mut self, prog: &Program, mem: &mut Memory) -> Result<Step, StepError> {
+        self.exec(prog, &mut ArchPort(mem))
+    }
+
+    /// Speculative step: stores are captured in `overlay` and never
+    /// reach `mem`; loads observe `overlay` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::PcOutOfBounds`] if the PC is outside the
+    /// program.
+    pub fn step_spec(
+        &mut self,
+        prog: &Program,
+        mem: &Memory,
+        overlay: &mut StoreOverlay,
+    ) -> Result<Step, StepError> {
+        self.exec(prog, &mut SpecPort { mem, overlay })
+    }
+
+    fn exec(&mut self, prog: &Program, port: &mut dyn Port) -> Result<Step, StepError> {
+        let pc = self.pc;
+        let inst = *prog.fetch(pc).ok_or(StepError::PcOutOfBounds(pc))?;
+        let mut mem_effect = None;
+        let mut taken = None;
+        let mut write = None;
+        let mut next_pc = pc.wrapping_add(1);
+        let mut halted = false;
+
+        let rd = Reg::new(inst.rd);
+        let rs1v = self.x(Reg::new(inst.rs1));
+        let rs2v = self.x(Reg::new(inst.rs2));
+        let imm = inst.imm;
+
+        let mut write_x = |cpu: &mut Cpu, value: u64| {
+            cpu.set_x(rd, value);
+            if !rd.is_zero() {
+                write = Some(RegWrite { reg: RegRef::Int(rd), value });
+            }
+        };
+
+        use Op::*;
+        match inst.op {
+            Nop => {}
+            Halt => {
+                self.halted = true;
+                halted = true;
+                next_pc = pc;
+            }
+            Add => write_x(self, rs1v.wrapping_add(rs2v)),
+            Sub => write_x(self, rs1v.wrapping_sub(rs2v)),
+            Mul => write_x(self, rs1v.wrapping_mul(rs2v)),
+            Divu => write_x(self, rs1v.checked_div(rs2v).unwrap_or(u64::MAX)),
+            Remu => write_x(self, if rs2v == 0 { rs1v } else { rs1v % rs2v }),
+            And => write_x(self, rs1v & rs2v),
+            Or => write_x(self, rs1v | rs2v),
+            Xor => write_x(self, rs1v ^ rs2v),
+            Sll => write_x(self, rs1v.wrapping_shl(rs2v as u32 & 63)),
+            Srl => write_x(self, rs1v.wrapping_shr(rs2v as u32 & 63)),
+            Sra => write_x(self, ((rs1v as i64).wrapping_shr(rs2v as u32 & 63)) as u64),
+            Slt => write_x(self, u64::from((rs1v as i64) < (rs2v as i64))),
+            Sltu => write_x(self, u64::from(rs1v < rs2v)),
+            Min => write_x(self, (rs1v as i64).min(rs2v as i64) as u64),
+            Minu => write_x(self, rs1v.min(rs2v)),
+            Addi => write_x(self, rs1v.wrapping_add(imm as u64)),
+            Andi => write_x(self, rs1v & imm as u64),
+            Ori => write_x(self, rs1v | imm as u64),
+            Xori => write_x(self, rs1v ^ imm as u64),
+            Slli => write_x(self, rs1v.wrapping_shl(imm as u32 & 63)),
+            Srli => write_x(self, rs1v.wrapping_shr(imm as u32 & 63)),
+            Srai => write_x(self, ((rs1v as i64).wrapping_shr(imm as u32 & 63)) as u64),
+            Slti => write_x(self, u64::from((rs1v as i64) < imm)),
+            Sltiu => write_x(self, u64::from(rs1v < imm as u64)),
+            Li => write_x(self, imm as u64),
+            Ld(w) => {
+                let addr = rs1v.wrapping_add(imm as u64);
+                let value = port.load(addr, w.bytes());
+                mem_effect = Some(MemEffect { addr, width: w, is_store: false, value });
+                write_x(self, value);
+            }
+            St(w) => {
+                let addr = rs1v.wrapping_add(imm as u64);
+                let value = rs2v & mask(w);
+                port.store(addr, w.bytes(), value);
+                mem_effect = Some(MemEffect { addr, width: w, is_store: true, value });
+            }
+            Fld => {
+                let addr = rs1v.wrapping_add(imm as u64);
+                let bits = port.load(addr, 8);
+                mem_effect = Some(MemEffect { addr, width: Width::D, is_store: false, value: bits });
+                let fd = FReg::new(inst.rd);
+                self.set_f(fd, f64::from_bits(bits));
+                write = Some(RegWrite { reg: RegRef::Fp(fd), value: bits });
+            }
+            Fst => {
+                let addr = rs1v.wrapping_add(imm as u64);
+                let bits = self.f(FReg::new(inst.rs2)).to_bits();
+                port.store(addr, 8, bits);
+                mem_effect = Some(MemEffect { addr, width: Width::D, is_store: true, value: bits });
+            }
+            Fadd | Fsub | Fmul | Fdiv => {
+                let a = self.f(FReg::new(inst.rs1));
+                let b = self.f(FReg::new(inst.rs2));
+                let v = match inst.op {
+                    Fadd => a + b,
+                    Fsub => a - b,
+                    Fmul => a * b,
+                    _ => a / b,
+                };
+                let fd = FReg::new(inst.rd);
+                self.set_f(fd, v);
+                write = Some(RegWrite { reg: RegRef::Fp(fd), value: v.to_bits() });
+            }
+            Fcvt => {
+                let v = rs1v as f64;
+                let fd = FReg::new(inst.rd);
+                self.set_f(fd, v);
+                write = Some(RegWrite { reg: RegRef::Fp(fd), value: v.to_bits() });
+            }
+            Fcvti => {
+                let v = self.f(FReg::new(inst.rs1)) as u64;
+                write_x(self, v);
+            }
+            Flt => {
+                let v = u64::from(self.f(FReg::new(inst.rs1)) < self.f(FReg::new(inst.rs2)));
+                write_x(self, v);
+            }
+            Feq => {
+                let v = u64::from(self.f(FReg::new(inst.rs1)) == self.f(FReg::new(inst.rs2)));
+                write_x(self, v);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let t = match inst.op {
+                    Beq => rs1v == rs2v,
+                    Bne => rs1v != rs2v,
+                    Blt => (rs1v as i64) < (rs2v as i64),
+                    Bge => (rs1v as i64) >= (rs2v as i64),
+                    Bltu => rs1v < rs2v,
+                    _ => rs1v >= rs2v,
+                };
+                taken = Some(t);
+                if t {
+                    next_pc = imm as u64;
+                }
+            }
+            Jal => {
+                write_x(self, pc.wrapping_add(1));
+                next_pc = imm as u64;
+            }
+            Jalr => {
+                let target = rs1v.wrapping_add(imm as u64);
+                write_x(self, pc.wrapping_add(1));
+                next_pc = target;
+            }
+        }
+
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(Step { pc, inst, mem: mem_effect, taken, write, next_pc, halted })
+    }
+}
+
+fn mask(w: Width) -> u64 {
+    match w {
+        Width::B => 0xff,
+        Width::H => 0xffff,
+        Width::W => 0xffff_ffff,
+        Width::D => u64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run(prog: &Program, mem: &mut Memory, max: u64) -> Cpu {
+        let mut cpu = Cpu::new();
+        for _ in 0..max {
+            if cpu.halted() {
+                break;
+            }
+            cpu.step(prog, mem).expect("valid pc");
+        }
+        assert!(cpu.halted(), "program did not halt within {max} steps");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 7);
+        a.li(Reg::T1, 3);
+        a.mul(Reg::T2, Reg::T0, Reg::T1);
+        a.divu(Reg::T3, Reg::T0, Reg::T1);
+        a.remu(Reg::T4, Reg::T0, Reg::T1);
+        a.sub(Reg::T5, Reg::T1, Reg::T0);
+        a.halt();
+        let cpu = run(&a.assemble(), &mut Memory::new(), 100);
+        assert_eq!(cpu.x(Reg::T2), 21);
+        assert_eq!(cpu.x(Reg::T3), 2);
+        assert_eq!(cpu.x(Reg::T4), 1);
+        assert_eq!(cpu.x(Reg::T5), (-4i64) as u64);
+    }
+
+    #[test]
+    fn division_by_zero_follows_riscv() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 42);
+        a.divu(Reg::T1, Reg::T0, Reg::ZERO);
+        a.remu(Reg::T2, Reg::T0, Reg::ZERO);
+        a.halt();
+        let cpu = run(&a.assemble(), &mut Memory::new(), 10);
+        assert_eq!(cpu.x(Reg::T1), u64::MAX);
+        assert_eq!(cpu.x(Reg::T2), 42);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1000, 0x1234_5678_9abc_def0);
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x1000);
+        a.ld(Reg::T0, Reg::A0, 0);
+        a.ldw(Reg::T1, Reg::A0, 0);
+        a.ldb(Reg::T2, Reg::A0, 1);
+        a.st(Reg::T0, Reg::A0, 8);
+        a.halt();
+        let cpu = run(&a.assemble(), &mut mem, 10);
+        assert_eq!(cpu.x(Reg::T0), 0x1234_5678_9abc_def0);
+        assert_eq!(cpu.x(Reg::T1), 0x9abc_def0);
+        assert_eq!(cpu.x(Reg::T2), 0xde);
+        assert_eq!(mem.read_u64(0x1008), 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn branch_loop_and_reporting() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 5);
+        let top = a.here();
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bne(Reg::T0, Reg::T1, top);
+        a.halt();
+        let prog = a.assemble();
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        let mut taken = 0;
+        while !cpu.halted() {
+            let s = cpu.step(&prog, &mut mem).unwrap();
+            if s.taken == Some(true) {
+                taken += 1;
+                assert!(s.redirected());
+            }
+        }
+        assert_eq!(cpu.x(Reg::T0), 5);
+        assert_eq!(taken, 4);
+    }
+
+    #[test]
+    fn jal_links_and_jalr_returns() {
+        let mut a = Asm::new();
+        let func = a.label();
+        a.jal(Reg::RA, func); // 0
+        a.li(Reg::T1, 99); // 1 (return target)
+        a.halt(); // 2
+        a.bind(func);
+        a.li(Reg::T0, 7); // 3
+        a.jalr(Reg::ZERO, Reg::RA, 0);
+        let cpu = run(&a.assemble(), &mut Memory::new(), 10);
+        assert_eq!(cpu.x(Reg::T0), 7);
+        assert_eq!(cpu.x(Reg::T1), 99);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut mem = Memory::new();
+        mem.write_f64(0x2000, 1.5);
+        mem.write_f64(0x2008, 2.5);
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x2000);
+        a.fld(FReg::F0, Reg::A0, 0);
+        a.fld(FReg::F1, Reg::A0, 8);
+        a.fadd(FReg::F2, FReg::F0, FReg::F1);
+        a.fmul(FReg::F3, FReg::F0, FReg::F1);
+        a.fst(FReg::F2, Reg::A0, 16);
+        a.flt(Reg::T0, FReg::F0, FReg::F1);
+        a.fcvti(Reg::T1, FReg::F3);
+        a.halt();
+        let cpu = run(&a.assemble(), &mut mem, 20);
+        assert_eq!(mem.read_f64(0x2010), 4.0);
+        assert_eq!(cpu.x(Reg::T0), 1);
+        assert_eq!(cpu.x(Reg::T1), 3); // trunc(3.75)
+    }
+
+    #[test]
+    fn pc_out_of_bounds_is_an_error() {
+        let prog = Program::new(vec![Inst::NOP]);
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        cpu.step(&prog, &mut mem).unwrap();
+        assert!(matches!(cpu.step(&prog, &mut mem), Err(StepError::PcOutOfBounds(1))));
+    }
+
+    #[test]
+    fn speculative_stores_do_not_touch_memory_but_forward() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x3000, 11);
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x3000);
+        a.li(Reg::T0, 77);
+        a.st(Reg::T0, Reg::A0, 0); // speculative store
+        a.ld(Reg::T1, Reg::A0, 0); // must see 77 via overlay
+        a.halt();
+        let prog = a.assemble();
+        let mut cpu = Cpu::new();
+        let mut ov = StoreOverlay::new();
+        while !cpu.halted() {
+            cpu.step_spec(&prog, &mem, &mut ov).unwrap();
+        }
+        assert_eq!(cpu.x(Reg::T1), 77);
+        assert_eq!(mem.read_u64(0x3000), 11, "memory must be untouched");
+        assert!(!ov.is_empty());
+        ov.clear();
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn halt_freezes_pc_and_reports() {
+        let mut a = Asm::new();
+        a.halt();
+        let prog = a.assemble();
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        let s = cpu.step(&prog, &mut mem).unwrap();
+        assert!(s.halted);
+        assert_eq!(cpu.pc(), 0);
+        assert!(cpu.halted());
+        assert_eq!(cpu.retired(), 1);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let mut a = Asm::new();
+        a.li(Reg::ZERO, 123);
+        a.addi(Reg::T0, Reg::ZERO, 5);
+        a.halt();
+        let cpu = run(&a.assemble(), &mut Memory::new(), 10);
+        assert_eq!(cpu.x(Reg::ZERO), 0);
+        assert_eq!(cpu.x(Reg::T0), 5);
+    }
+}

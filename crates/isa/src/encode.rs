@@ -1,0 +1,262 @@
+//! Binary instruction encoding.
+//!
+//! A fixed 12-byte little-endian format — `[opcode u8][rd u8][rs1 u8]
+//! [rs2 u8][imm i64]` — used to serialize programs to disk and to give
+//! the instruction stream a defined storage footprint (the timing
+//! model maps instruction index `i` to byte address `12·i` when an
+//! I-side address is needed).
+//!
+//! The encoding round-trips exactly: see the property tests.
+
+use crate::inst::{Inst, Op, Width};
+use crate::program::Program;
+
+/// Bytes per encoded instruction.
+pub const INST_BYTES: usize = 12;
+
+/// Error decoding a binary instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream length is not a multiple of [`INST_BYTES`].
+    TruncatedStream,
+    /// Unknown opcode byte at the given instruction index.
+    BadOpcode(usize, u8),
+    /// A register field exceeds 31 at the given instruction index.
+    BadRegister(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TruncatedStream => write!(f, "byte stream is not a whole instruction count"),
+            DecodeError::BadOpcode(i, b) => write!(f, "unknown opcode {b:#04x} at instruction {i}"),
+            DecodeError::BadRegister(i) => write!(f, "register index out of range at instruction {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_to_byte(op: Op) -> u8 {
+    use Op::*;
+    match op {
+        Nop => 0,
+        Halt => 1,
+        Add => 2,
+        Sub => 3,
+        Mul => 4,
+        Divu => 5,
+        Remu => 6,
+        And => 7,
+        Or => 8,
+        Xor => 9,
+        Sll => 10,
+        Srl => 11,
+        Sra => 12,
+        Slt => 13,
+        Sltu => 14,
+        Min => 15,
+        Minu => 16,
+        Addi => 17,
+        Andi => 18,
+        Ori => 19,
+        Xori => 20,
+        Slli => 21,
+        Srli => 22,
+        Srai => 23,
+        Slti => 24,
+        Sltiu => 25,
+        Li => 26,
+        Ld(Width::B) => 27,
+        Ld(Width::H) => 28,
+        Ld(Width::W) => 29,
+        Ld(Width::D) => 30,
+        St(Width::B) => 31,
+        St(Width::H) => 32,
+        St(Width::W) => 33,
+        St(Width::D) => 34,
+        Fld => 35,
+        Fst => 36,
+        Fadd => 37,
+        Fsub => 38,
+        Fmul => 39,
+        Fdiv => 40,
+        Fcvt => 41,
+        Fcvti => 42,
+        Flt => 43,
+        Feq => 44,
+        Beq => 45,
+        Bne => 46,
+        Blt => 47,
+        Bge => 48,
+        Bltu => 49,
+        Bgeu => 50,
+        Jal => 51,
+        Jalr => 52,
+    }
+}
+
+fn byte_to_op(b: u8) -> Option<Op> {
+    use Op::*;
+    Some(match b {
+        0 => Nop,
+        1 => Halt,
+        2 => Add,
+        3 => Sub,
+        4 => Mul,
+        5 => Divu,
+        6 => Remu,
+        7 => And,
+        8 => Or,
+        9 => Xor,
+        10 => Sll,
+        11 => Srl,
+        12 => Sra,
+        13 => Slt,
+        14 => Sltu,
+        15 => Min,
+        16 => Minu,
+        17 => Addi,
+        18 => Andi,
+        19 => Ori,
+        20 => Xori,
+        21 => Slli,
+        22 => Srli,
+        23 => Srai,
+        24 => Slti,
+        25 => Sltiu,
+        26 => Li,
+        27 => Ld(Width::B),
+        28 => Ld(Width::H),
+        29 => Ld(Width::W),
+        30 => Ld(Width::D),
+        31 => St(Width::B),
+        32 => St(Width::H),
+        33 => St(Width::W),
+        34 => St(Width::D),
+        35 => Fld,
+        36 => Fst,
+        37 => Fadd,
+        38 => Fsub,
+        39 => Fmul,
+        40 => Fdiv,
+        41 => Fcvt,
+        42 => Fcvti,
+        43 => Flt,
+        44 => Feq,
+        45 => Beq,
+        46 => Bne,
+        47 => Blt,
+        48 => Bge,
+        49 => Bltu,
+        50 => Bgeu,
+        51 => Jal,
+        52 => Jalr,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction into its 12-byte form.
+pub fn encode_inst(inst: &Inst) -> [u8; INST_BYTES] {
+    let mut out = [0u8; INST_BYTES];
+    out[0] = op_to_byte(inst.op);
+    out[1] = inst.rd;
+    out[2] = inst.rs1;
+    out[3] = inst.rs2;
+    out[4..12].copy_from_slice(&inst.imm.to_le_bytes());
+    out
+}
+
+/// Decodes one instruction; `index` is used only for error reporting.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an unknown opcode or out-of-range
+/// register field.
+pub fn decode_inst(bytes: &[u8; INST_BYTES], index: usize) -> Result<Inst, DecodeError> {
+    let op = byte_to_op(bytes[0]).ok_or(DecodeError::BadOpcode(index, bytes[0]))?;
+    let (rd, rs1, rs2) = (bytes[1], bytes[2], bytes[3]);
+    if rd >= 32 || rs1 >= 32 || rs2 >= 32 {
+        return Err(DecodeError::BadRegister(index));
+    }
+    let imm = i64::from_le_bytes(bytes[4..12].try_into().expect("slice is 8 bytes"));
+    Ok(Inst { op, rd, rs1, rs2, imm })
+}
+
+/// Serializes a whole program.
+pub fn encode_program(prog: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prog.len() * INST_BYTES);
+    for inst in prog.insts() {
+        out.extend_from_slice(&encode_inst(inst));
+    }
+    out
+}
+
+/// Deserializes a program.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the stream is truncated or any
+/// instruction is malformed.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
+    if !bytes.len().is_multiple_of(INST_BYTES) {
+        return Err(DecodeError::TruncatedStream);
+    }
+    let mut insts = Vec::with_capacity(bytes.len() / INST_BYTES);
+    for (i, chunk) in bytes.chunks_exact(INST_BYTES).enumerate() {
+        let arr: &[u8; INST_BYTES] = chunk.try_into().expect("exact chunk");
+        insts.push(decode_inst(arr, i)?);
+    }
+    Ok(Program::new(insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn single_instruction_round_trip() {
+        let i = Inst { op: Op::Ld(Width::W), rd: 5, rs1: 10, rs2: 0, imm: -4096 };
+        let enc = encode_inst(&i);
+        assert_eq!(decode_inst(&enc, 0), Ok(i));
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for b in 0..=52u8 {
+            let op = byte_to_op(b).expect("contiguous opcode space");
+            assert_eq!(op_to_byte(op), b, "{op:?}");
+        }
+        assert_eq!(byte_to_op(53), None);
+        assert_eq!(byte_to_op(255), None);
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 123);
+        let top = a.here();
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        let p = a.assemble();
+        let bytes = encode_program(&p);
+        assert_eq!(bytes.len(), p.len() * INST_BYTES);
+        assert_eq!(decode_program(&bytes), Ok(p));
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode_program(&[0u8; 5]), Err(DecodeError::TruncatedStream));
+        let mut bad_op = [0u8; INST_BYTES];
+        bad_op[0] = 200;
+        assert_eq!(decode_inst(&bad_op, 3), Err(DecodeError::BadOpcode(3, 200)));
+        let mut bad_reg = [0u8; INST_BYTES];
+        bad_reg[0] = 2; // Add
+        bad_reg[1] = 40;
+        assert_eq!(decode_inst(&bad_reg, 7), Err(DecodeError::BadRegister(7)));
+        assert!(!DecodeError::TruncatedStream.to_string().is_empty());
+    }
+}

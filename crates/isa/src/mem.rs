@@ -1,0 +1,267 @@
+//! Sparse byte-addressed memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, paged, little-endian, 64-bit byte-addressed memory.
+///
+/// Reads of unmapped pages return zero without allocating — this
+/// matters for the speculative runahead engines, which may compute
+/// wild addresses and must be able to "access" them harmlessly (the
+/// real hardware would simply fetch a garbage line). Writes allocate
+/// the containing 4 KiB page on demand.
+///
+/// ```
+/// use vr_isa::Memory;
+/// let mut m = Memory::new();
+/// assert_eq!(m.read(0xdead_beef, 8), 0);
+/// m.write(0x1000, 8, 0x0123_4567_89ab_cdef);
+/// assert_eq!(m.read(0x1000, 8), 0x0123_4567_89ab_cdef);
+/// assert_eq!(m.read(0x1004, 4), 0x0123_4567);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of mapped 4 KiB pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the page containing `addr` has been written.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
+    /// Unmapped bytes read as zero. Accesses may straddle pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            // Fast path: the access lies within one page.
+            let mut bytes = [0u8; 8];
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                bytes[..size as usize].copy_from_slice(&page[off..off + size as usize]);
+            }
+            return u64::from_le_bytes(bytes);
+        }
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate().take(size as usize) {
+            *b = self.read_byte(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4 or 8) of `value` at `addr`.
+    /// Accesses may straddle pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        let bytes = value.to_le_bytes();
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            // Fast path: the access lies within one page.
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + size as usize].copy_from_slice(&bytes[..size as usize]);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate().take(size as usize) {
+            self.write_byte(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads an 8-byte value at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Writes an 8-byte value at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, 8, value);
+    }
+
+    /// Reads an `f64` at `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr, 8))
+    }
+
+    /// Writes an `f64` at `addr`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, 8, value.to_bits());
+    }
+
+    /// Writes raw bytes at `addr`, copying page-sized chunks (the fast
+    /// path for bulk workload-image construction).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let a = addr + offset as u64;
+            let page_off = (a & PAGE_MASK) as usize;
+            let chunk = (PAGE_SIZE - page_off).min(bytes.len() - offset);
+            let page = self
+                .pages
+                .entry(a >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[page_off..page_off + chunk].copy_from_slice(&bytes[offset..offset + chunk]);
+            offset += chunk;
+        }
+    }
+
+    /// Writes a slice of `u64` values as a contiguous array at `base`.
+    pub fn write_u64_slice(&mut self, base: u64, values: &[u64]) {
+        // Chunk to bound the temporary byte buffer.
+        const CHUNK: usize = 1 << 16;
+        for (ci, chunk) in values.chunks(CHUNK).enumerate() {
+            let mut bytes = Vec::with_capacity(chunk.len() * 8);
+            for v in chunk {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(base + (ci * CHUNK * 8) as u64, &bytes);
+        }
+    }
+
+    /// Writes a slice of `u32` values as a contiguous array at `base`.
+    pub fn write_u32_slice(&mut self, base: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(base + 4 * i as u64, 4, u64::from(*v));
+        }
+    }
+
+    /// Writes a slice of `f64` values as a contiguous array at `base`.
+    pub fn write_f64_slice(&mut self, base: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(base + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` consecutive `u64` values starting at `base`.
+    pub fn read_u64_vec(&self, base: u64, len: usize) -> Vec<u64> {
+        (0..len).map(|i| self.read_u64(base + 8 * i as u64)).collect()
+    }
+
+    /// Reads `len` consecutive `f64` values starting at `base`.
+    pub fn read_f64_vec(&self, base: u64, len: usize) -> Vec<f64> {
+        (0..len).map(|i| self.read_f64(base + 8 * i as u64)).collect()
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    fn write_byte(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_zero_and_do_not_allocate() {
+        let m = Memory::new();
+        assert_eq!(m.read(0, 8), 0);
+        assert_eq!(m.read(u64::MAX - 8, 8), 0);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_all_sizes() {
+        let mut m = Memory::new();
+        for (size, value) in [(1, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX - 1)] {
+            m.write(0x200, size, value);
+            assert_eq!(m.read(0x200, size), value);
+        }
+    }
+
+    #[test]
+    fn narrow_write_does_not_clobber_neighbours() {
+        let mut m = Memory::new();
+        m.write_u64(0x100, u64::MAX);
+        m.write(0x102, 2, 0);
+        assert_eq!(m.read_u64(0x100), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn page_straddling_access() {
+        let mut m = Memory::new();
+        let addr = 0x1000 - 4; // 8-byte access crossing a page boundary
+        m.write(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(0x40, 3.25);
+        assert_eq!(m.read_f64(0x40), 3.25);
+    }
+
+    #[test]
+    fn write_bytes_crosses_pages_and_round_trips() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0x1f00, &data); // starts mid-page, spans 3 pages
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read(0x1f00 + i as u64, 1) as u8, b, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn large_u64_slice_round_trips_across_chunks() {
+        let mut m = Memory::new();
+        let values: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        m.write_u64_slice(0x10_0000, &values);
+        for i in (0..values.len()).step_by(7777) {
+            assert_eq!(m.read_u64(0x10_0000 + 8 * i as u64), values[i]);
+        }
+        assert_eq!(m.read_u64(0x10_0000 + 8 * (values.len() as u64 - 1)), values[values.len() - 1]);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64_slice(0x2000, &[1, 2, 3]);
+        assert_eq!(m.read_u64_vec(0x2000, 3), vec![1, 2, 3]);
+        m.write_u32_slice(0x3000, &[7, 8]);
+        assert_eq!(m.read(0x3000, 4), 7);
+        assert_eq!(m.read(0x3004, 4), 8);
+        m.write_f64_slice(0x4000, &[0.5, -1.0]);
+        assert_eq!(m.read_f64_vec(0x4000, 2), vec![0.5, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn invalid_size_panics() {
+        Memory::new().read(0, 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Architectural register names.
+
+use core::fmt;
+
+/// An integer architectural register, `x0`–`x31`.
+///
+/// `x0` ([`Reg::ZERO`]) is hardwired to zero: reads return 0 and writes
+/// are discarded, as in RISC-V. The remaining registers carry
+/// RISC-V-flavoured ABI aliases purely for readability of hand-written
+/// kernels; the hardware model attaches no meaning to them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address / link register.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (by convention only).
+    pub const SP: Reg = Reg(2);
+
+    /// Argument register `a0` (`x10`).
+    pub const A0: Reg = Reg(10);
+    /// Argument register `a1` (`x11`).
+    pub const A1: Reg = Reg(11);
+    /// Argument register `a2` (`x12`).
+    pub const A2: Reg = Reg(12);
+    /// Argument register `a3` (`x13`).
+    pub const A3: Reg = Reg(13);
+    /// Argument register `a4` (`x14`).
+    pub const A4: Reg = Reg(14);
+    /// Argument register `a5` (`x15`).
+    pub const A5: Reg = Reg(15);
+    /// Argument register `a6` (`x16`).
+    pub const A6: Reg = Reg(16);
+    /// Argument register `a7` (`x17`).
+    pub const A7: Reg = Reg(17);
+
+    /// Temporary `t0` (`x5`).
+    pub const T0: Reg = Reg(5);
+    /// Temporary `t1` (`x6`).
+    pub const T1: Reg = Reg(6);
+    /// Temporary `t2` (`x7`).
+    pub const T2: Reg = Reg(7);
+    /// Temporary `t3` (`x28`).
+    pub const T3: Reg = Reg(28);
+    /// Temporary `t4` (`x29`).
+    pub const T4: Reg = Reg(29);
+    /// Temporary `t5` (`x30`).
+    pub const T5: Reg = Reg(30);
+    /// Temporary `t6` (`x31`).
+    pub const T6: Reg = Reg(31);
+
+    /// Callee-saved `s0` (`x8`).
+    pub const S0: Reg = Reg(8);
+    /// Callee-saved `s1` (`x9`).
+    pub const S1: Reg = Reg(9);
+    /// Callee-saved `s2` (`x18`).
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved `s3` (`x19`).
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved `s4` (`x20`).
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved `s5` (`x21`).
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved `s6` (`x22`).
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved `s7` (`x23`).
+    pub const S7: Reg = Reg(23);
+    /// Callee-saved `s8` (`x24`).
+    pub const S8: Reg = Reg(24);
+    /// Callee-saved `s9` (`x25`).
+    pub const S9: Reg = Reg(25);
+    /// Extra callee-saved `s10` (`x26`).
+    pub const S10: Reg = Reg(26);
+    /// Extra callee-saved `s11` (`x27`).
+    pub const S11: Reg = Reg(27);
+
+    /// Number of integer architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "integer register index out of range");
+        Reg(index)
+    }
+
+    /// Raw register index, `0..32`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point architectural register, `f0`–`f31`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Floating-point register `f0`.
+    pub const F0: FReg = FReg(0);
+    /// Floating-point register `f1`.
+    pub const F1: FReg = FReg(1);
+    /// Floating-point register `f2`.
+    pub const F2: FReg = FReg(2);
+    /// Floating-point register `f3`.
+    pub const F3: FReg = FReg(3);
+    /// Floating-point register `f4`.
+    pub const F4: FReg = FReg(4);
+    /// Floating-point register `f5`.
+    pub const F5: FReg = FReg(5);
+    /// Floating-point register `f6`.
+    pub const F6: FReg = FReg(6);
+    /// Floating-point register `f7`.
+    pub const F7: FReg = FReg(7);
+
+    /// Number of floating-point architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a floating-point register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> FReg {
+        assert!(index < 32, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// Raw register index, `0..32`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A reference to either register file, used in dataflow reporting
+/// (renaming, taint tracking).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RegRef {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl RegRef {
+    /// A flat index over both register files: integer registers map to
+    /// `0..32`, floating-point registers to `32..64`.
+    pub fn flat_index(self) -> usize {
+        match self {
+            RegRef::Int(r) => r.index(),
+            RegRef::Fp(f) => Reg::COUNT + f.index(),
+        }
+    }
+
+    /// Total number of flat register slots ([`RegRef::flat_index`] range).
+    pub const FLAT_COUNT: usize = Reg::COUNT + FReg::COUNT;
+}
+
+impl From<Reg> for RegRef {
+    fn from(r: Reg) -> RegRef {
+        RegRef::Int(r)
+    }
+}
+
+impl From<FReg> for RegRef {
+    fn from(f: FReg) -> RegRef {
+        RegRef::Fp(f)
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => r.fmt(f),
+            RegRef::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+        assert_eq!(Reg::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn abi_aliases_map_to_expected_indices() {
+        assert_eq!(Reg::A0.index(), 10);
+        assert_eq!(Reg::T0.index(), 5);
+        assert_eq!(Reg::T3.index(), 28);
+        assert_eq!(Reg::S2.index(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn flat_index_is_injective_over_both_files() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32u8 {
+            assert!(seen.insert(RegRef::Int(Reg::new(i)).flat_index()));
+            assert!(seen.insert(RegRef::Fp(FReg::new(i)).flat_index()));
+        }
+        assert_eq!(seen.len(), RegRef::FLAT_COUNT);
+        assert!(seen.iter().all(|&i| i < RegRef::FLAT_COUNT));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::A0.to_string(), "x10");
+        assert_eq!(FReg::F3.to_string(), "f3");
+        assert_eq!(RegRef::Fp(FReg::F0).to_string(), "f0");
+    }
+}

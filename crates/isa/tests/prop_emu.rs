@@ -1,0 +1,163 @@
+//! Property-based tests of the functional emulator.
+
+use proptest::prelude::*;
+use vr_isa::{Cpu, Inst, Memory, Op, Program, Reg, RegRef, StoreOverlay, Width};
+
+/// Strategy generating a random straight-line (branch-free,
+/// memory-address-confined) instruction.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = 0u8..32;
+    let alu_op = prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Divu),
+        Just(Op::Remu),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Sll),
+        Just(Op::Srl),
+        Just(Op::Sra),
+        Just(Op::Slt),
+        Just(Op::Sltu),
+        Just(Op::Min),
+        Just(Op::Minu),
+    ];
+    let imm_op = prop_oneof![
+        Just(Op::Addi),
+        Just(Op::Andi),
+        Just(Op::Ori),
+        Just(Op::Xori),
+        Just(Op::Slli),
+        Just(Op::Srli),
+        Just(Op::Srai),
+        Just(Op::Slti),
+        Just(Op::Sltiu),
+        Just(Op::Li),
+    ];
+    let mem_op = prop_oneof![
+        Just(Op::Ld(Width::D)),
+        Just(Op::Ld(Width::W)),
+        Just(Op::Ld(Width::B)),
+        Just(Op::St(Width::D)),
+        Just(Op::St(Width::W)),
+        Just(Op::St(Width::B)),
+    ];
+    prop_oneof![
+        (alu_op, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, rd, rs1, rs2)| Inst { op, rd, rs1, rs2, imm: 0 }),
+        (imm_op, reg.clone(), reg.clone(), -1000i64..1000)
+            .prop_map(|(op, rd, rs1, imm)| Inst { op, rd, rs1, rs2: 0, imm }),
+        // Memory ops: rs1 is forced to x0 so addresses stay within
+        // imm's small range — keeps the flat-memory oracle cheap.
+        (mem_op, reg.clone(), reg, 0i64..4096)
+            .prop_map(|(op, rd, rs2, imm)| Inst { op, rd, rs1: 0, rs2, imm }),
+    ]
+}
+
+fn run_arch(prog: &Program) -> (Cpu, Memory) {
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    while !cpu.halted() {
+        cpu.step(prog, &mut mem).expect("straight-line program stays in bounds");
+    }
+    (cpu, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Architectural execution is deterministic: two runs of the same
+    /// program produce identical register files and memory effects.
+    #[test]
+    fn emulator_is_deterministic(insts in proptest::collection::vec(arb_inst(), 1..60)) {
+        let mut insts = insts;
+        insts.push(Inst { op: Op::Halt, ..Inst::NOP });
+        let prog = Program::new(insts);
+        let (cpu1, mem1) = run_arch(&prog);
+        let (cpu2, mem2) = run_arch(&prog);
+        for i in 0..32 {
+            prop_assert_eq!(cpu1.x(Reg::new(i)), cpu2.x(Reg::new(i)));
+        }
+        for a in (0..4096u64).step_by(8) {
+            prop_assert_eq!(mem1.read_u64(a), mem2.read_u64(a));
+        }
+    }
+
+    /// The zero register reads as zero at every point in execution.
+    #[test]
+    fn zero_register_never_changes(insts in proptest::collection::vec(arb_inst(), 1..60)) {
+        let mut insts = insts;
+        insts.push(Inst { op: Op::Halt, ..Inst::NOP });
+        let prog = Program::new(insts);
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            cpu.step(&prog, &mut mem).unwrap();
+            prop_assert_eq!(cpu.x(Reg::ZERO), 0);
+        }
+    }
+
+    /// Speculative execution (stores into an overlay) computes the same
+    /// register results as architectural execution and never mutates
+    /// memory.
+    #[test]
+    fn speculative_matches_architectural(insts in proptest::collection::vec(arb_inst(), 1..60)) {
+        let mut insts = insts;
+        insts.push(Inst { op: Op::Halt, ..Inst::NOP });
+        let prog = Program::new(insts);
+
+        let (arch_cpu, _) = run_arch(&prog);
+
+        let mem = Memory::new();
+        let mut spec_cpu = Cpu::new();
+        let mut overlay = StoreOverlay::new();
+        while !spec_cpu.halted() {
+            spec_cpu.step_spec(&prog, &mem, &mut overlay).unwrap();
+        }
+        for i in 0..32 {
+            prop_assert_eq!(arch_cpu.x(Reg::new(i)), spec_cpu.x(Reg::new(i)));
+        }
+        prop_assert_eq!(mem.mapped_pages(), 0, "speculative run must not touch memory");
+    }
+
+    /// Every step report is self-consistent with the static dataflow
+    /// metadata of the instruction.
+    #[test]
+    fn step_reports_match_static_dataflow(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let mut insts = insts;
+        insts.push(Inst { op: Op::Halt, ..Inst::NOP });
+        let prog = Program::new(insts);
+        let mut cpu = Cpu::new();
+        let mut mem = Memory::new();
+        while !cpu.halted() {
+            let s = cpu.step(&prog, &mut mem).unwrap();
+            if let Some(w) = s.write {
+                prop_assert_eq!(Some(w.reg), s.inst.dst());
+                if let RegRef::Int(r) = w.reg {
+                    prop_assert_eq!(cpu.x(r), w.value);
+                }
+            }
+            if let Some(m) = s.mem {
+                prop_assert_eq!(m.is_store, s.inst.is_store());
+                prop_assert_eq!(Some(m.width), s.inst.mem_width());
+            } else {
+                prop_assert!(!s.inst.is_load() && !s.inst.is_store());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary encoding round-trips arbitrary well-formed instructions.
+    #[test]
+    fn encoding_round_trips(insts in proptest::collection::vec(arb_inst(), 1..100)) {
+        let prog = Program::new(insts);
+        let bytes = vr_isa::encode_program(&prog);
+        let back = vr_isa::decode_program(&bytes).expect("well-formed");
+        prop_assert_eq!(prog, back);
+    }
+}

@@ -1,0 +1,212 @@
+//! Set-associative cache with LRU replacement.
+
+use crate::Requestor;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Access latency in cycles, charged on a hit at this level.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two set
+    /// count).
+    pub fn sets(&self) -> usize {
+        let sets = self.size_bytes / (self.assoc as u64 * self.line_bytes);
+        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        sets as usize
+    }
+}
+
+/// Per-line bookkeeping. `prefetch_src` remembers who brought the line
+/// in; it is consumed by the first demand touch (for prefetch-accuracy
+/// and timeliness accounting).
+#[derive(Clone, Copy, Debug)]
+pub struct LineState {
+    /// Line address (byte address of the first byte in the line).
+    pub line_addr: u64,
+    /// Needs write-back on eviction.
+    pub dirty: bool,
+    /// Who filled the line, if it was a prefetch and has not yet been
+    /// demand-touched.
+    pub prefetch_src: Option<Requestor>,
+}
+
+/// One level of set-associative, true-LRU cache.
+///
+/// The cache tracks *presence* and flags only — data lives in the
+/// functional [`vr_isa::Memory`]. Fills happen at lookup time; the
+/// in-flight window is modelled by the MSHR file above this level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// sets[i] is an MRU-first vector of lines.
+    sets: Vec<Vec<LineState>>,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            set_mask: sets as u64 - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// This level's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Converts a byte address to its line address.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    /// Probes for `addr` without changing replacement state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        self.sets[self.set_of(la)].iter().any(|l| l.line_addr == la)
+    }
+
+    /// Looks up `addr`; on a hit, refreshes LRU and returns a mutable
+    /// reference to the line's state.
+    pub fn lookup(&mut self, addr: u64) -> Option<&mut LineState> {
+        let la = self.line_addr(addr);
+        let set_idx = self.set_of(la);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.line_addr == la)?;
+        let line = set.remove(pos);
+        set.insert(0, line);
+        Some(&mut set[0])
+    }
+
+    /// Inserts the line containing `addr` as MRU, evicting the LRU
+    /// line of the set if needed. Returns the evicted line, if any.
+    ///
+    /// If the line is already present it is refreshed instead (its
+    /// flags are left untouched) and `None` is returned.
+    pub fn fill(&mut self, addr: u64, prefetch_src: Option<Requestor>) -> Option<LineState> {
+        let la = self.line_addr(addr);
+        if self.lookup(la).is_some() {
+            return None;
+        }
+        let assoc = self.cfg.assoc;
+        let set_idx = self.set_of(la);
+        let set = &mut self.sets[set_idx];
+        let victim = if set.len() == assoc { set.pop() } else { None };
+        set.insert(0, LineState { line_addr: la, dirty: false, prefetch_src });
+        victim
+    }
+
+    /// Removes the line containing `addr` (back-invalidation), if
+    /// present; returns its state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        let la = self.line_addr(addr);
+        let set_idx = self.set_of(la);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.line_addr == la)?;
+        Some(set.remove(pos))
+    }
+
+    /// Number of resident lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+        assert_eq!(c.line_addr(0x7f), 0x40);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.contains(0x100));
+        assert!(c.fill(0x100, None).is_none());
+        assert!(c.contains(0x100));
+        assert!(c.contains(0x13f)); // same line
+        assert!(!c.contains(0x140)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set stride: 4 sets × 64 B ⇒ addresses 0, 256, 512 share set 0.
+        c.fill(0, None);
+        c.fill(256, None);
+        c.lookup(0); // 0 becomes MRU
+        let victim = c.fill(512, None).expect("set is full, must evict");
+        assert_eq!(victim.line_addr, 256);
+        assert!(c.contains(0));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn refill_of_resident_line_keeps_flags_and_evicts_nothing() {
+        let mut c = tiny();
+        c.fill(0, Some(Requestor::Runahead));
+        assert!(c.fill(0, None).is_none());
+        assert_eq!(c.lookup(0).unwrap().prefetch_src, Some(Requestor::Runahead));
+    }
+
+    #[test]
+    fn dirty_bit_travels_with_eviction() {
+        let mut c = tiny();
+        c.fill(0, None);
+        c.lookup(0).unwrap().dirty = true;
+        c.fill(256, None);
+        let victim = c.fill(512, None).unwrap();
+        assert!(victim.dirty, "dirty LRU line must be reported on eviction");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0, None);
+        assert!(c.invalidate(0x20).is_some()); // same line as 0
+        assert!(!c.contains(0));
+        assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = tiny();
+        for i in 0..64u64 {
+            c.fill(i * 64, None);
+        }
+        assert_eq!(c.resident_lines(), 8); // 4 sets × 2 ways
+    }
+}

@@ -1,0 +1,110 @@
+//! Memory-system configuration.
+
+use crate::cache::CacheConfig;
+use crate::imp::ImpConfig;
+
+/// Full memory-system configuration; defaults mirror the paper's
+/// Table 1.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// L1 data cache (32 KB, 8-way, 4-cycle).
+    pub l1d: CacheConfig,
+    /// Private L2 (256 KB, 8-way, 8-cycle).
+    pub l2: CacheConfig,
+    /// Shared L3 (8 MB, 16-way, 30-cycle).
+    pub l3: CacheConfig,
+    /// L1-D MSHR entries (24).
+    pub mshrs: usize,
+    /// DRAM minimum latency in cycles (50 ns @ 4 GHz = 200).
+    pub dram_min_latency: u64,
+    /// Cycles per 64 B line at the DRAM pins (51.2 GB/s @ 4 GHz = 5).
+    pub dram_cycles_per_line: u64,
+    /// Whether the always-on stride prefetcher is active.
+    pub stride_prefetcher: bool,
+    /// Stride prefetcher streams / degree / distance.
+    pub stride_params: (usize, u64, u64),
+    /// Whether the IMP baseline prefetcher is active.
+    pub imp: bool,
+    /// IMP tuning.
+    pub imp_config: ImpConfig,
+    /// Oracle mode: every main-thread demand load completes with L1
+    /// latency (the paper's "knows all memory accesses in advance"
+    /// upper bound). State and traffic are still modelled.
+    pub oracle: bool,
+}
+
+impl MemConfig {
+    /// The paper's Table 1 memory system.
+    pub fn table1() -> MemConfig {
+        MemConfig {
+            l1d: CacheConfig { size_bytes: 32 << 10, assoc: 8, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 256 << 10, assoc: 8, line_bytes: 64, latency: 8 },
+            l3: CacheConfig { size_bytes: 8 << 20, assoc: 16, line_bytes: 64, latency: 30 },
+            mshrs: 24,
+            dram_min_latency: 200,
+            dram_cycles_per_line: 5,
+            stride_prefetcher: true,
+            stride_params: (16, 4, 16),
+            imp: false,
+            imp_config: ImpConfig::default(),
+            oracle: false,
+        }
+    }
+
+    /// Table 1 with the IMP baseline enabled.
+    pub fn table1_with_imp() -> MemConfig {
+        MemConfig { imp: true, ..MemConfig::table1() }
+    }
+
+    /// Table 1 in oracle (perfect-prefetch) mode.
+    pub fn table1_oracle() -> MemConfig {
+        MemConfig { oracle: true, ..MemConfig::table1() }
+    }
+
+    /// A deliberately small hierarchy for fast unit tests: 512 B L1,
+    /// 2 KB L2, 8 KB L3, 4 MSHRs.
+    pub fn tiny_for_tests() -> MemConfig {
+        MemConfig {
+            l1d: CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 2 << 10, assoc: 4, line_bytes: 64, latency: 8 },
+            l3: CacheConfig { size_bytes: 8 << 10, assoc: 8, line_bytes: 64, latency: 30 },
+            mshrs: 4,
+            dram_min_latency: 200,
+            dram_cycles_per_line: 5,
+            stride_prefetcher: false,
+            stride_params: (16, 4, 16),
+            imp: false,
+            imp_config: ImpConfig::default(),
+            oracle: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_numbers() {
+        let c = MemConfig::table1();
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.assoc, 8);
+        assert_eq!(c.l1d.latency, 4);
+        assert_eq!(c.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.l3.size_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l3.assoc, 16);
+        assert_eq!(c.mshrs, 24);
+        assert_eq!(c.dram_min_latency, 200);
+        assert_eq!(c.dram_cycles_per_line, 5);
+        assert!(c.stride_prefetcher);
+        assert!(!c.oracle);
+    }
+
+    #[test]
+    fn variants_toggle_single_features() {
+        assert!(MemConfig::table1_with_imp().imp);
+        assert!(MemConfig::table1_oracle().oracle);
+        let tiny = MemConfig::tiny_for_tests();
+        assert_eq!(tiny.l1d.sets(), 4);
+    }
+}

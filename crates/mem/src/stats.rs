@@ -1,0 +1,159 @@
+//! Memory-system statistics feeding the paper's figures.
+
+use crate::hierarchy::HitLevel;
+use crate::Requestor;
+
+/// Where a main-thread access found a runahead-prefetched line — the
+/// timeliness metric (the paper's Fig. "Timeliness").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimelinessLevel {
+    /// Found in the L1 data cache.
+    L1,
+    /// Evicted to (or only filled into) L2.
+    L2,
+    /// Evicted to L3.
+    L3,
+    /// Still in transfer from memory when the main thread arrived
+    /// (merged with the outstanding runahead miss).
+    OffChip,
+}
+
+/// Counters maintained by [`crate::MemorySystem`].
+#[derive(Clone, Default, Debug)]
+pub struct MemStats {
+    /// Main-thread demand loads.
+    pub demand_loads: u64,
+    /// Main-thread demand stores.
+    pub demand_stores: u64,
+    /// Main-thread demand loads by the level that served them
+    /// (indexed by [`HitLevel`] discriminant: L1, L2, L3, DRAM).
+    pub load_hits: [u64; 4],
+    /// Demand loads that merged with an already-outstanding miss.
+    pub load_merges: u64,
+
+    /// DRAM line reads attributed to each requestor
+    /// (Main, Runahead, Stride, IMP).
+    pub dram_reads: [u64; 4],
+    /// Dirty-line write-backs to DRAM.
+    pub dram_writebacks: u64,
+
+    /// Prefetched lines issued per prefetching requestor.
+    pub pf_issued: [u64; 4],
+    /// Prefetched lines later touched by a demand access, per
+    /// requestor.
+    pub pf_used: [u64; 4],
+    /// Prefetches dropped because the MSHR file was full.
+    pub pf_dropped_mshr: u64,
+
+    /// Timeliness histogram for runahead-prefetched lines at first
+    /// demand touch (L1 / L2 / L3 / off-chip-in-transfer).
+    pub timeliness: [u64; 4],
+}
+
+impl MemStats {
+    pub(crate) fn req_idx(req: Requestor) -> usize {
+        match req {
+            Requestor::Main => 0,
+            Requestor::Runahead => 1,
+            Requestor::Stride => 2,
+            Requestor::Imp => 3,
+        }
+    }
+
+    pub(crate) fn level_idx(level: HitLevel) -> usize {
+        match level {
+            HitLevel::L1 => 0,
+            HitLevel::L2 => 1,
+            HitLevel::L3 => 2,
+            HitLevel::Dram => 3,
+        }
+    }
+
+    pub(crate) fn timeliness_idx(level: TimelinessLevel) -> usize {
+        match level {
+            TimelinessLevel::L1 => 0,
+            TimelinessLevel::L2 => 1,
+            TimelinessLevel::L3 => 2,
+            TimelinessLevel::OffChip => 3,
+        }
+    }
+
+    /// DRAM reads by `req`.
+    pub fn dram_reads_by(&self, req: Requestor) -> u64 {
+        self.dram_reads[Self::req_idx(req)]
+    }
+
+    /// Total DRAM line reads.
+    pub fn dram_reads_total(&self) -> u64 {
+        self.dram_reads.iter().sum()
+    }
+
+    /// Demand loads served at `level`.
+    pub fn loads_served_at(&self, level: HitLevel) -> u64 {
+        self.load_hits[Self::level_idx(level)]
+    }
+
+    /// LLC misses per kilo-instruction for `instructions` retired
+    /// instructions (main-thread demand misses only).
+    pub fn llc_mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.loads_served_at(HitLevel::Dram) as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Prefetch accuracy of `req`: used / issued.
+    pub fn pf_accuracy(&self, req: Requestor) -> f64 {
+        let i = Self::req_idx(req);
+        if self.pf_issued[i] == 0 {
+            return 0.0;
+        }
+        self.pf_used[i] as f64 / self.pf_issued[i] as f64
+    }
+
+    /// Timeliness fractions (L1, L2, L3, off-chip) over all
+    /// runahead-prefetched lines that the main thread touched.
+    pub fn timeliness_fractions(&self) -> [f64; 4] {
+        let total: u64 = self.timeliness.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.timeliness.map(|c| c as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_math() {
+        let mut s = MemStats::default();
+        s.load_hits[MemStats::level_idx(HitLevel::Dram)] = 50;
+        assert_eq!(s.llc_mpki(1000), 50.0);
+        assert_eq!(s.llc_mpki(0), 0.0);
+    }
+
+    #[test]
+    fn accuracy_math() {
+        let mut s = MemStats::default();
+        s.pf_issued[MemStats::req_idx(Requestor::Runahead)] = 10;
+        s.pf_used[MemStats::req_idx(Requestor::Runahead)] = 7;
+        assert_eq!(s.pf_accuracy(Requestor::Runahead), 0.7);
+        assert_eq!(s.pf_accuracy(Requestor::Stride), 0.0);
+    }
+
+    #[test]
+    fn timeliness_fractions_sum_to_one() {
+        let mut s = MemStats::default();
+        s.timeliness = [6, 2, 1, 1];
+        let f = s.timeliness_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f[0], 0.6);
+    }
+
+    #[test]
+    fn empty_timeliness_is_all_zero() {
+        assert_eq!(MemStats::default().timeliness_fractions(), [0.0; 4]);
+    }
+}

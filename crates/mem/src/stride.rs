@@ -1,0 +1,261 @@
+//! Stride detection (reference prediction table) and the always-on
+//! L1-D stride prefetcher.
+
+/// One reference-prediction-table entry: the paper's stride detector
+/// stores the load PC, previous address, stride and a 2-bit saturating
+/// confidence counter (§"Hardware Overhead": 48 + 48 + 16 + 2 bits per
+/// entry).
+#[derive(Clone, Copy, Debug)]
+pub struct StrideEntry {
+    /// PC of the tracked load.
+    pub pc: u64,
+    /// Address of its most recent access.
+    pub last_addr: u64,
+    /// Last observed address delta.
+    pub stride: i64,
+    /// 2-bit saturating confidence (0–3).
+    pub confidence: u8,
+}
+
+/// Per-PC stride detector / reference prediction table (RPT).
+///
+/// Shared design between the L1-D stride prefetcher (16 streams) and
+/// Vector Runahead's striding-load detector (32 entries): a 2-way
+/// set-associative, LRU-replaced table of [`StrideEntry`]s (pure
+/// direct mapping thrashes when two loads of one tight loop alias —
+/// our instruction-index PCs are denser than x86 byte PCs). An entry
+/// is *confident* once the same non-zero stride repeats
+/// `CONFIDENT_THRESHOLD` times.
+#[derive(Clone, Debug)]
+pub struct StrideDetector {
+    /// MRU-first, at most [`StrideDetector::WAYS`] entries per set.
+    sets: Vec<Vec<StrideEntry>>,
+    mask: u64,
+    entry_count: usize,
+}
+
+impl StrideDetector {
+    /// Confidence level at and above which a stride is trusted.
+    pub const CONFIDENT_THRESHOLD: u8 = 2;
+
+    /// Associativity.
+    pub const WAYS: usize = 2;
+
+    /// Creates a detector with `entries` slots (power of two, ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is below the
+    /// associativity.
+    pub fn new(entries: usize) -> StrideDetector {
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(entries >= Self::WAYS, "need at least one full set");
+        let sets = entries / Self::WAYS;
+        StrideDetector {
+            sets: vec![Vec::with_capacity(Self::WAYS); sets],
+            mask: sets as u64 - 1,
+            entry_count: entries,
+        }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        // Folded-XOR index: loop bodies emit loads at small constant
+        // PC distances, so plain low bits systematically alias.
+        (((pc >> 3) ^ pc) & self.mask) as usize
+    }
+
+    /// Trains on one load execution; returns the entry state after
+    /// training.
+    pub fn train(&mut self, pc: u64, addr: u64) -> StrideEntry {
+        let set_idx = self.set_of(pc);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.pc == pc) {
+            let mut e = set.remove(pos);
+            let stride = addr.wrapping_sub(e.last_addr) as i64;
+            if stride == e.stride && stride != 0 {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.stride = stride;
+                e.confidence = 0;
+            }
+            e.last_addr = addr;
+            set.insert(0, e);
+            return set[0];
+        }
+        if set.len() == Self::WAYS {
+            set.pop();
+        }
+        let fresh = StrideEntry { pc, last_addr: addr, stride: 0, confidence: 0 };
+        set.insert(0, fresh);
+        fresh
+    }
+
+    /// The confident stride for the load at `pc`, if any.
+    pub fn confident_stride(&self, pc: u64) -> Option<i64> {
+        match self.entry(pc) {
+            Some(e) if e.confidence >= Self::CONFIDENT_THRESHOLD && e.stride != 0 => {
+                Some(e.stride)
+            }
+            _ => None,
+        }
+    }
+
+    /// The full entry for `pc`, if tracked.
+    pub fn entry(&self, pc: u64) -> Option<&StrideEntry> {
+        self.sets[self.set_of(pc)].iter().find(|e| e.pc == pc)
+    }
+
+    /// Storage cost in bits (for the hardware-overhead table): per
+    /// entry 48-bit PC + 48-bit address + 16-bit stride + 2-bit
+    /// confidence + 1 innermost bit.
+    pub fn storage_bits(&self) -> u64 {
+        self.entry_count as u64 * (48 + 48 + 16 + 2 + 1)
+    }
+}
+
+/// The always-on hardware stride prefetcher at the L1-D level
+/// ("stride prefetcher (16 streams)" in Table 1).
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    detector: StrideDetector,
+    /// How many strides ahead of the current access to prefetch.
+    pub degree: u64,
+    /// Lookahead distance (in strides) of the first prefetch.
+    pub distance: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with `streams` tracked PCs.
+    pub fn new(streams: usize, degree: u64, distance: u64) -> StridePrefetcher {
+        StridePrefetcher { detector: StrideDetector::new(streams), degree, distance }
+    }
+
+    /// The Table 1 configuration: 16 streams, degree 4, distance 16.
+    pub fn table1() -> StridePrefetcher {
+        StridePrefetcher::new(16, 4, 16)
+    }
+
+    /// Trains on a demand load and returns the byte addresses to
+    /// prefetch (empty while confidence is still building).
+    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let e = self.detector.train(pc, addr);
+        if e.confidence < StrideDetector::CONFIDENT_THRESHOLD || e.stride == 0 {
+            return Vec::new();
+        }
+        (self.distance..self.distance + self.degree)
+            .map(|k| addr.wrapping_add((e.stride as u64).wrapping_mul(k)))
+            .collect()
+    }
+
+    /// The underlying stride detector.
+    pub fn detector(&self) -> &StrideDetector {
+        &self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_a_regular_stride() {
+        let mut d = StrideDetector::new(32);
+        for i in 0..4u64 {
+            d.train(0x10, 0x1000 + i * 8);
+        }
+        assert_eq!(d.confident_stride(0x10), Some(8));
+        let e = d.entry(0x10).unwrap();
+        assert_eq!(e.stride, 8);
+        assert!(e.confidence >= 2);
+    }
+
+    #[test]
+    fn irregular_addresses_never_become_confident() {
+        let mut d = StrideDetector::new(32);
+        for a in [100u64, 900, 300, 5000, 17] {
+            d.train(0x10, a);
+        }
+        assert_eq!(d.confident_stride(0x10), None);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut d = StrideDetector::new(32);
+        for i in 0..4u64 {
+            d.train(0x10, 0x1000 + i * 8);
+        }
+        assert!(d.confident_stride(0x10).is_some());
+        d.train(0x10, 0x9000);
+        assert_eq!(d.confident_stride(0x10), None);
+    }
+
+    #[test]
+    fn negative_strides_are_detected() {
+        let mut d = StrideDetector::new(32);
+        for i in 0..4u64 {
+            d.train(0x10, 0x8000 - i * 16);
+        }
+        assert_eq!(d.confident_stride(0x10), Some(-16));
+    }
+
+    #[test]
+    fn conflicting_pcs_evict_lru() {
+        let mut d = StrideDetector::new(2); // one set of two ways
+        d.train(0, 0x100);
+        d.train(2, 0x200);
+        d.train(0, 0x108); // refresh pc 0
+        d.train(4, 0x300); // evicts pc 2 (LRU)
+        assert!(d.entry(0).is_some(), "pc 0 was MRU and must survive");
+        assert!(d.entry(2).is_none(), "pc 2 was LRU and must be evicted");
+        assert!(d.entry(4).is_some());
+    }
+
+    #[test]
+    fn two_alternating_pcs_in_one_set_both_stay_confident() {
+        // The pathological pattern that broke direct mapping: two
+        // loads of the same loop body aliasing to one set, trained
+        // alternately in program order.
+        let mut d = StrideDetector::new(16);
+        for i in 0..8u64 {
+            d.train(5, 0x1000 + i * 8);
+            d.train(5 + 8 * 2, 0x9000 + i * 64); // same set, other way
+        }
+        assert_eq!(d.confident_stride(5), Some(8));
+        assert_eq!(d.confident_stride(21), Some(64));
+    }
+
+    #[test]
+    fn zero_stride_is_not_confident() {
+        let mut d = StrideDetector::new(32);
+        for _ in 0..8 {
+            d.train(0x10, 0x1000);
+        }
+        assert_eq!(d.confident_stride(0x10), None);
+    }
+
+    #[test]
+    fn prefetcher_emits_degree_addresses_at_distance() {
+        let mut p = StridePrefetcher::new(16, 4, 4);
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            out = p.train(0x10, 0x1000 + i * 64);
+        }
+        // Last access at 0x1000 + 5·64 = 0x1140; distance 4, degree 4.
+        assert_eq!(out, vec![0x1140 + 4 * 64, 0x1140 + 5 * 64, 0x1140 + 6 * 64, 0x1140 + 7 * 64]);
+    }
+
+    #[test]
+    fn prefetcher_silent_before_confidence() {
+        let mut p = StridePrefetcher::table1();
+        assert!(p.train(0x10, 0x1000).is_empty());
+        assert!(p.train(0x10, 0x1040).is_empty());
+    }
+
+    #[test]
+    fn storage_accounting_matches_paper_per_entry_cost() {
+        let d = StrideDetector::new(32);
+        assert_eq!(d.storage_bits(), 32 * 115);
+        // The paper rounds this to 460 bytes for 32 entries.
+        assert_eq!(d.storage_bits() / 8, 460);
+    }
+}

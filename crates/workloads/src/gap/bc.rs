@@ -1,0 +1,183 @@
+//! Betweenness centrality (GAP `bc`, Brandes forward phase).
+//!
+//! The forward phase computes BFS depths and shortest-path counts
+//! (`sigma`) from one source — the memory- and branch-heavy part the
+//! paper's motivation cites for broad control-flow divergence (two
+//! different indirect update paths inside the inner loop).
+
+use vr_isa::{Asm, Reg};
+
+use crate::gap::{load_graph, named, source_vertex};
+use crate::graph::{Csr, GraphPreset};
+use crate::Workload;
+
+/// Builds the Brandes forward phase over `g`.
+///
+/// Memory outputs: `depth[u]` holds BFS depth + 1 (0 = unreached);
+/// `sigma[u]` holds the number of shortest paths from the source.
+pub fn bc_on(g: &Csr, preset: GraphPreset) -> Workload {
+    let mut img = load_graph(g);
+    let n = img.n;
+    let depth = img.arena.alloc_u64s(n);
+    let sigma = img.arena.alloc_u64s(n);
+    let queue = img.arena.alloc_u64s(n + 1);
+    let src = source_vertex(g);
+    img.memory.write_u64(depth + src * 8, 1);
+    img.memory.write_u64(sigma + src * 8, 1);
+    img.memory.write_u64(queue, src);
+
+    let mut a = Asm::new();
+    let (row, col, dep, sig, q) = (Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4);
+    let (head, tail) = (Reg::S0, Reg::S1);
+    let (v, e, eend, u, tmp, dv, du, sv, su, uaddr) = (
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::T4,
+        Reg::T0,
+        Reg::S5,
+        Reg::T5,
+        Reg::S6,
+        Reg::T6,
+        Reg::T1,
+    );
+
+    a.li(head, 0);
+    a.li(tail, 1);
+    let outer = a.here();
+    let done = a.label();
+    a.bgeu(head, tail, done);
+    // v = Q[head++]
+    a.slli(tmp, head, 3);
+    a.add(tmp, tmp, q);
+    a.ld(v, tmp, 0);
+    a.addi(head, head, 1);
+    // dv = depth[v]; sv = sigma[v]
+    a.slli(tmp, v, 3);
+    a.add(tmp, tmp, dep);
+    a.ld(dv, tmp, 0);
+    a.slli(tmp, v, 3);
+    a.add(tmp, tmp, sig);
+    a.ld(sv, tmp, 0);
+    // edge bounds
+    a.slli(tmp, v, 3);
+    a.add(tmp, tmp, row);
+    a.ld(e, tmp, 0);
+    a.ld(eend, tmp, 8);
+    let inner = a.here();
+    a.bgeu(e, eend, outer);
+    a.slli(tmp, e, 3);
+    a.add(tmp, tmp, col);
+    a.ld(u, tmp, 0); // u = col[e]             (striding load)
+    a.addi(e, e, 1);
+    a.slli(uaddr, u, 3);
+    a.add(uaddr, uaddr, dep);
+    a.ld(du, uaddr, 0); // depth[u]            (indirect load)
+    let not_new = a.label();
+    a.bne(du, Reg::ZERO, not_new);
+    // First visit: depth[u] = dv+1; enqueue; sigma[u] += sv.
+    a.addi(du, dv, 1);
+    a.st(du, uaddr, 0);
+    a.slli(tmp, tail, 3);
+    a.add(tmp, tmp, q);
+    a.st(u, tmp, 0);
+    a.addi(tail, tail, 1);
+    a.slli(tmp, u, 3);
+    a.add(tmp, tmp, sig);
+    a.ld(su, tmp, 0);
+    a.add(su, su, sv);
+    a.st(su, tmp, 0);
+    a.j(inner);
+    a.bind(not_new);
+    // Already seen: accumulate only if u is on the next level.
+    let skip = a.label();
+    a.addi(tmp, dv, 1);
+    a.bne(du, tmp, skip);
+    a.slli(tmp, u, 3);
+    a.add(tmp, tmp, sig);
+    a.ld(su, tmp, 0); // sigma[u]              (second divergent path)
+    a.add(su, su, sv);
+    a.st(su, tmp, 0);
+    a.bind(skip);
+    a.j(inner);
+    a.bind(done);
+    a.halt();
+
+    Workload {
+        name: named("bc", preset),
+        program: a.assemble(),
+        memory: img.memory,
+        init_regs: vec![
+            (row, img.row_ptr),
+            (col, img.col_idx),
+            (dep, depth),
+            (sig, sigma),
+            (q, queue),
+        ],
+    }
+}
+
+/// Pure-Rust reference: `(depth + 1, sigma)` arrays from the same
+/// traversal order.
+pub fn bc_reference(g: &Csr, src: u64) -> (Vec<u64>, Vec<u64>) {
+    let n = g.num_nodes();
+    let mut depth = vec![0u64; n];
+    let mut sigma = vec![0u64; n];
+    depth[src as usize] = 1;
+    sigma[src as usize] = 1;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = depth[v as usize];
+        let sv = sigma[v as usize];
+        for &u in g.neighbors(v as usize) {
+            let u = u as usize;
+            if depth[u] == 0 {
+                depth[u] = dv + 1;
+                queue.push_back(u as u64);
+                sigma[u] += sv;
+            } else if depth[u] == dv + 1 {
+                sigma[u] += sv;
+            }
+        }
+    }
+    (depth, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{kronecker, uniform};
+
+    fn check(g: &Csr) {
+        let w = bc_on(g, GraphPreset::LiveJournal);
+        let (cpu, mem) = w.run_functional_with_memory(80_000_000).expect("bc halts");
+        assert!(cpu.halted());
+        let dep_base = w.init_regs.iter().find(|(r, _)| *r == Reg::A2).unwrap().1;
+        let sig_base = w.init_regs.iter().find(|(r, _)| *r == Reg::A3).unwrap().1;
+        let (depth, sigma) = bc_reference(g, super::source_vertex(g));
+        for i in 0..g.num_nodes() {
+            assert_eq!(mem.read_u64(dep_base + 8 * i as u64), depth[i], "depth[{i}]");
+            assert_eq!(mem.read_u64(sig_base + 8 * i as u64), sigma[i], "sigma[{i}]");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_uniform_graph() {
+        check(&uniform(100, 4, 31));
+    }
+
+    #[test]
+    fn matches_reference_on_kronecker_graph() {
+        check(&kronecker(7, 4, 33));
+    }
+
+    #[test]
+    fn diamond_counts_two_shortest_paths() {
+        //   0 → 1 → 3, 0 → 2 → 3, plus 0→4 filler for degree.
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (0, 4), (1, 3), (2, 3)]);
+        let (depth, sigma) = bc_reference(&g, 0);
+        assert_eq!(depth[3], 3);
+        assert_eq!(sigma[3], 2, "two shortest paths to the sink");
+    }
+}

@@ -1,0 +1,79 @@
+//! The five GAP-suite kernels of the paper's evaluation.
+//!
+//! Each kernel follows the shape of the GAP benchmark suite reference
+//! code (Beamer et al.): CSR graphs, queue-based traversals, pull
+//! PageRank, label-propagation components and Bellman-Ford-style
+//! relaxation. Register conventions shared by all kernels: `a0` =
+//! `row_ptr`, `a1` = `col_idx`, `a2..a5` = per-kernel arrays, `a6` =
+//! result cell.
+
+pub(crate) mod bc;
+pub(crate) mod bfs;
+pub(crate) mod cc;
+pub(crate) mod pr;
+pub(crate) mod sssp;
+
+pub use bc::{bc_on, bc_reference};
+pub use bfs::{bfs_on, bfs_reference};
+pub use cc::{cc_on, cc_reference, CC_ROUNDS};
+pub use pr::{pr_on, pr_reference};
+pub use sssp::{sssp_on, sssp_reference, INF, SSSP_ROUNDS};
+
+use vr_isa::Memory;
+
+use crate::graph::{Csr, GraphPreset};
+use crate::layout::Arena;
+
+/// A CSR graph laid out in simulated memory.
+pub(crate) struct GraphImage {
+    pub row_ptr: u64,
+    pub col_idx: u64,
+    pub n: u64,
+    pub arena: Arena,
+    pub memory: Memory,
+}
+
+/// Writes `row_ptr` and `col_idx` into fresh memory.
+pub(crate) fn load_graph(g: &Csr) -> GraphImage {
+    let mut arena = Arena::new();
+    let mut memory = Memory::new();
+    let row_ptr = arena.alloc_u64s(g.row_ptr.len() as u64);
+    let col_idx = arena.alloc_u64s(g.col_idx.len().max(1) as u64);
+    memory.write_u64_slice(row_ptr, &g.row_ptr);
+    memory.write_u64_slice(col_idx, &g.col_idx);
+    GraphImage { row_ptr, col_idx, n: g.num_nodes() as u64, arena, memory }
+}
+
+/// The traversal source every kernel uses: the highest-out-degree
+/// vertex (guarantees a large frontier on power-law inputs).
+pub(crate) fn source_vertex(g: &Csr) -> u64 {
+    (0..g.num_nodes()).max_by_key(|&v| g.degree(v)).unwrap_or(0) as u64
+}
+
+/// Suffix a workload name with the preset abbreviation, as the paper
+/// labels benchmark-input pairs (`bfs_KR`, `cc_TW`, …).
+pub(crate) fn named(kernel: &str, preset: GraphPreset) -> String {
+    format!("{kernel}_{}", preset.abbrev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::uniform;
+
+    #[test]
+    fn load_graph_places_disjoint_arrays() {
+        let g = uniform(64, 4, 1);
+        let img = load_graph(&g);
+        assert_eq!(img.n, 64);
+        assert_eq!(img.memory.read_u64(img.row_ptr), 0);
+        assert_eq!(img.memory.read_u64(img.row_ptr + 64 * 8), 64 * 4);
+        assert!(img.col_idx >= img.row_ptr + 65 * 8);
+    }
+
+    #[test]
+    fn source_vertex_picks_max_degree() {
+        let g = Csr::from_edges(4, &[(2, 0), (2, 1), (2, 3), (0, 1)]);
+        assert_eq!(source_vertex(&g), 2);
+    }
+}

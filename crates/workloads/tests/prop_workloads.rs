@@ -1,0 +1,69 @@
+//! Property-based tests of the workload substrate.
+
+use proptest::prelude::*;
+use vr_workloads::graph::{kronecker, uniform, Csr};
+use vr_workloads::Arena;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any CSR built from an edge list is structurally well-formed:
+    /// monotone row pointers, in-range destinations, edge-count match.
+    #[test]
+    fn csr_is_well_formed(
+        n in 1usize..200,
+        edges in proptest::collection::vec((0u64..200, 0u64..200), 0..500),
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u64, d % n as u64))
+            .collect();
+        let g = Csr::from_edges(n, &edges);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_edges(), edges.len());
+        prop_assert_eq!(g.row_ptr[0], 0);
+        for v in 0..n {
+            prop_assert!(g.row_ptr[v] <= g.row_ptr[v + 1], "row_ptr must be monotone");
+        }
+        prop_assert_eq!(g.row_ptr[n] as usize, edges.len());
+        for &d in &g.col_idx {
+            prop_assert!((d as usize) < n, "destination in range");
+        }
+        // Per-vertex degrees must match the edge list.
+        let mut deg = vec![0usize; n];
+        for &(s, _) in &edges {
+            deg[s as usize] += 1;
+        }
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), deg[v]);
+        }
+    }
+
+    /// Generators produce well-formed graphs for arbitrary parameters.
+    #[test]
+    fn generators_are_well_formed(scale in 3u32..11, ef in 1usize..16, seed in any::<u64>()) {
+        let k = kronecker(scale, ef, seed);
+        prop_assert_eq!(k.num_nodes(), 1 << scale);
+        prop_assert_eq!(k.num_edges(), (1usize << scale) * ef);
+        let u = uniform(1 << scale, ef, seed);
+        for v in 0..u.num_nodes() {
+            prop_assert_eq!(u.degree(v), ef);
+        }
+    }
+
+    /// Arena allocations are page-aligned and pairwise disjoint for
+    /// arbitrary request sequences.
+    #[test]
+    fn arena_allocations_never_overlap(sizes in proptest::collection::vec(0u64..100_000, 1..50)) {
+        let mut arena = Arena::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for sz in sizes {
+            let base = arena.alloc(sz);
+            prop_assert_eq!(base % 4096, 0, "page aligned");
+            for &(b, s) in &spans {
+                prop_assert!(base >= b + s || base + sz <= b, "overlap with [{b}, {})", b + s);
+            }
+            spans.push((base, sz));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Writing your own workload: build a pointer-chasing kernel with the
+//! assembler, validate it on the functional emulator, then sweep
+//! Vector Runahead's vectorization degree K over it.
+//!
+//! ```text
+//! cargo run --release -p vr-bench --example custom_kernel
+//! ```
+
+use vr_bench::{ratio, run_custom, Table};
+use vr_core::{CoreConfig, RunaheadConfig, Simulator};
+use vr_isa::{Asm, Cpu, Memory, Reg};
+use vr_mem::MemConfig;
+
+fn main() {
+    // ---- 1. Build the input: D[C[A[i]]] over 16 MB tables. --------
+    let len = 1u64 << 21;
+    let (a_base, c_base, d_base) = (0x0100_0000u64, 0x4000_0000u64, 0x8000_0000u64);
+    let mut mem = Memory::new();
+    let mut x = 7u64;
+    let mut rnd = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % len
+    };
+    let a: Vec<u64> = (0..len / 8).map(|_| rnd()).collect();
+    let c: Vec<u64> = (0..len).map(|_| rnd()).collect();
+    mem.write_u64_slice(a_base, &a);
+    mem.write_u64_slice(c_base, &c);
+    // D stays zero-filled (sparse memory reads unmapped pages as 0).
+
+    // ---- 2. Write the kernel. --------------------------------------
+    let mut asm = Asm::new();
+    let (i, n, v, tmp, acc) = (Reg::S0, Reg::S1, Reg::T3, Reg::T4, Reg::S2);
+    asm.li(i, 0);
+    asm.li(n, 50_000);
+    asm.li(acc, 0);
+    let top = asm.here();
+    let done = asm.label();
+    asm.bgeu(i, n, done);
+    asm.slli(tmp, i, 3);
+    asm.add(tmp, tmp, Reg::A0);
+    asm.ld(v, tmp, 0); // A[i]
+    asm.slli(v, v, 3);
+    asm.add(v, v, Reg::A1);
+    asm.ld(v, v, 0); // C[A[i]]
+    asm.andi(v, v, (len - 1) as i64);
+    asm.slli(v, v, 3);
+    asm.add(v, v, Reg::A2);
+    asm.ld(v, v, 0); // D[C[A[i]] % len]
+    asm.add(acc, acc, v);
+    asm.addi(i, i, 1);
+    asm.j(top);
+    asm.bind(done);
+    asm.halt();
+    let program = asm.assemble();
+    let init_regs = [(Reg::A0, a_base), (Reg::A1, c_base), (Reg::A2, d_base)];
+
+    // ---- 3. Validate functionally before timing simulation. -------
+    let mut cpu = Cpu::new();
+    for &(r, v) in &init_regs {
+        cpu.set_x(r, v);
+    }
+    let mut fmem = mem.clone();
+    let mut steps = 0u64;
+    while !cpu.halted() {
+        cpu.step(&program, &mut fmem).expect("kernel stays in bounds");
+        steps += 1;
+        assert!(steps < 10_000_000, "kernel must terminate");
+    }
+    println!("functional check: {} instructions, acc = {:#x}\n", steps, cpu.x(Reg::S2));
+
+    // ---- 4. Sweep the vectorization degree. ------------------------
+    let budget = 250_000;
+    let mut base_sim = Simulator::new(
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        RunaheadConfig::none(),
+        program.clone(),
+        mem.clone(),
+        &init_regs,
+    );
+    let base = base_sim.run(budget);
+    println!("baseline IPC {:.3}", base.ipc());
+
+    let mut t = Table::new(&["K (lanes)", "IPC", "speedup", "batches"]);
+    for k in [8usize, 16, 32, 64, 128] {
+        let ra = RunaheadConfig { vr_lanes: k, ..RunaheadConfig::vector() };
+        let w = vr_workloads::Workload {
+            name: format!("custom-k{k}"),
+            program: program.clone(),
+            memory: mem.clone(),
+            init_regs: init_regs.to_vec(),
+        };
+        let s = run_custom(&w, CoreConfig::table1(), MemConfig::table1(), ra, budget);
+        t.row(vec![
+            k.to_string(),
+            format!("{:.3}", s.ipc()),
+            ratio(s.speedup_over(&base)),
+            s.vr_batches.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
