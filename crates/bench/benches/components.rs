@@ -1,36 +1,34 @@
-//! Criterion micro-benchmarks of the simulator's building blocks:
-//! sparse memory, functional emulator, branch predictor, cache
-//! hierarchy and MSHR file. These quantify simulation throughput, not
-//! the paper's results (those come from the `experiments` binary).
+//! Micro-benchmarks of the simulator's building blocks: sparse
+//! memory, functional emulator, branch predictor, cache hierarchy and
+//! MSHR file. These quantify simulation throughput, not the paper's
+//! results (those come from the `experiments` binary).
+//!
+//! Uses the offline `vr_bench::micro` harness (`harness = false`) so
+//! the workspace carries no registry dependencies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vr_bench::micro::{black_box, Runner};
 use vr_frontend::{DirectionPredictor, Tage};
 use vr_isa::{Asm, Cpu, Memory, Reg};
 use vr_mem::{Access, MemConfig, MemorySystem, Requestor};
 
-fn bench_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory");
-    g.throughput(Throughput::Elements(1));
+fn bench_memory() {
+    let r = Runner::new("memory");
     let mut mem = Memory::new();
     mem.write_u64_slice(0x1000, &vec![7u64; 1 << 16]);
     let mut i = 0u64;
-    g.bench_function("read_u64", |b| {
-        b.iter(|| {
-            i = (i + 8) & 0xffff;
-            black_box(mem.read_u64(0x1000 + i))
-        })
+    r.bench("read_u64", || {
+        i = (i + 8) & 0xffff;
+        black_box(mem.read_u64(0x1000 + i))
     });
-    g.bench_function("write_u64", |b| {
-        b.iter(|| {
-            i = (i + 8) & 0xffff;
-            mem.write_u64(0x1000 + i, i);
-        })
+    let mut j = 0u64;
+    r.bench("write_u64", || {
+        j = (j + 8) & 0xffff;
+        mem.write_u64(0x1000 + j, j);
     });
-    g.finish();
 }
 
-fn bench_emulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("emulator");
+fn bench_emulator() {
+    let r = Runner::new("emulator");
     // A tight arithmetic loop.
     let mut a = Asm::new();
     a.li(Reg::T0, 0);
@@ -43,56 +41,41 @@ fn bench_emulator(c: &mut Criterion) {
     let prog = a.assemble();
     let mut cpu = Cpu::new();
     let mut mem = Memory::new();
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("step", |b| {
-        b.iter(|| {
-            cpu.step(&prog, &mut mem).expect("in bounds");
-        })
+    r.bench("step", || {
+        cpu.step(&prog, &mut mem).expect("in bounds");
     });
-    g.finish();
 }
 
-fn bench_tage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tage");
+fn bench_tage() {
+    let r = Runner::new("tage");
     let mut t = Tage::default_8kb();
     let mut i = 0u64;
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("predict_and_train", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(t.predict_and_train(i % 64, i % 7 != 0))
-        })
+    r.bench("predict_and_train", || {
+        i += 1;
+        black_box(t.predict_and_train(i % 64, !i.is_multiple_of(7)))
     });
-    g.finish();
 }
 
-fn bench_memory_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memory_system");
-    g.throughput(Throughput::Elements(1));
-
+fn bench_memory_system() {
+    let r = Runner::new("memory_system");
     let mut ms = MemorySystem::new(MemConfig::table1());
     let mut now = 0u64;
+    ms.access(0x1000, Access::Load, Requestor::Main, 1, 0).expect("warm-up access");
+    r.bench("l1_hit", || {
+        now += 1;
+        black_box(ms.access(0x1000, Access::Load, Requestor::Main, 1, now))
+    });
     let mut addr = 0u64;
-    g.bench_function("l1_hit", |b| {
-        ms.access(0x1000, Access::Load, Requestor::Main, 1, 0).unwrap();
-        b.iter(|| {
-            now += 1;
-            black_box(ms.access(0x1000, Access::Load, Requestor::Main, 1, now))
-        })
+    r.bench("streaming_misses", || {
+        now += 300;
+        addr += 64;
+        black_box(ms.access(0x100_0000 + addr, Access::Load, Requestor::Main, 2, now))
     });
-    g.bench_function("streaming_misses", |b| {
-        b.iter(|| {
-            now += 300;
-            addr += 64;
-            black_box(ms.access(0x100_0000 + addr, Access::Load, Requestor::Main, 2, now))
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_memory, bench_emulator, bench_tage, bench_memory_system
-);
-criterion_main!(benches);
+fn main() {
+    bench_memory();
+    bench_emulator();
+    bench_tage();
+    bench_memory_system();
+}

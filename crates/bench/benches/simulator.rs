@@ -1,40 +1,37 @@
-//! Criterion end-to-end benchmarks: whole-simulator throughput per
-//! technique, and quick-mode regenerations of the paper's headline
-//! comparison (small inputs; the full-scale figures come from the
-//! `experiments` binary).
+//! End-to-end benchmarks: whole-simulator throughput per technique,
+//! and quick-mode regenerations of the paper's headline comparison
+//! (small inputs; the full-scale figures come from the `experiments`
+//! binary).
+//!
+//! Uses the offline `vr_bench::micro` harness (`harness = false`) so
+//! the workspace carries no registry dependencies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vr_bench::micro::{black_box, Runner};
 use vr_bench::{run_technique, Technique};
 use vr_core::CoreConfig;
 use vr_workloads::{hpcdb, Scale};
 
 const BUDGET: u64 = 20_000;
 
-fn bench_techniques(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_kangaroo_20k_insts");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(BUDGET));
+fn bench_techniques() {
+    let mut r = Runner::new("simulate_kangaroo_20k_insts");
+    r.samples = 5;
     let w = hpcdb::kangaroo(Scale::Test);
     for tech in Technique::HEADLINE {
-        g.bench_function(tech.label(), |b| {
-            b.iter(|| black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)))
-        });
+        r.bench(tech.label(), || black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)));
     }
-    g.finish();
 }
 
-fn bench_deep_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_hj8_20k_insts");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(BUDGET));
+fn bench_deep_chain() {
+    let mut r = Runner::new("simulate_hj8_20k_insts");
+    r.samples = 5;
     let w = hpcdb::hashjoin(Scale::Test, 8);
     for tech in [Technique::Baseline, Technique::Vr] {
-        g.bench_function(tech.label(), |b| {
-            b.iter(|| black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)))
-        });
+        r.bench(tech.label(), || black_box(run_technique(&w, CoreConfig::table1(), tech, BUDGET)));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_techniques, bench_deep_chain);
-criterion_main!(benches);
+fn main() {
+    bench_techniques();
+    bench_deep_chain();
+}

@@ -5,8 +5,8 @@
 //! experiments <id> [--insts N] [--all-inputs] [--quick]
 //!
 //! ids: table1 table2 fig-perf fig-rob fig-breakdown fig-mlp
-//!      fig-accuracy fig-timeliness fig-veclen fig-interval table-hw
-//!      all
+//!      fig-accuracy fig-timeliness fig-veclen fig-interval
+//!      fig-ablation fig-mshr table-hw fault-oracle all
 //! ```
 //!
 //! `--insts N`     instruction budget per run (default 200000)
@@ -16,9 +16,7 @@
 use std::collections::HashMap;
 
 use vr_bench::{pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique};
-use vr_core::{
-    harmonic_mean, CoreConfig, RunaheadConfig,
-};
+use vr_core::{harmonic_mean, CoreConfig, RunaheadConfig};
 use vr_mem::{HitLevel, MemConfig, Requestor};
 use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
 
@@ -73,6 +71,7 @@ fn main() {
         "table-hw" => table_hw(),
         "fig-ablation" => fig_ablation(&opts),
         "fig-mshr" => fig_mshr(&opts),
+        "fault-oracle" => fault_oracle(),
         "all" => {
             table1();
             table2(&opts);
@@ -92,7 +91,7 @@ fn main() {
             eprintln!(
                 "usage: experiments <table1|table2|fig-perf|fig-rob|fig-breakdown|fig-mlp|\
                  fig-accuracy|fig-timeliness|fig-veclen|fig-interval|fig-ablation|fig-mshr|\
-                 table-hw|all> [--insts N] [--all-inputs] [--quick]"
+                 table-hw|fault-oracle|all> [--insts N] [--all-inputs] [--quick]"
             );
             std::process::exit(2);
         }
@@ -134,12 +133,12 @@ fn table1() {
         "Queue sizes".into(),
         format!("issue ({}), load ({}), store ({})", c.iq, c.lq, c.sq),
     ]);
-    t.row(vec![
-        "Processor width".into(),
-        format!("{}-wide fetch/dispatch/rename/commit", c.width),
-    ]);
+    t.row(vec!["Processor width".into(), format!("{}-wide fetch/dispatch/rename/commit", c.width)]);
     t.row(vec!["Pipeline depth".into(), format!("{} front-end stages", c.frontend_depth)]);
-    t.row(vec!["Branch predictor".into(), "8 KB TAGE-SC-L (TAGE + loop predictor + statistical corrector)".into()]);
+    t.row(vec![
+        "Branch predictor".into(),
+        "8 KB TAGE-SC-L (TAGE + loop predictor + statistical corrector)".into(),
+    ]);
     t.row(vec![
         "Functional units".into(),
         format!(
@@ -155,10 +154,7 @@ fn table1() {
         ),
     ]);
     t.row(vec!["Vector units".into(), format!("{} ALU (vector-runahead engine)", c.fu.vec_alu)]);
-    t.row(vec![
-        "Register file".into(),
-        format!("{} int, {} fp physical", c.int_regs, c.fp_regs),
-    ]);
+    t.row(vec!["Register file".into(), format!("{} int, {} fp physical", c.int_regs, c.fp_regs)]);
     t.row(vec![
         "L1 D-cache".into(),
         format!(
@@ -285,9 +281,7 @@ fn fig_rob(opts: &Opts) {
             vr_norm.push(v.ipc() / base350[i]);
             stall.push(b.full_rob_stall_fraction());
         }
-        let gm = |v: &[f64]| {
-            (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-        };
+        let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         t.row(vec![
             rob.to_string(),
@@ -365,8 +359,7 @@ fn fig_accuracy(opts: &Opts) {
          split main thread vs runahead ==\n"
     );
     let set = build_set(opts);
-    let mut t =
-        Table::new(&["benchmark", "OoO total", "VR main", "VR runahead", "VR total(norm)"]);
+    let mut t = Table::new(&["benchmark", "OoO total", "VR main", "VR runahead", "VR total(norm)"]);
     for w in &set {
         eprintln!("  [run] {} …", w.name);
         let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
@@ -389,9 +382,7 @@ fn fig_accuracy(opts: &Opts) {
 // ---------------------------------------------------------------- fig 11
 
 fn fig_timeliness(opts: &Opts) {
-    println!(
-        "\n== Fig. timeliness: where the main thread finds runahead-prefetched lines ==\n"
-    );
+    println!("\n== Fig. timeliness: where the main thread finds runahead-prefetched lines ==\n");
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "L1", "L2", "L3", "off-chip"]);
     for w in &set {
@@ -406,9 +397,7 @@ fn fig_timeliness(opts: &Opts) {
 // ---------------------------------------------------------------- veclen
 
 fn fig_veclen(opts: &Opts) {
-    println!(
-        "\n== Fig. vector length: VR speedup over baseline vs vectorization degree K ==\n"
-    );
+    println!("\n== Fig. vector length: VR speedup over baseline vs vectorization degree K ==\n");
     let set = sweep_set(opts);
     let lanes = [16usize, 32, 64, 128];
     let mut t = Table::new(&["benchmark", "K=16", "K=32", "K=64", "K=128"]);
@@ -476,20 +465,12 @@ fn fig_interval(opts: &Opts) {
 /// choices DESIGN.md §4 calls out): VIR pipelining, reconvergence,
 /// bounded termination.
 fn fig_ablation(opts: &Opts) {
-    println!(
-        "\n== Fig. design ablations: VR variants, speedup over the baseline OoO ==\n"
-    );
+    println!("\n== Fig. design ablations: VR variants, speedup over the baseline OoO ==\n");
     let set = sweep_set(opts);
     let variants: [(&str, RunaheadConfig); 4] = [
         ("VR", RunaheadConfig::vector()),
-        (
-            "no VIR pipelining",
-            RunaheadConfig { vir_pipelining: false, ..RunaheadConfig::vector() },
-        ),
-        (
-            "+reconvergence",
-            RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() },
-        ),
+        ("no VIR pipelining", RunaheadConfig { vir_pipelining: false, ..RunaheadConfig::vector() }),
+        ("+reconvergence", RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() }),
         (
             "+bounded term (64)",
             RunaheadConfig { termination_slack: Some(64), ..RunaheadConfig::vector() },
@@ -502,7 +483,8 @@ fn fig_ablation(opts: &Opts) {
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
         let mut cells = vec![w.name.clone()];
         for (i, (_, ra)) in variants.iter().enumerate() {
-            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra.clone(), opts.insts);
+            let s =
+                run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra.clone(), opts.insts);
             let sp = s.speedup_over(&base);
             agg[i].push(sp);
             cells.push(ratio(sp));
@@ -536,13 +518,8 @@ fn fig_mshr(opts: &Opts) {
                 RunaheadConfig::none(),
                 opts.insts,
             );
-            let vr = run_custom(
-                w,
-                CoreConfig::table1(),
-                mem_cfg,
-                RunaheadConfig::vector(),
-                opts.insts,
-            );
+            let vr =
+                run_custom(w, CoreConfig::table1(), mem_cfg, RunaheadConfig::vector(), opts.insts);
             let sp = vr.speedup_over(&base);
             agg[i].push(sp);
             cells.push(ratio(sp));
@@ -570,4 +547,78 @@ fn table_hw() {
     }
     t.row(vec!["TOTAL".into(), total.to_string(), format!("{:.0}", (total as f64 / 8.0).ceil())]);
     print!("{}", t.render());
+}
+
+// ------------------------------------------------------------ fault oracle
+
+/// Robustness artifact (not a paper figure): runs three Test-scale
+/// workloads to completion under seeded fault-injection plans and
+/// checks that committed registers, the final memory image and the
+/// retired-instruction count are bit-identical to the no-runahead
+/// baseline — the architectural-invisibility contract of runahead.
+/// Exits non-zero on any mismatch.
+fn fault_oracle() {
+    use vr_core::{FaultPlan, RunaheadKind, Simulator};
+    use vr_isa::Reg;
+
+    println!("\n== Fault-injection oracle: runahead is architecturally invisible ==\n");
+
+    let run = |w: &Workload, ra: RunaheadConfig| {
+        let mut sim = Simulator::new(
+            CoreConfig::table1(),
+            MemConfig::tiny_for_tests(),
+            ra,
+            w.program.clone(),
+            w.memory.clone(),
+            &w.init_regs,
+        );
+        let stats = sim.try_run(u64::MAX).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", w.name);
+            std::process::exit(1);
+        });
+        let regs: Vec<u64> = (0..32).map(|i| sim.committed_cpu().x(Reg::new(i))).collect();
+        (stats, regs, sim.memory().digest())
+    };
+
+    let g = GraphPreset::Kron.generate(Scale::Test);
+    let set = vec![
+        vr_workloads::hpcdb::kangaroo(Scale::Test),
+        vr_workloads::hpcdb::hashjoin(Scale::Test, 2),
+        vr_workloads::gap::bfs_on(&g, GraphPreset::Kron),
+    ];
+
+    let mut t = Table::new(&[
+        "workload", "kind", "seed", "faults", "aborts", "pf-drop", "pf-delay", "arch",
+    ]);
+    let mut failed = false;
+    for w in &set {
+        let (_, base_regs, base_digest) = run(w, RunaheadConfig::none());
+        for kind in [RunaheadKind::Classic, RunaheadKind::Vector] {
+            for seed in [1u64, 2, 3] {
+                let ra = RunaheadConfig {
+                    fault_plan: Some(FaultPlan::chaos(seed)),
+                    ..RunaheadConfig::of(kind)
+                };
+                let (stats, regs, digest) = run(w, ra);
+                let ok = regs == base_regs && digest == base_digest;
+                failed |= !ok;
+                t.row(vec![
+                    w.name.clone(),
+                    format!("{kind:?}"),
+                    seed.to_string(),
+                    stats.faults_injected.to_string(),
+                    stats.runahead_aborts.to_string(),
+                    stats.mem.pf_dropped_fault.to_string(),
+                    stats.mem.pf_delayed_fault.to_string(),
+                    if ok { "OK".into() } else { "MISMATCH".into() },
+                ]);
+            }
+        }
+    }
+    print!("{}", t.render());
+    if failed {
+        eprintln!("error: fault injection leaked into architectural state");
+        std::process::exit(1);
+    }
+    println!("\nall runs bit-identical to the no-runahead baseline");
 }

@@ -10,6 +10,8 @@
 //! cargo run --release -p vr-bench --bin experiments -- all --insts 300000
 //! ```
 
+pub mod micro;
+
 use vr_core::{CoreConfig, RunaheadConfig, RunaheadKind, SimStats, Simulator};
 use vr_mem::MemConfig;
 use vr_workloads::{gap_suite, graph::GraphPreset, hpcdb_suite, Scale, Workload};
@@ -64,12 +66,7 @@ impl Technique {
 
 /// Runs `workload` for `max_insts` committed instructions under a
 /// technique on a given core.
-pub fn run_technique(
-    w: &Workload,
-    core: CoreConfig,
-    tech: Technique,
-    max_insts: u64,
-) -> SimStats {
+pub fn run_technique(w: &Workload, core: CoreConfig, tech: Technique, max_insts: u64) -> SimStats {
     let (mem_cfg, ra_cfg) = tech.configure();
     run_custom(w, core, mem_cfg, ra_cfg, max_insts)
 }
@@ -83,14 +80,8 @@ pub fn run_custom(
     ra_cfg: RunaheadConfig,
     max_insts: u64,
 ) -> SimStats {
-    let mut sim = Simulator::new(
-        core,
-        mem_cfg,
-        ra_cfg,
-        w.program.clone(),
-        w.memory.clone(),
-        &w.init_regs,
-    );
+    let mut sim =
+        Simulator::new(core, mem_cfg, ra_cfg, w.program.clone(), w.memory.clone(), &w.init_regs);
     sim.run(max_insts)
 }
 

@@ -53,8 +53,7 @@ fn indirect_chain(len: u64, iters: i64, depth: usize) -> (Program, Memory) {
 }
 
 fn main() {
-    let depth: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let depth: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let (prog, mem) = indirect_chain(1 << 19, 20_000, depth);
     for (name, ra) in [("base", RunaheadConfig::none()), ("vr", RunaheadConfig::vector())] {
         let mut sim = Simulator::new(
@@ -97,7 +96,9 @@ fn main() {
         );
         println!(
             "  ra pf used {} / issued {}  timeliness {:?}",
-            s.mem.pf_used[1], s.mem.pf_issued[1], s.mem.timeliness_fractions()
+            s.mem.pf_used[1],
+            s.mem.pf_issued[1],
+            s.mem.timeliness_fractions()
         );
     }
 }

@@ -12,15 +12,12 @@ fn find(name: &str) -> Workload {
     for p in [GraphPreset::Kron, GraphPreset::Urand] {
         all.extend(gap_suite(Scale::Paper, p));
     }
-    all.into_iter()
-        .find(|w| w.name == name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"))
+    all.into_iter().find(|w| w.name == name).unwrap_or_else(|| panic!("unknown workload {name}"))
 }
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Kangaroo".into());
-    let insts: u64 =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let insts: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(400_000);
     let w = find(&name);
     println!("workload {name}, budget {insts} insts");
     for (label, ra, mc) in [

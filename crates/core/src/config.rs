@@ -70,6 +70,14 @@ pub struct CoreConfig {
     pub lat: Latencies,
     /// Post-commit store buffer entries before commit back-pressures.
     pub store_buffer: usize,
+    /// Watchdog budget: cycles the simulator may go without committing
+    /// a single instruction before [`crate::Simulator::try_run`] gives
+    /// up and returns [`crate::SimError::Deadlock`] with a diagnostic
+    /// dump. The longest legitimate stall in the modelled hierarchy is
+    /// a few hundred cycles (a DRAM miss behind a full MSHR file), so
+    /// the default of one million cycles only fires on genuine
+    /// scheduling bugs. Set it low in tests to exercise the dump.
+    pub watchdog: u64,
 }
 
 impl CoreConfig {
@@ -98,6 +106,7 @@ impl CoreConfig {
             },
             lat: Latencies { int_alu: 1, int_mul: 3, int_div: 18, fp_add: 3, fp_mul: 5, fp_div: 6 },
             store_buffer: 64,
+            watchdog: 1_000_000,
         }
     }
 
@@ -148,6 +157,59 @@ pub enum RunaheadKind {
     Vector,
 }
 
+/// A seeded fault-injection plan for the runahead machinery.
+///
+/// Runahead (classic or vector) is **microarchitectural speculation**:
+/// whatever happens inside an episode, the committed architectural
+/// state must be bit-identical to a run with runahead disabled. The
+/// fault plan stress-tests that contract by randomly perturbing the
+/// speculative machinery — aborting episodes mid-flight, poisoning
+/// vector lanes, forcing early interval exits, and dropping/delaying
+/// prefetches in the memory system — while the differential oracle
+/// (`tests/tests/fault_oracle.rs`) asserts that committed registers,
+/// the memory image and the retired-instruction count never change.
+///
+/// All probabilities are per-opportunity Bernoulli draws from one
+/// seeded [`vr_isa::SplitMix64`] stream, so a plan is reproduced
+/// exactly by its seed.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Per-cycle probability of aborting an in-flight runahead
+    /// episode (flushing all speculative state and resuming the
+    /// normal out-of-order pipeline).
+    pub abort_episode: f64,
+    /// Per-cycle probability of invalidating ~half the active vector
+    /// lanes of a vector-runahead batch.
+    pub poison_lanes: f64,
+    /// Per-prefetch probability that the memory system silently drops
+    /// the prefetch.
+    pub drop_prefetch: f64,
+    /// Per-prefetch probability that the memory system delays the
+    /// prefetch by ~200 cycles.
+    pub delay_prefetch: f64,
+    /// Per-cycle probability of forcing the episode's interval to end
+    /// immediately (exercising delayed termination and the exit path).
+    pub force_early_exit: f64,
+}
+
+impl FaultPlan {
+    /// A moderately hostile default plan: every lever armed, with
+    /// rates chosen so a few hundred faults land per million cycles
+    /// without suppressing runahead entirely.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            abort_episode: 0.002,
+            poison_lanes: 0.01,
+            drop_prefetch: 0.05,
+            delay_prefetch: 0.05,
+            force_early_exit: 0.002,
+        }
+    }
+}
+
 /// Runahead engine configuration.
 #[derive(Clone, Debug)]
 pub struct RunaheadConfig {
@@ -189,6 +251,8 @@ pub struct RunaheadConfig {
     /// so consumers wait only for the first copy's data. Off =
     /// barrier the whole chain on the slowest lane of every gather.
     pub vir_pipelining: bool,
+    /// Fault-injection plan (None in normal runs). See [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunaheadConfig {
@@ -210,6 +274,7 @@ impl RunaheadConfig {
             termination_slack: None,
             reconvergence: false,
             vir_pipelining: true,
+            fault_plan: None,
         }
     }
 

@@ -1,0 +1,107 @@
+//! Pure invariant predicates for the per-cycle checker.
+//!
+//! The `checked` cargo feature makes [`crate::Simulator`] run a
+//! battery of structural assertions every cycle; a violation surfaces
+//! as [`crate::SimError::Invariant`] from `try_run` instead of letting
+//! a scheduling bug silently corrupt results thousands of cycles
+//! later. The predicates here are pure functions over the scheduler's
+//! occupancy numbers so they can be unit-tested without a simulator;
+//! the glue that extracts those numbers from the (private) pipeline
+//! structures lives in `sim.rs`.
+
+// Without the feature the checker body compiles away, leaving these
+// helpers referenced only by their unit tests.
+#![cfg_attr(not(feature = "checked"), allow(dead_code))]
+
+/// A structure's occupancy must not exceed its capacity.
+/// Returns a description of the violation, if any.
+pub(crate) fn check_occupancy(name: &str, used: usize, cap: usize) -> Result<(), String> {
+    if used > cap {
+        return Err(format!("{name} over capacity: {used} > {cap}"));
+    }
+    Ok(())
+}
+
+/// Sequence numbers in the reorder buffer must be strictly increasing
+/// from head to tail (program order is the whole point of a ROB).
+pub(crate) fn check_rob_order(seqs: impl IntoIterator<Item = u64>) -> Result<(), String> {
+    let mut prev: Option<u64> = None;
+    for s in seqs {
+        if let Some(p) = prev {
+            if s <= p {
+                return Err(format!("rob out of program order: seq {s} follows seq {p}"));
+            }
+        }
+        prev = Some(s);
+    }
+    Ok(())
+}
+
+/// A derived occupancy recount must agree with the maintained counter
+/// (catches counter drift from a missed decrement).
+pub(crate) fn check_recount(name: &str, counter: usize, recount: usize) -> Result<(), String> {
+    if counter != recount {
+        return Err(format!("{name} counter drift: maintained {counter}, recounted {recount}"));
+    }
+    Ok(())
+}
+
+/// Free-register accounting: free lists can never exceed the pool.
+pub(crate) fn check_free_regs(name: &str, free: usize, pool: usize) -> Result<(), String> {
+    if free > pool {
+        return Err(format!("{name} free list larger than pool: {free} > {pool}"));
+    }
+    Ok(())
+}
+
+/// Runahead containment: no speculative requestor may ever have
+/// written the memory hierarchy.
+pub(crate) fn check_no_spec_stores(spec_stores: u64) -> Result<(), String> {
+    if spec_stores != 0 {
+        return Err(format!(
+            "{spec_stores} speculative store(s) reached the memory hierarchy; \
+             runahead must be architecturally invisible"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_bounds() {
+        assert!(check_occupancy("iq", 128, 128).is_ok());
+        assert!(check_occupancy("iq", 0, 128).is_ok());
+        let e = check_occupancy("iq", 129, 128).unwrap_err();
+        assert!(e.contains("iq over capacity"));
+    }
+
+    #[test]
+    fn rob_order() {
+        assert!(check_rob_order([1, 2, 5, 9]).is_ok());
+        assert!(check_rob_order([]).is_ok());
+        assert!(check_rob_order([7]).is_ok());
+        assert!(check_rob_order([1, 3, 3]).unwrap_err().contains("out of program order"));
+        assert!(check_rob_order([5, 4]).is_err());
+    }
+
+    #[test]
+    fn recount_drift() {
+        assert!(check_recount("lq", 4, 4).is_ok());
+        assert!(check_recount("lq", 4, 3).unwrap_err().contains("counter drift"));
+    }
+
+    #[test]
+    fn free_regs() {
+        assert!(check_free_regs("int", 256, 256).is_ok());
+        assert!(check_free_regs("int", 257, 256).is_err());
+    }
+
+    #[test]
+    fn spec_store_containment() {
+        assert!(check_no_spec_stores(0).is_ok());
+        assert!(check_no_spec_stores(1).unwrap_err().contains("architecturally invisible"));
+    }
+}

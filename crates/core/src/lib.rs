@@ -37,13 +37,16 @@
 //! ```
 
 mod config;
+mod error;
+mod invariant;
 mod runahead;
 mod sim;
 mod stats;
 mod trace;
 mod vector;
 
-pub use config::{CoreConfig, FuPool, Latencies, RunaheadConfig, RunaheadKind};
+pub use config::{CoreConfig, FaultPlan, FuPool, Latencies, RunaheadConfig, RunaheadKind};
+pub use error::{DeadlockDump, EpisodeStatus, OldestSlot, SimError};
 pub use runahead::ScalarRunahead;
 pub use sim::Simulator;
 pub use stats::{harmonic_mean, SimStats};

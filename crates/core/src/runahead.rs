@@ -45,7 +45,14 @@ impl ScalarRunahead {
         if let Some(d) = blocked_dst {
             inv[d.flat_index()] = true;
         }
-        ScalarRunahead { cursor: cpu, overlay: StoreOverlay::new(), inv, insts: 0, dead: false, width }
+        ScalarRunahead {
+            cursor: cpu,
+            overlay: StoreOverlay::new(),
+            inv,
+            insts: 0,
+            dead: false,
+            width,
+        }
     }
 
     /// Instructions pre-executed so far.
@@ -101,8 +108,13 @@ impl ScalarRunahead {
             if is_mem && !src_inv {
                 if let Some(me) = step.mem {
                     if !me.is_store {
-                        match ctx.ms.access(me.addr, Access::Load, Requestor::Runahead, step.pc, ctx.now)
-                        {
+                        match ctx.ms.access(
+                            me.addr,
+                            Access::Load,
+                            Requestor::Runahead,
+                            step.pc,
+                            ctx.now,
+                        ) {
                             Ok(out) => loaded_long = out.hit == HitLevel::Dram,
                             // MSHR raced away: treat like a miss.
                             Err(_) => loaded_long = true,

@@ -3,10 +3,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use vr_frontend::{Btb, DirectionPredictor, Ras, TageScL};
-use vr_isa::{Cpu, Memory, OpClass, Program, Reg, RegRef, Step};
+use vr_isa::{Cpu, Memory, OpClass, Program, Reg, RegRef, SplitMix64, Step};
 use vr_mem::{Access, HitLevel, MemConfig, MemorySystem};
 
 use crate::config::{CoreConfig, RunaheadConfig, RunaheadKind};
+use crate::error::{DeadlockDump, EpisodeStatus, OldestSlot, SimError};
 use crate::runahead::{RaCtx, ScalarRunahead};
 use crate::stats::SimStats;
 use crate::trace::{PipelineTrace, TraceRecord};
@@ -113,6 +114,8 @@ pub struct Simulator {
     fdiv_busy_until: u64,
 
     runahead: Option<RunaheadEpisode>,
+    /// Seeded fault schedule when a [`crate::FaultPlan`] is configured.
+    fault_rng: Option<SplitMix64>,
     eager_last: u64,
     /// Dispatch was blocked by a back-end resource (ROB, IQ, LQ/SQ or
     /// physical registers) last cycle. In this RISC ISA nearly every
@@ -147,8 +150,15 @@ impl Simulator {
         }
         let free_int = cfg.int_regs as isize - Reg::COUNT as isize;
         let free_fp = cfg.fp_regs as isize - Reg::COUNT as isize;
+        let mut ms = MemorySystem::new(mem_cfg);
+        let fault_rng = ra_cfg.fault_plan.map(|plan| {
+            if plan.drop_prefetch > 0.0 || plan.delay_prefetch > 0.0 {
+                ms.set_prefetch_chaos(plan.drop_prefetch, plan.delay_prefetch, plan.seed);
+            }
+            SplitMix64::new(plan.seed)
+        });
         Simulator {
-            ms: MemorySystem::new(mem_cfg),
+            ms,
             bp: TageScL::default_8kb(),
             btb: Btb::default(),
             ras: Ras::default(),
@@ -169,6 +179,7 @@ impl Simulator {
             div_busy_until: 0,
             fdiv_busy_until: 0,
             runahead: None,
+            fault_rng,
             eager_last: 0,
             backend_stalled: false,
             cycle: 0,
@@ -185,40 +196,167 @@ impl Simulator {
     }
 
     /// Runs until `halt` commits or `max_insts` instructions commit;
-    /// returns the collected statistics.
+    /// returns the collected statistics. The canonical, non-panicking
+    /// entry point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the pipeline makes no forward progress for one
-    /// million cycles (a simulator bug, not a workload property).
-    pub fn run(&mut self, max_insts: u64) -> SimStats {
+    /// * [`SimError::BadConfig`] — the configuration is internally
+    ///   inconsistent (reported before the first cycle).
+    /// * [`SimError::Deadlock`] — no instruction committed for
+    ///   [`CoreConfig::watchdog`] cycles; carries a full scheduler
+    ///   snapshot ([`DeadlockDump`]). A simulator bug, not a workload
+    ///   property: the longest legitimate stall is a DRAM round trip.
+    /// * [`SimError::Program`] — fetch ran off the program (harness
+    ///   bug in the workload).
+    /// * [`SimError::Invariant`] — a per-cycle structural check failed
+    ///   (only with the `checked` cargo feature).
+    pub fn try_run(&mut self, max_insts: u64) -> Result<SimStats, SimError> {
+        self.validate_config()?;
         while !self.halted && self.committed_insts < max_insts {
-            self.tick();
-            assert!(
-                self.cycle - self.last_commit_cycle < 1_000_000,
-                "no commit progress for 1M cycles at cycle {} (pc {:?}, rob {} entries, \
-                 runahead {})",
-                self.cycle,
-                self.rob.front().map(|s| s.step.pc),
-                self.rob.len(),
-                self.runahead.is_some(),
-            );
+            self.try_tick()?;
+            if self.cycle - self.last_commit_cycle >= self.cfg.watchdog {
+                return Err(SimError::Deadlock(Box::new(self.deadlock_dump())));
+            }
         }
         self.stats.cycles = self.cycle;
         self.stats.instructions = self.committed_insts;
         self.stats.mshr_occupancy_integral = self.ms.mshr_occupancy_integral();
         self.stats.mem = self.ms.stats().clone();
-        self.stats.clone()
+        Ok(self.stats.clone())
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_run`] for call
+    /// sites that treat simulator failure as fatal (experiments,
+    /// tests, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`]'s full message — including the
+    /// deadlock diagnostic dump — if `try_run` fails.
+    pub fn run(&mut self, max_insts: u64) -> SimStats {
+        self.try_run(max_insts).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Warm up for `warmup` committed instructions, then measure a
     /// region of interest of `roi` instructions and return *its*
     /// statistics only — the paper's ROI methodology (caches,
     /// predictors and prefetcher state stay warm across the boundary).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::try_run`].
+    pub fn try_run_roi(&mut self, warmup: u64, roi: u64) -> Result<SimStats, SimError> {
+        let before = self.try_run(warmup)?;
+        let after = self.try_run(warmup + roi)?;
+        Ok(after.delta(&before))
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_run_roi`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SimError`]'s full message if the run fails.
     pub fn run_roi(&mut self, warmup: u64, roi: u64) -> SimStats {
-        let before = self.run(warmup);
-        let after = self.run(warmup + roi);
-        after.delta(&before)
+        self.try_run_roi(warmup, roi).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn validate_config(&self) -> Result<(), SimError> {
+        fn bad(what: impl Into<String>) -> Result<(), SimError> {
+            Err(SimError::BadConfig { what: what.into() })
+        }
+        let c = &self.cfg;
+        if c.width == 0 {
+            return bad("width must be > 0");
+        }
+        if c.rob == 0 || c.iq == 0 || c.lq == 0 || c.sq == 0 {
+            return bad(format!(
+                "rob/iq/lq/sq must all be > 0 (got {}/{}/{}/{})",
+                c.rob, c.iq, c.lq, c.sq
+            ));
+        }
+        if c.int_regs < Reg::COUNT || c.fp_regs < Reg::COUNT {
+            return bad(format!(
+                "physical register files must cover the {} architectural registers \
+                 (got int {}, fp {})",
+                Reg::COUNT,
+                c.int_regs,
+                c.fp_regs
+            ));
+        }
+        if c.store_buffer == 0 {
+            return bad("store_buffer must be > 0 (commit would wedge on the first store)");
+        }
+        if c.watchdog == 0 {
+            return bad("watchdog must be > 0 cycles");
+        }
+        let r = &self.ra_cfg;
+        if r.kind == RunaheadKind::Vector && (r.vr_lanes == 0 || r.chain_budget == 0) {
+            return bad(format!(
+                "vector runahead needs vr_lanes > 0 and chain_budget > 0 (got {}/{})",
+                r.vr_lanes, r.chain_budget
+            ));
+        }
+        if let Some(p) = &r.fault_plan {
+            for (name, v) in [
+                ("abort_episode", p.abort_episode),
+                ("poison_lanes", p.poison_lanes),
+                ("drop_prefetch", p.drop_prefetch),
+                ("delay_prefetch", p.delay_prefetch),
+                ("force_early_exit", p.force_early_exit),
+            ] {
+                if !(0.0..=1.0).contains(&v) {
+                    return bad(format!("fault_plan.{name} must be a probability, got {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of every occupancy counter the scheduler depends on —
+    /// the payload of [`SimError::Deadlock`].
+    fn deadlock_dump(&mut self) -> DeadlockDump {
+        let oldest = self.rob.front().map(|s| OldestSlot {
+            seq: s.seq,
+            pc: s.step.pc,
+            inst: format!("{:?}", s.step.inst),
+            dispatched: s.dispatched,
+            issued: s.issued,
+            done_at: s.done_at,
+        });
+        let episode = self.runahead.as_ref().map(|ep| EpisodeStatus {
+            kind: match &ep.engine {
+                Engine::Scalar(_) => "Scalar".to_string(),
+                Engine::Vector(_) => "Vector".to_string(),
+            },
+            decoupled: ep.decoupled,
+            end_at: ep.end_at,
+        });
+        let cycle = self.cycle;
+        DeadlockDump {
+            cycle,
+            last_commit_cycle: self.last_commit_cycle,
+            watchdog: self.cfg.watchdog,
+            committed_insts: self.committed_insts,
+            pc: self.fetch_cpu.pc(),
+            rob_len: self.rob.len(),
+            rob_cap: self.cfg.rob,
+            iq_used: self.iq_used,
+            iq_cap: self.cfg.iq,
+            lq_used: self.lq_used,
+            lq_cap: self.cfg.lq,
+            sq_used: self.sq_used,
+            sq_cap: self.cfg.sq,
+            fetch_q_len: self.fetch_q.len(),
+            store_buffer_len: self.store_buffer.len(),
+            free_int: self.free_int.max(0) as usize,
+            free_fp: self.free_fp.max(0) as usize,
+            mshr_outstanding: self.ms.outstanding_misses(cycle),
+            oldest,
+            episode,
+            halted: self.halted,
+            fetch_done: self.fetch_done,
+        }
     }
 
     /// Enables pipeline tracing, retaining the last `capacity`
@@ -239,8 +377,26 @@ impl Simulator {
         &self.mem
     }
 
-    fn tick(&mut self) {
+    /// The committed architectural register state — ground truth for
+    /// the architectural-invisibility oracle (must be bit-identical
+    /// across runahead kinds and fault plans).
+    pub fn committed_cpu(&self) -> &Cpu {
+        &self.committed
+    }
+
+    fn try_tick(&mut self) -> Result<(), SimError> {
         let c = self.cycle;
+
+        // Per-cycle invariants (only with the `checked` feature) —
+        // validated *before* the scheduler consumes the state, so a
+        // corruption is reported as a typed error rather than via
+        // whatever downstream panic it would eventually cause.
+        self.check_invariants()?;
+
+        // 0. Fault injection (no-op without a FaultPlan).
+        if self.fault_rng.is_some() {
+            self.inject_faults(c);
+        }
 
         // 1. Runahead engine.
         self.step_runahead(c);
@@ -261,7 +417,7 @@ impl Simulator {
         self.dispatch(c);
 
         // 7. Fetch.
-        self.fetch(c);
+        self.fetch(c)?;
 
         // 8. Stats.
         if committed == 0 && !self.halted {
@@ -274,6 +430,83 @@ impl Simulator {
             self.stats.runahead_cycles += 1;
         }
         self.cycle += 1;
+        Ok(())
+    }
+
+    /// Per-cycle structural assertions (the `checked` cargo feature).
+    /// Always defined so call sites need no cfg; a no-op without the
+    /// feature.
+    fn check_invariants(&self) -> Result<(), SimError> {
+        #[cfg(feature = "checked")]
+        {
+            use crate::invariant as inv;
+            let cycle = self.cycle;
+            let err = |what: String| SimError::Invariant { cycle, what };
+
+            inv::check_rob_order(self.rob.iter().map(|s| s.seq)).map_err(&err)?;
+            // The fetch unit stops at `fetch_q_cap`, but an
+            // invalidation-style runahead exit re-queues up to a whole
+            // ROB of squashed slots for re-fetch, so the hard bound is
+            // the sum of both.
+            inv::check_occupancy(
+                "fetch_q",
+                self.fetch_q.len(),
+                fetch_q_cap(&self.cfg) + self.cfg.rob,
+            )
+            .map_err(&err)?;
+            inv::check_occupancy("rob", self.rob.len(), self.cfg.rob).map_err(&err)?;
+            inv::check_occupancy("iq", self.iq_used, self.cfg.iq).map_err(&err)?;
+            inv::check_occupancy("lq", self.lq_used, self.cfg.lq).map_err(&err)?;
+            inv::check_occupancy("sq", self.sq_used, self.cfg.sq).map_err(&err)?;
+            inv::check_occupancy("store_buffer", self.store_buffer.len(), self.cfg.store_buffer)
+                .map_err(&err)?;
+
+            if self.free_int < 0 || self.free_fp < 0 {
+                return Err(err(format!(
+                    "physical register file over-allocated (free int {}, fp {})",
+                    self.free_int, self.free_fp
+                )));
+            }
+            inv::check_free_regs(
+                "int",
+                self.free_int.max(0) as usize,
+                self.cfg.int_regs - Reg::COUNT,
+            )
+            .map_err(&err)?;
+            inv::check_free_regs("fp", self.free_fp.max(0) as usize, self.cfg.fp_regs - Reg::COUNT)
+                .map_err(&err)?;
+
+            // Counter-drift recounts against the ROB contents (every
+            // ROB entry is dispatched by construction).
+            inv::check_recount("iq", self.iq_used, self.rob.iter().filter(|s| !s.issued).count())
+                .map_err(&err)?;
+            inv::check_recount("lq", self.lq_used, self.rob.iter().filter(|s| s.is_load()).count())
+                .map_err(&err)?;
+            inv::check_recount(
+                "sq",
+                self.sq_used,
+                self.rob.iter().filter(|s| s.is_store()).count(),
+            )
+            .map_err(&err)?;
+
+            // Dependence sanity: a producer recorded at dispatch is
+            // always older than its consumer.
+            for (i, s) in self.rob.iter().enumerate() {
+                for src in s.src_seqs.iter().flatten() {
+                    if *src >= s.seq {
+                        return Err(err(format!(
+                            "rob[{i}] seq {} depends on same-or-younger seq {src}",
+                            s.seq
+                        )));
+                    }
+                }
+            }
+
+            // Runahead containment: speculative requestors never write
+            // the memory hierarchy.
+            inv::check_no_spec_stores(self.ms.stats().spec_stores).map_err(&err)?;
+        }
+        Ok(())
     }
 
     // ---- runahead ---------------------------------------------------
@@ -307,20 +540,87 @@ impl Simulator {
         }
         if finished {
             let ep = self.runahead.take().expect("episode exists");
-            if let Engine::Vector(eng) = &ep.engine {
-                self.stats.vr_batches += eng.batches;
-                self.stats.vr_batches_aborted += eng.batches_aborted;
-                self.stats.vr_lanes_spawned += eng.lanes_spawned;
-                self.stats.vr_lanes_invalidated += eng.lanes_invalidated;
-                self.stats.vr_lanes_reconverged += eng.lanes_reconverged;
-                if !eng.found_stride {
-                    self.stats.vr_no_stride_intervals += 1;
-                }
-            }
+            self.accumulate_episode_stats(&ep);
             if flush {
                 self.flush_after_head(c);
             }
         }
+    }
+
+    /// Folds an ending episode's engine counters into the run stats
+    /// (shared by the normal exit path and fault-induced aborts).
+    fn accumulate_episode_stats(&mut self, ep: &RunaheadEpisode) {
+        if let Engine::Vector(eng) = &ep.engine {
+            self.stats.vr_batches += eng.batches;
+            self.stats.vr_batches_aborted += eng.batches_aborted;
+            self.stats.vr_lanes_spawned += eng.lanes_spawned;
+            self.stats.vr_lanes_invalidated += eng.lanes_invalidated;
+            self.stats.vr_lanes_reconverged += eng.lanes_reconverged;
+            if !eng.found_stride {
+                self.stats.vr_no_stride_intervals += 1;
+            }
+        }
+    }
+
+    /// Aborts the in-flight runahead episode mid-flight: all
+    /// speculative engine state is discarded and the baseline
+    /// out-of-order pipeline resumes next cycle. Because runahead
+    /// never touches committed state, an abort at any cycle is
+    /// architecturally invisible — this is the graceful-degradation
+    /// path for engine faults and the `abort_episode` fault-injection
+    /// lever. A no-op when no episode is running.
+    fn abort_episode(&mut self, c: u64) {
+        let Some(ep) = self.runahead.take() else { return };
+        self.accumulate_episode_stats(&ep);
+        self.stats.runahead_aborts += 1;
+        // Mirror the timing consequences of the normal exit path:
+        // classic runahead pays its invalidation flush; a coupled
+        // vector episode re-fills the pipeline it had frozen.
+        let flush = match &ep.engine {
+            Engine::Scalar(_) => self.ra_cfg.kind == RunaheadKind::Classic,
+            Engine::Vector(_) => !ep.decoupled,
+        };
+        if flush {
+            self.flush_after_head(c);
+        }
+    }
+
+    /// Applies the configured [`crate::FaultPlan`] for this cycle.
+    /// Every draw comes from one seeded stream, so a plan's fault
+    /// schedule is a pure function of its seed.
+    fn inject_faults(&mut self, c: u64) {
+        let Some(plan) = self.ra_cfg.fault_plan else { return };
+        if self.runahead.is_none() {
+            return;
+        }
+        let Some(mut rng) = self.fault_rng.take() else { return };
+        if rng.chance(plan.abort_episode) {
+            self.stats.faults_injected += 1;
+            self.abort_episode(c);
+        } else {
+            if rng.chance(plan.force_early_exit) {
+                if let Some(ep) = &mut self.runahead {
+                    if ep.end_at > c {
+                        // The interval "ends" now: vector engines enter
+                        // delayed termination, scalar engines exit on
+                        // the next step.
+                        ep.end_at = c;
+                        self.stats.faults_injected += 1;
+                    }
+                }
+            }
+            if rng.chance(plan.poison_lanes) {
+                if let Some(ep) = &mut self.runahead {
+                    if let Engine::Vector(eng) = &mut ep.engine {
+                        let n = eng.poison_lanes(&mut rng, 0.5);
+                        if n > 0 {
+                            self.stats.faults_injected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.fault_rng = Some(rng);
     }
 
     fn maybe_trigger(&mut self, c: u64) {
@@ -332,10 +632,8 @@ impl Simulator {
         // returned.
         let Some(head) = self.rob.front() else { return };
         let full = self.rob.len() >= self.cfg.rob || self.backend_stalled;
-        let blocked = head.is_load()
-            && head.issued
-            && !head.done_by(c)
-            && head.hit == Some(HitLevel::Dram);
+        let blocked =
+            head.is_load() && head.issued && !head.done_by(c) && head.hit == Some(HitLevel::Dram);
         if !(full && blocked) {
             return;
         }
@@ -344,19 +642,15 @@ impl Simulator {
         cpu.set_pc(head.step.pc);
         let blocked_dst = head.step.inst.dst();
         let engine = match self.ra_cfg.kind {
-            RunaheadKind::Classic => Engine::Scalar(Box::new(ScalarRunahead::new(
-                cpu,
-                blocked_dst,
-                self.cfg.width,
-            ))),
+            RunaheadKind::Classic => {
+                Engine::Scalar(Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)))
+            }
             // PRE's slice filtering focuses the same front-end
             // bandwidth on load slices; modelled at core width with no
             // exit flush (DESIGN.md §4).
-            RunaheadKind::Precise => Engine::Scalar(Box::new(ScalarRunahead::new(
-                cpu,
-                blocked_dst,
-                self.cfg.width,
-            ))),
+            RunaheadKind::Precise => {
+                Engine::Scalar(Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)))
+            }
             RunaheadKind::Vector => Engine::Vector(Box::new(VectorRunahead::new(
                 cpu,
                 &self.ra_cfg,
@@ -388,9 +682,14 @@ impl Simulator {
         cpu.set_pc(load_pc);
         let mut eng = VectorRunahead::new(cpu, &self.ra_cfg, self.cfg.width, self.cfg.fu.vec_alu);
         eng.seed_base(load_pc, last_addr);
+        // Clamp the episode against the watchdog budget so a decoupled
+        // episode can never outlive the deadlock detector, and saturate
+        // the cycle math so a pathological `c` near u64::MAX cannot
+        // wrap `end_at` into the past.
+        let interval = EAGER_INTERVAL.min(self.cfg.watchdog.saturating_sub(1)).max(1);
         self.runahead = Some(RunaheadEpisode {
             engine: Engine::Vector(Box::new(eng)),
-            end_at: c + EAGER_INTERVAL,
+            end_at: c.saturating_add(interval),
             decoupled: true,
         });
         self.stats.runahead_entries += 1;
@@ -487,7 +786,8 @@ impl Simulator {
             }
             if slot.is_store() {
                 self.sq_used -= 1;
-                self.store_buffer.push_back((slot.step.mem.expect("store has addr").addr, slot.step.pc));
+                self.store_buffer
+                    .push_back((slot.step.mem.expect("store has addr").addr, slot.step.pc));
             }
             if let Some(d) = slot.step.inst.dst() {
                 match d {
@@ -777,27 +1077,23 @@ impl Simulator {
 
     // ---- fetch ------------------------------------------------------
 
-    fn fetch(&mut self, c: u64) {
+    fn fetch(&mut self, c: u64) -> Result<(), SimError> {
         // Non-decoupled runahead owns the front-end.
         if matches!(&self.runahead, Some(ep) if !ep.decoupled) {
-            return;
+            return Ok(());
         }
         // Misprediction: fetch resumes the cycle after the branch
         // resolves.
         if let Some(bseq) = self.pending_branch {
             let resolved = self.rob.front().is_none_or(|head| bseq < head.seq)
-                || self
-                    .rob
-                    .iter()
-                    .find(|s| s.seq == bseq)
-                    .is_some_and(|s| s.done_by(c));
+                || self.rob.iter().find(|s| s.seq == bseq).is_some_and(|s| s.done_by(c));
             if resolved {
                 self.pending_branch = None;
             }
-            return;
+            return Ok(());
         }
         if self.fetch_done {
-            return;
+            return Ok(());
         }
         for _ in 0..self.cfg.width {
             if self.fetch_q.len() >= fetch_q_cap(&self.cfg) {
@@ -805,7 +1101,16 @@ impl Simulator {
             }
             let step = match self.fetch_cpu.step(&self.prog, &mut self.mem) {
                 Ok(s) => s,
-                Err(e) => panic!("workload ran off the program: {e}"),
+                // A workload that runs off the program (or jumps to an
+                // unmapped pc) is a harness bug: report it as a typed
+                // error instead of tearing the process down.
+                Err(e) => {
+                    return Err(SimError::Program {
+                        cycle: c,
+                        pc: self.fetch_cpu.pc(),
+                        what: e.to_string(),
+                    })
+                }
             };
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -864,6 +1169,7 @@ impl Simulator {
                 break; // one taken branch per fetch group
             }
         }
+        Ok(())
     }
 }
 
@@ -875,5 +1181,71 @@ impl std::fmt::Debug for Simulator {
             .field("rob", &self.rob.len())
             .field("runahead", &self.runahead.is_some())
             .finish_non_exhaustive()
+    }
+}
+
+// These tests live here (not in tests/) because they deliberately
+// corrupt the simulator's private scheduler state to prove the
+// `checked` invariant layer catches it.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_isa::Asm;
+
+    fn straight_line_sim(n: usize) -> Simulator {
+        let mut a = Asm::new();
+        for _ in 0..n {
+            a.addi(Reg::T0, Reg::T0, 1);
+        }
+        a.halt();
+        Simulator::new(
+            CoreConfig::table1(),
+            MemConfig::tiny_for_tests(),
+            RunaheadConfig::none(),
+            a.assemble(),
+            Memory::new(),
+            &[],
+        )
+    }
+
+    #[test]
+    fn clean_runs_pass_the_invariant_checker() {
+        // With `--features checked` this exercises every per-cycle
+        // assertion; without it, it is a plain smoke test.
+        let stats = straight_line_sim(200).try_run(u64::MAX).expect("clean run");
+        assert_eq!(stats.instructions, 201);
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn corrupted_iq_counter_surfaces_as_invariant_error() {
+        let mut sim = straight_line_sim(500);
+        sim.try_run(5).expect("partial run is clean");
+        // Simulate a scheduler bug: the issue-queue counter drifts.
+        sim.iq_used = sim.cfg.iq + 1;
+        let err = sim.try_run(u64::MAX).unwrap_err();
+        let SimError::Invariant { what, .. } = &err else {
+            panic!("expected Invariant, got {err}");
+        };
+        assert!(what.contains("iq"), "message should name the structure: {what}");
+    }
+
+    #[cfg(feature = "checked")]
+    #[test]
+    fn corrupted_rob_order_surfaces_as_invariant_error() {
+        let mut sim = straight_line_sim(500);
+        sim.try_run(5).expect("partial run is clean");
+        assert!(sim.rob.len() >= 2, "expected in-flight instructions");
+        // Swap two sequence numbers: program order is lost.
+        let a = sim.rob[0].seq;
+        let b = sim.rob[1].seq;
+        sim.rob[0].seq = b;
+        sim.rob[1].seq = a;
+        let err = sim.try_run(u64::MAX).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Invariant { what, .. } if what.contains("order")
+                || what.contains("seq")),
+            "got {err}"
+        );
     }
 }

@@ -50,6 +50,13 @@ pub struct SimStats {
     /// scalar runahead behaviour).
     pub vr_no_stride_intervals: u64,
 
+    /// Faults injected by the configured [`crate::FaultPlan`]
+    /// (0 in normal runs).
+    pub faults_injected: u64,
+    /// Runahead episodes aborted mid-flight (by an injected fault or
+    /// an engine-fault recovery) rather than exiting normally.
+    pub runahead_aborts: u64,
+
     /// Memory-system counters at end of run.
     pub mem: MemStats,
     /// MSHR occupancy integral (Σ outstanding-miss cycles).
@@ -68,16 +75,15 @@ impl SimStats {
             demand_stores: self.mem.demand_stores - earlier.mem.demand_stores,
             load_hits: std::array::from_fn(|i| self.mem.load_hits[i] - earlier.mem.load_hits[i]),
             load_merges: self.mem.load_merges - earlier.mem.load_merges,
-            dram_reads: std::array::from_fn(|i| {
-                self.mem.dram_reads[i] - earlier.mem.dram_reads[i]
-            }),
+            dram_reads: std::array::from_fn(|i| self.mem.dram_reads[i] - earlier.mem.dram_reads[i]),
             dram_writebacks: self.mem.dram_writebacks - earlier.mem.dram_writebacks,
             pf_issued: std::array::from_fn(|i| self.mem.pf_issued[i] - earlier.mem.pf_issued[i]),
             pf_used: std::array::from_fn(|i| self.mem.pf_used[i] - earlier.mem.pf_used[i]),
             pf_dropped_mshr: self.mem.pf_dropped_mshr - earlier.mem.pf_dropped_mshr,
-            timeliness: std::array::from_fn(|i| {
-                self.mem.timeliness[i] - earlier.mem.timeliness[i]
-            }),
+            pf_dropped_fault: self.mem.pf_dropped_fault - earlier.mem.pf_dropped_fault,
+            pf_delayed_fault: self.mem.pf_delayed_fault - earlier.mem.pf_delayed_fault,
+            spec_stores: self.mem.spec_stores - earlier.mem.spec_stores,
+            timeliness: std::array::from_fn(|i| self.mem.timeliness[i] - earlier.mem.timeliness[i]),
         };
         SimStats {
             cycles: self.cycles - earlier.cycles,
@@ -97,9 +103,10 @@ impl SimStats {
             vr_lanes_invalidated: self.vr_lanes_invalidated - earlier.vr_lanes_invalidated,
             vr_lanes_reconverged: self.vr_lanes_reconverged - earlier.vr_lanes_reconverged,
             vr_no_stride_intervals: self.vr_no_stride_intervals - earlier.vr_no_stride_intervals,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            runahead_aborts: self.runahead_aborts - earlier.runahead_aborts,
             mem,
-            mshr_occupancy_integral: self.mshr_occupancy_integral
-                - earlier.mshr_occupancy_integral,
+            mshr_occupancy_integral: self.mshr_occupancy_integral - earlier.mshr_occupancy_integral,
         }
     }
 

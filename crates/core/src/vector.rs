@@ -30,7 +30,6 @@ use vr_mem::{Access, Requestor};
 /// of 8×64-bit lanes).
 const GATHER_ISSUE_PER_CYCLE: usize = 8;
 
-
 /// Result of one engine cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum VrStatus {
@@ -321,7 +320,13 @@ impl VectorRunahead {
                 None => {}
             }
             cpu.set_pc(stride_pc + 1);
-            lanes.push(Lane { cpu, overlay: overlay.clone(), active: true, parked: false, done: false });
+            lanes.push(Lane {
+                cpu,
+                overlay: overlay.clone(),
+                active: true,
+                parked: false,
+                done: false,
+            });
             pending.push((l, addr));
         }
 
@@ -372,8 +377,13 @@ impl VectorRunahead {
             let mut issued = 0;
             while issued < GATHER_ISSUE_PER_CYCLE {
                 let Some(&(lane, addr)) = batch.pending_gather.first() else { break };
-                match ctx.ms.access(addr, Access::Load, Requestor::Runahead, batch.stride_pc, ctx.now)
-                {
+                match ctx.ms.access(
+                    addr,
+                    Access::Load,
+                    Requestor::Runahead,
+                    batch.stride_pc,
+                    ctx.now,
+                ) {
                     Ok(out) => {
                         batch.gather_ready_max = batch.gather_ready_max.max(out.ready_at);
                         if batch.issued_in_level < GATHER_ISSUE_PER_CYCLE {
@@ -454,7 +464,8 @@ impl VectorRunahead {
             return VrStatus::Working; // retry next cycle
         }
 
-        let mut active: Vec<usize> = (0..batch.lanes.len()).filter(|&i| batch.lanes[i].active).collect();
+        let mut active: Vec<usize> =
+            (0..batch.lanes.len()).filter(|&i| batch.lanes[i].active).collect();
         let mut gather_addrs: Vec<(usize, u64)> = Vec::new();
         let mut scalar_load_ready: Option<u64> = None;
 
@@ -480,9 +491,13 @@ impl VectorRunahead {
                         gather_addrs.push((i, me.addr));
                     } else if is_scalar_load && scalar_load_ready.is_none() {
                         // One shared access for the whole vector.
-                        if let Ok(out) =
-                            ctx.ms.access(me.addr, Access::Load, Requestor::Runahead, step.pc, ctx.now)
-                        {
+                        if let Ok(out) = ctx.ms.access(
+                            me.addr,
+                            Access::Load,
+                            Requestor::Runahead,
+                            step.pc,
+                            ctx.now,
+                        ) {
                             scalar_load_ready = Some(out.ready_at);
                         }
                     }
@@ -627,6 +642,25 @@ impl VectorRunahead {
     pub fn seed_base(&mut self, stride_pc: u64, last_addr: u64) {
         self.next_base = Some((stride_pc, last_addr));
     }
+
+    /// Fault injection: invalidates each still-active lane of the
+    /// current batch with probability `frac` (counted in
+    /// [`Self::lanes_invalidated`]). Returns how many lanes were
+    /// poisoned. A no-op outside a batch. Because lanes only generate
+    /// prefetches, poisoning them is architecturally invisible — the
+    /// differential oracle checks exactly that.
+    pub(crate) fn poison_lanes(&mut self, rng: &mut vr_isa::SplitMix64, frac: f64) -> u64 {
+        let Phase::Batch(batch) = &mut self.phase else { return 0 };
+        let mut n = 0;
+        for lane in batch.lanes.iter_mut() {
+            if lane.active && !lane.done && rng.chance(frac) {
+                lane.active = false;
+                n += 1;
+            }
+        }
+        self.lanes_invalidated += n;
+        n
+    }
 }
 
 /// Itemized storage cost of the Vector Runahead hardware additions, in
@@ -692,14 +726,14 @@ mod tests {
             let _ = ms.stride_detector();
             // train via train_prefetchers (stride detector trains even
             // with the prefetcher disabled in this config).
-            ms.train_prefetchers(stride_pc as u64, 0x10000 + i * 8, 0, i, |_| 0);
+            ms.train_prefetchers(stride_pc, 0x10000 + i * 8, 0, i, |_| 0);
         }
         let mut cpu = Cpu::new();
         cpu.set_x(Reg::A0, 0x10000);
         cpu.set_x(Reg::A1, 0x20000);
         cpu.set_x(Reg::T0, 4 * 8); // i = 4 (stride detector trained up to 3)
         cpu.set_x(Reg::T1, 256 * 8);
-        (prog, mem, ms, cpu, stride_pc as u64)
+        (prog, mem, ms, cpu, stride_pc)
     }
 
     fn run_engine(
@@ -795,11 +829,8 @@ mod tests {
         let (prog, mem, mut ms, mut cpu, _) = indirect_setup();
         // Only 6 iterations remain.
         cpu.set_x(Reg::T0, (256 - 6) * 8);
-        let cfg = RunaheadConfig {
-            vr_lanes: 64,
-            loop_bound_discovery: true,
-            ..RunaheadConfig::vector()
-        };
+        let cfg =
+            RunaheadConfig { vr_lanes: 64, loop_bound_discovery: true, ..RunaheadConfig::vector() };
         let mut vr = VectorRunahead::new(cpu.clone(), &cfg, 5, 3);
         run_engine(&mut vr, &prog, &mem, &mut ms, 1500);
         assert!(vr.found_stride);
@@ -918,9 +949,7 @@ mod tests {
             }
             // Count prefetched if-body targets B[v] for odd v in the
             // first batch's lane range (A indices 4..20 ⇒ values 4..20).
-            let covered = (4..20u64)
-                .filter(|v| v % 2 == 1 && ms.in_l1(0x20000 + v * 8))
-                .count();
+            let covered = (4..20u64).filter(|v| v % 2 == 1 && ms.in_l1(0x20000 + v * 8)).count();
             (vr, covered)
         };
 
@@ -943,10 +972,7 @@ mod tests {
     #[test]
     fn overhead_accounting_is_about_a_kilobyte() {
         let bytes = hardware_overhead_bytes(128);
-        assert!(
-            (500..2000).contains(&bytes),
-            "VR hardware overhead should be ≈1 KB, got {bytes}"
-        );
+        assert!((500..2000).contains(&bytes), "VR hardware overhead should be ≈1 KB, got {bytes}");
         let items = hardware_overhead_bits(128);
         assert!(items.iter().any(|(n, _)| n.contains("stride detector")));
         assert_eq!(items.iter().find(|(n, _)| n.contains("stride")).unwrap().1, 32 * 115);

@@ -25,7 +25,7 @@ fn pointer_chase(len: u64, hops: i64) -> (Program, Memory) {
     // P[i] = (i + large_odd_step) % len gives a full cycle with
     // cache-unfriendly jumps for large len.
     let base = 0x100_0000u64;
-    let step = 714_025 % len | 1;
+    let step = (714_025 % len) | 1;
     for i in 0..len {
         mem.write_u64(base + i * 8, (i + step) % len);
     }
@@ -246,12 +246,8 @@ fn classic_runahead_triggers_on_rob_stall() {
 
 #[test]
 fn runahead_kinds_preserve_architectural_results() {
-    let kinds = [
-        RunaheadKind::None,
-        RunaheadKind::Classic,
-        RunaheadKind::Precise,
-        RunaheadKind::Vector,
-    ];
+    let kinds =
+        [RunaheadKind::None, RunaheadKind::Classic, RunaheadKind::Precise, RunaheadKind::Vector];
     let mut finals = Vec::new();
     for kind in kinds {
         let prog = sum_loop(257);

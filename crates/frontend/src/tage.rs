@@ -42,11 +42,8 @@ impl TageConfig {
     /// Storage cost in bits (for the hardware-overhead table).
     pub fn storage_bits(&self) -> u64 {
         let base = (1u64 << self.base_log) * 2;
-        let tagged: u64 = self
-            .tag_bits
-            .iter()
-            .map(|&t| (1u64 << self.table_log) * (3 + 2 + u64::from(t)))
-            .sum();
+        let tagged: u64 =
+            self.tag_bits.iter().map(|&t| (1u64 << self.table_log) * (3 + 2 + u64::from(t))).sum();
         base + tagged
     }
 }
@@ -115,14 +112,9 @@ impl Tage {
         assert!(!cfg.hist_lengths.is_empty(), "need at least one tagged table");
         let max_hist = *cfg.hist_lengths.last().unwrap() as usize + 1;
         let tables = vec![vec![TageEntry::default(); 1 << cfg.table_log]; cfg.hist_lengths.len()];
-        let folded_idx =
-            cfg.hist_lengths.iter().map(|&l| Folded::new(l, cfg.table_log)).collect();
-        let folded_tag0 = cfg
-            .hist_lengths
-            .iter()
-            .zip(&cfg.tag_bits)
-            .map(|(&l, &t)| Folded::new(l, t))
-            .collect();
+        let folded_idx = cfg.hist_lengths.iter().map(|&l| Folded::new(l, cfg.table_log)).collect();
+        let folded_tag0 =
+            cfg.hist_lengths.iter().zip(&cfg.tag_bits).map(|(&l, &t)| Folded::new(l, t)).collect();
         let folded_tag1 = cfg
             .hist_lengths
             .iter()

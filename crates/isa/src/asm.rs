@@ -11,6 +11,32 @@ use crate::reg::{FReg, Reg};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Label(usize);
 
+/// Error from [`Asm::try_assemble`]: a structurally invalid program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was referenced by a branch but never bound to a
+    /// position; carries the label index and the instruction position
+    /// of the first dangling reference.
+    UnboundLabel {
+        /// Index of the offending label.
+        label: usize,
+        /// Instruction position of the first dangling reference.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label, at } => {
+                write!(f, "label #{label} referenced at instruction {at} but never bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
 /// Builder for [`Program`]s: emits instructions with method-per-op
 /// helpers and resolves [`Label`] branch targets at
 /// [`Asm::assemble`] time.
@@ -73,14 +99,27 @@ impl Asm {
     ///
     /// # Panics
     ///
-    /// Panics if any referenced label was never bound.
-    pub fn assemble(mut self) -> Program {
+    /// Panics if any referenced label was never bound. Use
+    /// [`Asm::try_assemble`] for a non-panicking variant (e.g. when
+    /// assembling programs from untrusted or generated sources).
+    pub fn assemble(self) -> Program {
+        self.try_assemble().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Resolves all labels and produces the program, reporting dangling
+    /// label references as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn try_assemble(mut self) -> Result<Program, AsmError> {
         for (pos, label) in &self.fixups {
             let target = self.labels[label.0]
-                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+                .ok_or(AsmError::UnboundLabel { label: label.0, at: *pos as u64 })?;
             self.insts[*pos].imm = target as i64;
         }
-        Program::new(self.insts)
+        Ok(Program::new(self.insts))
     }
 
     fn emit(&mut self, op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) {

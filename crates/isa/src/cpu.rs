@@ -340,7 +340,8 @@ impl Cpu {
             Fld => {
                 let addr = rs1v.wrapping_add(imm as u64);
                 let bits = port.load(addr, 8);
-                mem_effect = Some(MemEffect { addr, width: Width::D, is_store: false, value: bits });
+                mem_effect =
+                    Some(MemEffect { addr, width: Width::D, is_store: false, value: bits });
                 let fd = FReg::new(inst.rd);
                 self.set_f(fd, f64::from_bits(bits));
                 write = Some(RegWrite { reg: RegRef::Fp(fd), value: bits });

@@ -28,9 +28,13 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::TruncatedStream => write!(f, "byte stream is not a whole instruction count"),
+            DecodeError::TruncatedStream => {
+                write!(f, "byte stream is not a whole instruction count")
+            }
             DecodeError::BadOpcode(i, b) => write!(f, "unknown opcode {b:#04x} at instruction {i}"),
-            DecodeError::BadRegister(i) => write!(f, "register index out of range at instruction {i}"),
+            DecodeError::BadRegister(i) => {
+                write!(f, "register index out of range at instruction {i}")
+            }
         }
     }
 }

@@ -6,7 +6,6 @@ use crate::reg::{FReg, Reg, RegRef};
 
 /// Memory access width in bytes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Width {
     /// 1 byte.
     B,
@@ -37,7 +36,6 @@ impl Width {
 /// per-op (arithmetic immediate, address displacement, or absolute
 /// branch target instruction index).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// No operation.
     Nop,
@@ -149,7 +147,6 @@ pub enum Op {
 /// Functional-unit class an instruction executes on; consumed by the
 /// timing model's issue logic.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpClass {
     /// Simple integer ALU (adds, logic, shifts, compares).
     IntAlu,
@@ -180,7 +177,6 @@ pub enum OpClass {
 /// name the integer or floating-point file is determined by the op
 /// (see [`Inst::dst`] and [`Inst::srcs`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Inst {
     /// The operation.
     pub op: Op,
@@ -227,8 +223,8 @@ impl Inst {
         let fp2 = RegRef::Fp(FReg::new(self.rs2));
         let (a, b) = match self.op {
             Nop | Halt | Li | Jal => (None, None),
-            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
-            | Min | Minu => (Some(int1), Some(int2)),
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Min
+            | Minu => (Some(int1), Some(int2)),
             Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu => (Some(int1), None),
             Ld(_) | Fld | Jalr => (Some(int1), None),
             St(_) => (Some(int1), Some(int2)),
@@ -377,10 +373,7 @@ mod tests {
         let st = inst(Op::St(Width::W), 0, 10, 11, 8);
         assert!(st.is_store());
         assert_eq!(st.dst(), None);
-        assert_eq!(
-            st.srcs().collect::<Vec<_>>(),
-            vec![RegRef::Int(Reg::A0), RegRef::Int(Reg::A1)]
-        );
+        assert_eq!(st.srcs().collect::<Vec<_>>(), vec![RegRef::Int(Reg::A0), RegRef::Int(Reg::A1)]);
     }
 
     #[test]

@@ -46,15 +46,17 @@ mod cpu;
 mod encode;
 mod inst;
 mod mem;
+pub mod prng;
 mod program;
 mod reg;
 
-pub use asm::{Asm, Label};
+pub use asm::{Asm, AsmError, Label};
+pub use cpu::{Cpu, MemEffect, RegWrite, Step, StepError, StoreOverlay};
 pub use encode::{
     decode_inst, decode_program, encode_inst, encode_program, DecodeError, INST_BYTES,
 };
-pub use cpu::{Cpu, MemEffect, RegWrite, Step, StepError, StoreOverlay};
 pub use inst::{Inst, Op, OpClass, SrcIter, Width};
 pub use mem::Memory;
+pub use prng::SplitMix64;
 pub use program::Program;
 pub use reg::{FReg, Reg, RegRef};

@@ -79,10 +79,8 @@ impl Memory {
         let off = (addr & PAGE_MASK) as usize;
         if off + size as usize <= PAGE_SIZE {
             // Fast path: the access lies within one page.
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page =
+                self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
             page[off..off + size as usize].copy_from_slice(&bytes[..size as usize]);
             return;
         }
@@ -119,10 +117,8 @@ impl Memory {
             let a = addr + offset as u64;
             let page_off = (a & PAGE_MASK) as usize;
             let chunk = (PAGE_SIZE - page_off).min(bytes.len() - offset);
-            let page = self
-                .pages
-                .entry(a >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page =
+                self.pages.entry(a >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
             page[page_off..page_off + chunk].copy_from_slice(&bytes[offset..offset + chunk]);
             offset += chunk;
         }
@@ -165,6 +161,36 @@ impl Memory {
         (0..len).map(|i| self.read_f64(base + 8 * i as u64)).collect()
     }
 
+    /// Deterministic digest of the memory image (FNV-1a over mapped
+    /// pages in ascending address order, skipping all-zero pages so
+    /// that a page written and then zeroed compares equal to one never
+    /// touched — unmapped bytes read as zero either way).
+    ///
+    /// Used by the architectural-invisibility oracle: two memories
+    /// with equal digests read identically at every address, so a
+    /// fault-injected runahead run can be compared against the
+    /// baseline without materializing a full image diff.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut keys: Vec<&u64> = self.pages.keys().collect();
+        keys.sort_unstable();
+        let mut h = FNV_OFFSET;
+        for &page_idx in keys {
+            let page = &self.pages[&page_idx];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in page_idx.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            for &b in page.iter() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
     fn read_byte(&self, addr: u64) -> u8 {
         match self.pages.get(&(addr >> PAGE_SHIFT)) {
             Some(page) => page[(addr & PAGE_MASK) as usize],
@@ -173,10 +199,8 @@ impl Memory {
     }
 
     fn write_byte(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = value;
     }
 }
@@ -263,5 +287,25 @@ mod tests {
     #[should_panic(expected = "unsupported access size")]
     fn invalid_size_panics() {
         Memory::new().read(0, 3);
+    }
+
+    #[test]
+    fn digest_distinguishes_contents_not_mapping() {
+        let empty = Memory::new();
+        let mut zeroed = Memory::new();
+        zeroed.write_u64(0x5000, 0); // maps a page but stays all-zero
+        assert_eq!(empty.digest(), zeroed.digest(), "all-zero page == unmapped");
+
+        let mut a = Memory::new();
+        a.write_u64(0x1000, 42);
+        let mut b = Memory::new();
+        b.write_u64(0x1000, 42);
+        assert_eq!(a.digest(), b.digest());
+        b.write_u64(0x1000, 43);
+        assert_ne!(a.digest(), b.digest());
+        // Same value at a different address differs too.
+        let mut c = Memory::new();
+        c.write_u64(0x2000, 42);
+        assert_ne!(a.digest(), c.digest());
     }
 }

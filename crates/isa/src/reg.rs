@@ -9,7 +9,6 @@ use core::fmt;
 /// RISC-V-flavoured ABI aliases purely for readability of hand-written
 /// kernels; the hardware model attaches no meaning to them.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Reg(u8);
 
 impl Reg {
@@ -109,7 +108,6 @@ impl fmt::Display for Reg {
 
 /// A floating-point architectural register, `f0`–`f31`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FReg(u8);
 
 impl FReg {
@@ -158,7 +156,6 @@ impl fmt::Display for FReg {
 /// A reference to either register file, used in dataflow reporting
 /// (renaming, taint tracking).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RegRef {
     /// An integer register.
     Int(Reg),

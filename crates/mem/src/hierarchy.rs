@@ -8,6 +8,7 @@ use crate::mshr::MshrFile;
 use crate::stats::{MemStats, TimelinessLevel};
 use crate::stride::StridePrefetcher;
 use crate::Requestor;
+use vr_isa::SplitMix64;
 
 /// Kind of memory access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +58,20 @@ impl std::fmt::Display for MshrFull {
 
 impl std::error::Error for MshrFull {}
 
+/// Seeded chaos applied to *speculative* traffic only (prefetches) —
+/// the fault-injection harness's lever inside the memory system.
+/// Because demand accesses are untouched, any schedule of drops and
+/// delays is architecturally invisible by construction; what it
+/// perturbs is timing and coverage, which the differential oracle
+/// verifies does not leak into committed state.
+#[derive(Clone, Copy, Debug)]
+struct PrefetchChaos {
+    drop_p: f64,
+    delay_p: f64,
+    delay_cycles: u64,
+    rng: SplitMix64,
+}
+
 /// Three-level hierarchy + MSHRs + DRAM + prefetchers.
 ///
 /// See the crate docs for the timing contract. The instruction cache
@@ -74,6 +89,7 @@ pub struct MemorySystem {
     stride: StridePrefetcher,
     imp: Imp,
     stats: MemStats,
+    chaos: Option<PrefetchChaos>,
 }
 
 impl MemorySystem {
@@ -92,8 +108,23 @@ impl MemorySystem {
             stride: StridePrefetcher::new(streams, degree, distance),
             imp: Imp::new(cfg.imp_config),
             stats: MemStats::default(),
+            chaos: None,
             cfg,
         }
+    }
+
+    /// Arms the fault-injection chaos layer: every subsequent
+    /// speculative prefetch is independently dropped with probability
+    /// `drop_p` or delayed by ~200 cycles with probability `delay_p`
+    /// (seeded, so runs are reproducible). Demand traffic is never
+    /// touched.
+    pub fn set_prefetch_chaos(&mut self, drop_p: f64, delay_p: f64, seed: u64) {
+        self.chaos = Some(PrefetchChaos {
+            drop_p,
+            delay_p,
+            delay_cycles: 200,
+            rng: SplitMix64::new(seed ^ 0xC4A0_5F11),
+        });
     }
 
     /// The configuration in use.
@@ -143,6 +174,23 @@ impl MemorySystem {
         pc: u64,
         now: u64,
     ) -> Result<AccessOutcome, MshrFull> {
+        let mut now = now;
+        // Fault injection on *speculative* traffic only: a dropped
+        // access looks to the requestor exactly like a full MSHR file
+        // (which every speculative path already tolerates); a delayed
+        // one simply issues late. Demand traffic is never touched.
+        if req.is_prefetch() {
+            if let Some(chaos) = &mut self.chaos {
+                if chaos.rng.chance(chaos.drop_p) {
+                    self.stats.pf_dropped_fault += 1;
+                    return Err(MshrFull);
+                }
+                if chaos.rng.chance(chaos.delay_p) {
+                    now += chaos.delay_cycles;
+                    self.stats.pf_delayed_fault += 1;
+                }
+            }
+        }
         let mut outcome = self.do_access(addr, kind, req, pc, now)?;
         if self.cfg.oracle && req == Requestor::Main && kind == Access::Load {
             outcome.ready_at = now + self.cfg.l1d.latency;
@@ -163,6 +211,13 @@ impl MemorySystem {
         self.mshr.expire(now);
 
         let is_demand = req == Requestor::Main;
+        if !is_demand && kind == Access::Store {
+            // Speculative requestors must never write: runahead is
+            // architecturally invisible only if its stores stay out of
+            // the hierarchy. The `checked` invariant layer asserts this
+            // counter remains 0.
+            self.stats.spec_stores += 1;
+        }
         if is_demand {
             match kind {
                 Access::Load => self.stats.demand_loads += 1,
@@ -264,11 +319,7 @@ impl MemorySystem {
                 self.stats.pf_issued[MemStats::req_idx(req)] += 1;
             }
             self.fill_l1(la, kind, req, dirty);
-            return Ok(AccessOutcome {
-                ready_at: ready,
-                hit: HitLevel::L2,
-                prefetched_by: was_pf,
-            });
+            return Ok(AccessOutcome { ready_at: ready, hit: HitLevel::L2, prefetched_by: was_pf });
         }
 
         // 4. L3 hit.
@@ -296,11 +347,7 @@ impl MemorySystem {
             // is what the timeliness L2/L3 buckets mean.
             self.fill_l2_flagged(la, None, dirty);
             self.fill_l1(la, kind, req, dirty);
-            return Ok(AccessOutcome {
-                ready_at: ready,
-                hit: HitLevel::L3,
-                prefetched_by: was_pf,
-            });
+            return Ok(AccessOutcome { ready_at: ready, hit: HitLevel::L3, prefetched_by: was_pf });
         }
 
         // 5. DRAM.
@@ -341,7 +388,9 @@ impl MemorySystem {
                         line.prefetch_src = victim.prefetch_src;
                     }
                 }
-                None => self.fill_l2_flagged_src(victim.line_addr, victim.prefetch_src, victim.dirty),
+                None => {
+                    self.fill_l2_flagged_src(victim.line_addr, victim.prefetch_src, victim.dirty)
+                }
             }
         }
         if dirty {
@@ -398,6 +447,17 @@ impl MemorySystem {
     /// Returns `true` if a new fetch was actually started.
     pub fn prefetch(&mut self, addr: u64, req: Requestor, now: u64) -> bool {
         debug_assert!(req.is_prefetch(), "prefetch requires a prefetching requestor");
+        let mut now = now;
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.rng.chance(chaos.drop_p) {
+                self.stats.pf_dropped_fault += 1;
+                return false;
+            }
+            if chaos.rng.chance(chaos.delay_p) {
+                now += chaos.delay_cycles;
+                self.stats.pf_delayed_fault += 1;
+            }
+        }
         let la = self.l1d.line_addr(addr);
         self.mshr.expire(now);
         if self.l1d.contains(la) || self.mshr.is_pending(la) {
@@ -501,10 +561,7 @@ mod tests {
         for i in 0..4u64 {
             ms.access(0x1000 + i * 64, Access::Load, Requestor::Main, i, 0).unwrap();
         }
-        assert!(matches!(
-            ms.access(0x9000, Access::Load, Requestor::Main, 99, 0),
-            Err(MshrFull)
-        ));
+        assert!(matches!(ms.access(0x9000, Access::Load, Requestor::Main, 99, 0), Err(MshrFull)));
         // After the fills return, capacity frees up.
         assert!(ms.access(0x9000, Access::Load, Requestor::Main, 99, 500).is_ok());
     }
@@ -606,6 +663,44 @@ mod tests {
         // Non-demand accesses are not accelerated.
         let r2 = ms.access(0x8000, Access::Load, Requestor::Runahead, 1, 0).unwrap();
         assert!(r2.ready_at > 200);
+    }
+
+    #[test]
+    fn prefetch_chaos_drops_are_counted_and_deterministic() {
+        let run = |seed: u64| {
+            let mut ms = sys();
+            ms.set_prefetch_chaos(0.5, 0.0, seed);
+            for i in 0..64u64 {
+                ms.prefetch(0x10_000 + i * 64, Requestor::Runahead, i * 1000);
+            }
+            ms.stats().pf_dropped_fault
+        };
+        let a = run(42);
+        assert!(a > 0, "with p=0.5 over 64 tries some prefetch must drop");
+        assert!(a < 64, "not every prefetch may drop");
+        assert_eq!(a, run(42), "same seed, same drops");
+    }
+
+    #[test]
+    fn prefetch_chaos_delay_still_fetches_the_line() {
+        let mut ms = sys();
+        ms.set_prefetch_chaos(0.0, 1.0, 7);
+        assert!(ms.prefetch(0x2000, Requestor::Runahead, 0));
+        assert_eq!(ms.stats().pf_delayed_fault, 1);
+        // The line still arrives, just ~200 cycles late.
+        let r = ms.access(0x2000, Access::Load, Requestor::Main, 5, 1000).unwrap();
+        assert_eq!(r.hit, HitLevel::L1);
+    }
+
+    #[test]
+    fn speculative_stores_are_counted() {
+        let mut ms = sys();
+        assert_eq!(ms.stats().spec_stores, 0);
+        ms.access(0x3000, Access::Store, Requestor::Runahead, 1, 0).unwrap();
+        assert_eq!(ms.stats().spec_stores, 1);
+        // Demand stores do not count.
+        ms.access(0x4000, Access::Store, Requestor::Main, 1, 0).unwrap();
+        assert_eq!(ms.stats().spec_stores, 1);
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl Imp {
         if let Some(p) = self.patterns.get_mut(&pc) {
             // Verify the existing hypothesis against the newest value
             // of its index stream.
-            if let Some(&(_, v)) = self.recent_index.iter().rev().find(|(ipc, _)| *ipc == p.index_pc)
+            if let Some(&(_, v)) =
+                self.recent_index.iter().rev().find(|(ipc, _)| *ipc == p.index_pc)
             {
                 let predicted = p.base.wrapping_add(v << p.shift);
                 if predicted == addr {
@@ -122,7 +123,12 @@ impl Imp {
                 .unwrap();
             self.patterns.insert(
                 pc,
-                Pattern { index_pc: ipc, shift, base: addr.wrapping_sub(v << shift), confidence: 0 },
+                Pattern {
+                    index_pc: ipc,
+                    shift,
+                    base: addr.wrapping_sub(v << shift),
+                    confidence: 0,
+                },
             );
         }
     }

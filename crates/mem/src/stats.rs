@@ -44,6 +44,18 @@ pub struct MemStats {
     pub pf_used: [u64; 4],
     /// Prefetches dropped because the MSHR file was full.
     pub pf_dropped_mshr: u64,
+    /// Prefetches dropped by injected faults (the fault-injection
+    /// harness's drop-prefetch chaos; always 0 in normal runs).
+    pub pf_dropped_fault: u64,
+    /// Prefetches delayed by injected faults (always 0 in normal
+    /// runs).
+    pub pf_delayed_fault: u64,
+
+    /// Stores issued by a *speculative* requestor (runahead or a
+    /// prefetcher). Runahead is architecturally invisible only if its
+    /// stores never reach the hierarchy, so the `checked` invariant
+    /// layer asserts this counter stays 0.
+    pub spec_stores: u64,
 
     /// Timeliness histogram for runahead-prefetched lines at first
     /// demand touch (L1 / L2 / L3 / off-chip-in-transfer).
@@ -145,8 +157,7 @@ mod tests {
 
     #[test]
     fn timeliness_fractions_sum_to_one() {
-        let mut s = MemStats::default();
-        s.timeliness = [6, 2, 1, 1];
+        let s = MemStats { timeliness: [6, 2, 1, 1], ..Default::default() };
         let f = s.timeliness_fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(f[0], 0.6);

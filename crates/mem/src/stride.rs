@@ -93,9 +93,7 @@ impl StrideDetector {
     /// The confident stride for the load at `pc`, if any.
     pub fn confident_stride(&self, pc: u64) -> Option<i64> {
         match self.entry(pc) {
-            Some(e) if e.confidence >= Self::CONFIDENT_THRESHOLD && e.stride != 0 => {
-                Some(e.stride)
-            }
+            Some(e) if e.confidence >= Self::CONFIDENT_THRESHOLD && e.stride != 0 => Some(e.stride),
             _ => None,
         }
     }

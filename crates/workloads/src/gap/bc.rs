@@ -29,18 +29,8 @@ pub fn bc_on(g: &Csr, preset: GraphPreset) -> Workload {
     let mut a = Asm::new();
     let (row, col, dep, sig, q) = (Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4);
     let (head, tail) = (Reg::S0, Reg::S1);
-    let (v, e, eend, u, tmp, dv, du, sv, su, uaddr) = (
-        Reg::S2,
-        Reg::S3,
-        Reg::S4,
-        Reg::T4,
-        Reg::T0,
-        Reg::S5,
-        Reg::T5,
-        Reg::S6,
-        Reg::T6,
-        Reg::T1,
-    );
+    let (v, e, eend, u, tmp, dv, du, sv, su, uaddr) =
+        (Reg::S2, Reg::S3, Reg::S4, Reg::T4, Reg::T0, Reg::S5, Reg::T5, Reg::S6, Reg::T6, Reg::T1);
 
     a.li(head, 0);
     a.li(tail, 1);

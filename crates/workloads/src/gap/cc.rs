@@ -22,18 +22,8 @@ pub fn cc_on(g: &Csr, preset: GraphPreset) -> Workload {
 
     let mut a = Asm::new();
     let (row, col, cmp) = (Reg::A0, Reg::A1, Reg::A2);
-    let (v, nreg, e, eend, u, tmp, cv, cu, round, rounds) = (
-        Reg::S0,
-        Reg::S1,
-        Reg::S2,
-        Reg::S3,
-        Reg::T4,
-        Reg::T0,
-        Reg::S5,
-        Reg::T5,
-        Reg::S6,
-        Reg::S7,
-    );
+    let (v, nreg, e, eend, u, tmp, cv, cu, round, rounds) =
+        (Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::T4, Reg::T0, Reg::S5, Reg::T5, Reg::S6, Reg::S7);
 
     a.li(round, 0);
     a.li(rounds, CC_ROUNDS as i64);

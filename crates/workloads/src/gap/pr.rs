@@ -86,8 +86,7 @@ pub fn pr_on(g: &Csr, preset: GraphPreset) -> Workload {
 pub fn pr_reference(g: &Csr) -> Vec<f64> {
     let n = g.num_nodes();
     let init_rank = 1.0 / n as f64;
-    let contrib: Vec<f64> =
-        (0..n).map(|v| init_rank / g.degree(v).max(1) as f64).collect();
+    let contrib: Vec<f64> = (0..n).map(|v| init_rank / g.degree(v).max(1) as f64).collect();
     (0..n)
         .map(|v| {
             let mut sum = 0.0;

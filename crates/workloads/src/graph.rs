@@ -8,8 +8,7 @@
 //! random), with footprints well past the 8 MB LLC at
 //! [`Scale::Paper`].
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vr_isa::SplitMix64;
 
 use crate::Scale;
 
@@ -72,11 +71,11 @@ impl Csr {
 /// `degree` out-edges with uniformly random destinations (the paper's
 /// Urand analogue).
 pub fn uniform(n: usize, degree: usize, seed: u64) -> Csr {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(n * degree);
     for v in 0..n as u64 {
         for _ in 0..degree {
-            edges.push((v, rng.gen_range(0..n as u64)));
+            edges.push((v, rng.below(n as u64)));
         }
     }
     Csr::from_edges(n, &edges)
@@ -88,12 +87,12 @@ pub fn uniform(n: usize, degree: usize, seed: u64) -> Csr {
 pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Csr {
     let n = 1usize << scale;
     let m = n * edge_factor;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let (mut src, mut dst) = (0u64, 0u64);
         for _ in 0..scale {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.f64_unit();
             let (sbit, dbit) = if r < 0.57 {
                 (0, 0)
             } else if r < 0.57 + 0.19 {

@@ -40,8 +40,7 @@ pub fn hashjoin(scale: Scale, depth: u32) -> Workload {
 
     let mut a = Asm::new();
     let (keys_r, table_r, res) = (Reg::A0, Reg::A1, Reg::A6);
-    let (i, iters_r, k, tmp, acc, maskr) =
-        (Reg::S0, Reg::S1, Reg::T3, Reg::T4, Reg::S2, Reg::S3);
+    let (i, iters_r, k, tmp, acc, maskr) = (Reg::S0, Reg::S1, Reg::T3, Reg::T4, Reg::S2, Reg::S3);
 
     a.li(i, 0);
     a.li(iters_r, iters as i64);

@@ -42,8 +42,8 @@ pub fn kangaroo(scale: Scale) -> Workload {
     asm.slli(tmp, i, 3);
     asm.add(tmp, tmp, ar);
     asm.ld(v, tmp, 0); // v = A[i]              (striding load)
-    // mix: v = ((v ^ (v>>9)) * 5) % len — keeps MPKI paper-like while
-    // staying a pure function of the chain value (vectorizable).
+                       // mix: v = ((v ^ (v>>9)) * 5) % len — keeps MPKI paper-like while
+                       // staying a pure function of the chain value (vectorizable).
     asm.srli(tmp, v, 9);
     asm.xor(v, v, tmp);
     asm.slli(tmp, v, 2);

@@ -23,8 +23,7 @@ pub fn randomaccess(scale: Scale) -> Workload {
 
     let mut a = Asm::new();
     let (rnd, tbl) = (Reg::A0, Reg::A1);
-    let (i, iters_r, r, tmp, v, maskr) =
-        (Reg::S0, Reg::S1, Reg::T3, Reg::T4, Reg::T5, Reg::S2);
+    let (i, iters_r, r, tmp, v, maskr) = (Reg::S0, Reg::S1, Reg::T3, Reg::T4, Reg::T5, Reg::S2);
 
     a.li(i, 0);
     a.li(iters_r, iters as i64);

@@ -160,9 +160,8 @@ mod tests {
             .into_iter()
             .chain(hpcdb_suite(Scale::Test))
         {
-            let cpu = w
-                .run_functional(20_000_000)
-                .unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
+            let cpu =
+                w.run_functional(20_000_000).unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
             assert!(cpu.halted(), "{} did not halt", w.name);
         }
     }

@@ -21,9 +21,8 @@ fn simulate(w: &Workload, ra: RunaheadConfig, max_insts: u64) -> vr_core::SimSta
 #[test]
 fn all_thirteen_benchmarks_simulate_on_the_baseline() {
     let mut names = Vec::new();
-    for w in gap_suite(Scale::Test, graph::GraphPreset::Kron)
-        .into_iter()
-        .chain(hpcdb_suite(Scale::Test))
+    for w in
+        gap_suite(Scale::Test, graph::GraphPreset::Kron).into_iter().chain(hpcdb_suite(Scale::Test))
     {
         let stats = simulate(&w, RunaheadConfig::none(), 150_000);
         assert!(stats.instructions > 10_000, "{}: too few instructions", w.name);
@@ -201,11 +200,8 @@ fn reconvergence_extension_helps_divergent_graph_code() {
     let g = graph::kronecker(14, 12, 5);
     let w = gap::bfs_on(&g, graph::GraphPreset::Kron);
     let plain = simulate(&w, RunaheadConfig::vector(), 250_000);
-    let reconv = simulate(
-        &w,
-        RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() },
-        250_000,
-    );
+    let reconv =
+        simulate(&w, RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() }, 250_000);
     if reconv.vr_lanes_reconverged > 0 {
         assert!(
             reconv.vr_lanes_invalidated <= plain.vr_lanes_invalidated,
