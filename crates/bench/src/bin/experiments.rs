@@ -2,20 +2,28 @@
 //! evaluation (DESIGN.md §5 maps each id to the paper artifact).
 //!
 //! ```text
-//! experiments <id> [--insts N] [--all-inputs] [--quick]
+//! experiments <id> [--insts N] [--all-inputs] [--quick] [--threads N]
 //!
 //! ids: table1 table2 fig-perf fig-rob fig-breakdown fig-mlp
 //!      fig-accuracy fig-timeliness fig-veclen fig-interval
-//!      fig-ablation fig-mshr table-hw fault-oracle all
+//!      fig-ablation fig-mshr table-hw fault-oracle perf-report all
 //! ```
 //!
 //! `--insts N`     instruction budget per run (default 200000)
 //! `--all-inputs`  run GAP on all five graph presets (default KR + UR)
 //! `--quick`       small inputs and budgets (smoke test)
+//! `--threads N`   worker threads for the sweep runner (default: all cores)
+//!
+//! Simulation points are fanned across a work pool
+//! ([`vr_bench::parallel_map`]); every table and figure is
+//! bit-identical to a `--threads 1` run because each point constructs
+//! its own simulator and results are reassembled in input order.
 
 use std::collections::HashMap;
 
-use vr_bench::{pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique};
+use vr_bench::{
+    parallel_map, pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique,
+};
 use vr_core::{harmonic_mean, CoreConfig, RunaheadConfig};
 use vr_mem::{HitLevel, MemConfig, Requestor};
 use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
@@ -24,6 +32,7 @@ struct Opts {
     insts: u64,
     presets: Vec<GraphPreset>,
     scale: Scale,
+    threads: usize,
 }
 
 fn main() {
@@ -32,6 +41,7 @@ fn main() {
     let mut insts: u64 = 200_000;
     let mut presets = vec![GraphPreset::Kron, GraphPreset::Urand];
     let mut scale = Scale::Paper;
+    let mut threads = vr_bench::default_threads();
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +50,15 @@ fn main() {
                     Some(n) => n,
                     None => {
                         eprintln!("error: --insts requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--threads" => {
+                threads = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --threads requires a positive integer");
                         std::process::exit(2);
                     }
                 };
@@ -55,7 +74,7 @@ fn main() {
             }
         }
     }
-    let opts = Opts { insts, presets, scale };
+    let opts = Opts { insts, presets, scale, threads };
 
     match id {
         "table1" => table1(),
@@ -72,6 +91,7 @@ fn main() {
         "fig-ablation" => fig_ablation(&opts),
         "fig-mshr" => fig_mshr(&opts),
         "fault-oracle" => fault_oracle(),
+        "perf-report" => perf_report(&opts),
         "all" => {
             table1();
             table2(&opts);
@@ -91,7 +111,8 @@ fn main() {
             eprintln!(
                 "usage: experiments <table1|table2|fig-perf|fig-rob|fig-breakdown|fig-mlp|\
                  fig-accuracy|fig-timeliness|fig-veclen|fig-interval|fig-ablation|fig-mshr|\
-                 table-hw|fault-oracle|all> [--insts N] [--all-inputs] [--quick]"
+                 table-hw|fault-oracle|perf-report|all> \
+                 [--insts N] [--all-inputs] [--quick] [--threads N]"
             );
             std::process::exit(2);
         }
@@ -192,13 +213,13 @@ fn table2(opts: &Opts) {
     for p in GraphPreset::ALL {
         let g = p.generate(opts.scale);
         // Aggregate MPKI over the five GAP kernels on the baseline.
-        let mut misses = 0u64;
-        let mut insts = 0u64;
-        for w in gap_suite(opts.scale, p) {
-            let s = run_technique(&w, CoreConfig::table1(), Technique::Baseline, opts.insts / 2);
-            misses += s.mem.loads_served_at(HitLevel::Dram);
-            insts += s.instructions;
-        }
+        let suite = gap_suite(opts.scale, p);
+        let per_kernel = parallel_map(&suite, opts.threads, |w| {
+            let s = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts / 2);
+            (s.mem.loads_served_at(HitLevel::Dram), s.instructions)
+        });
+        let misses: u64 = per_kernel.iter().map(|&(m, _)| m).sum();
+        let insts: u64 = per_kernel.iter().map(|&(_, i)| i).sum();
         let mpki = misses as f64 * 1000.0 / insts as f64;
         t.row(vec![
             p.abbrev().into(),
@@ -222,15 +243,20 @@ fn fig_perf(opts: &Opts) {
     let mut t = Table::new(&["benchmark", "PRE", "IMP", "VR", "Oracle"]);
     let mut speedups: HashMap<&str, Vec<f64>> = HashMap::new();
     let mut vr_chart = BarChart::new("VR speedup over the baseline OoO");
-    for w in &set {
+    const TECHS: [Technique; 4] =
+        [Technique::Pre, Technique::Imp, Technique::Vr, Technique::Oracle];
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        TECHS.map(|tech| {
+            run_technique(w, CoreConfig::table1(), tech, opts.insts).speedup_over(&base)
+        })
+    });
+    for (w, sps) in set.iter().zip(&results) {
         let mut cells = vec![w.name.clone()];
-        for tech in [Technique::Pre, Technique::Imp, Technique::Vr, Technique::Oracle] {
-            let s = run_technique(w, CoreConfig::table1(), tech, opts.insts);
-            let sp = s.speedup_over(&base);
+        for (tech, &sp) in TECHS.iter().zip(sps) {
             speedups.entry(tech.label()).or_default().push(sp);
-            if tech == Technique::Vr {
+            if *tech == Technique::Vr {
                 vr_chart.bar(&w.name, sp);
             }
             cells.push(ratio(sp));
@@ -259,27 +285,33 @@ fn fig_rob(opts: &Opts) {
     let mut t =
         Table::new(&["ROB", "OoO IPC", "VR IPC", "OoO norm", "VR norm", "VR/OoO", "stall%"]);
     // Geometric aggregation across the sweep set.
-    let mut base350 = Vec::new();
-    for w in &set {
-        let s = run_technique(w, CoreConfig::with_rob_scaled(350), Technique::Baseline, opts.insts);
-        base350.push(s.ipc());
-    }
-    for rob in robs {
+    let base350 = parallel_map(&set, opts.threads, |w| {
+        run_technique(w, CoreConfig::with_rob_scaled(350), Technique::Baseline, opts.insts).ipc()
+    });
+    // Fan the full (ROB × workload) cross product in one batch so the
+    // pool never drains between sweep steps.
+    let points: Vec<(usize, &Workload)> =
+        robs.iter().flat_map(|&r| set.iter().map(move |w| (r, w))).collect();
+    let measured = parallel_map(&points, opts.threads, |&(rob, w)| {
+        eprintln!("  [run] rob={rob} {} …", w.name);
+        let core = CoreConfig::with_rob_scaled(rob);
+        let b = run_technique(w, core.clone(), Technique::Baseline, opts.insts);
+        let v = run_technique(w, core, Technique::Vr, opts.insts);
+        (b.ipc(), v.ipc(), b.full_rob_stall_fraction())
+    });
+    for (ri, rob) in robs.into_iter().enumerate() {
         let mut ooo_norm = Vec::new();
         let mut vr_norm = Vec::new();
         let mut ooo_ipc = Vec::new();
         let mut vr_ipc = Vec::new();
         let mut stall = Vec::new();
-        for (i, w) in set.iter().enumerate() {
-            eprintln!("  [run] rob={rob} {} …", w.name);
-            let core = CoreConfig::with_rob_scaled(rob);
-            let b = run_technique(w, core.clone(), Technique::Baseline, opts.insts);
-            let v = run_technique(w, core, Technique::Vr, opts.insts);
-            ooo_ipc.push(b.ipc());
-            vr_ipc.push(v.ipc());
-            ooo_norm.push(b.ipc() / base350[i]);
-            vr_norm.push(v.ipc() / base350[i]);
-            stall.push(b.full_rob_stall_fraction());
+        for i in 0..set.len() {
+            let (b_ipc, v_ipc, b_stall) = measured[ri * set.len() + i];
+            ooo_ipc.push(b_ipc);
+            vr_ipc.push(v_ipc);
+            ooo_norm.push(b_ipc / base350[i]);
+            vr_norm.push(v_ipc / base350[i]);
+            stall.push(b_stall);
         }
         let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -306,7 +338,7 @@ fn fig_breakdown(opts: &Opts) {
     let set = sweep_set(opts);
     let mut t = Table::new(&["benchmark", "VR", "+eager", "+eager+discovery"]);
     let mut agg = [Vec::new(), Vec::new(), Vec::new()];
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
         let variants = [
@@ -318,10 +350,14 @@ fn fig_breakdown(opts: &Opts) {
                 ..RunaheadConfig::vector()
             },
         ];
+        variants.map(|ra| {
+            run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts)
+                .speedup_over(&base)
+        })
+    });
+    for (w, sps) in set.iter().zip(&results) {
         let mut cells = vec![w.name.clone()];
-        for (i, ra) in variants.into_iter().enumerate() {
-            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts);
-            let sp = s.speedup_over(&base);
+        for (i, &sp) in sps.iter().enumerate() {
             agg[i].push(sp);
             cells.push(ratio(sp));
         }
@@ -342,11 +378,14 @@ fn fig_mlp(opts: &Opts) {
     println!("\n== Fig. MLP: average outstanding L1-D misses (MSHRs used per cycle) ==\n");
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "OoO", "VR"]);
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
         let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
-        t.row(vec![w.name.clone(), format!("{:.2}", b.mlp()), format!("{:.2}", v.mlp())]);
+        (b.mlp(), v.mlp())
+    });
+    for (w, (b_mlp, v_mlp)) in set.iter().zip(&results) {
+        t.row(vec![w.name.clone(), format!("{b_mlp:.2}"), format!("{v_mlp:.2}")]);
     }
     print!("{}", t.render());
 }
@@ -360,10 +399,13 @@ fn fig_accuracy(opts: &Opts) {
     );
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "OoO total", "VR main", "VR runahead", "VR total(norm)"]);
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
         let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        (b, v)
+    });
+    for (w, (b, v)) in set.iter().zip(&results) {
         let bt = b.mem.dram_reads_total() as f64;
         let main = v.mem.dram_reads_by(Requestor::Main) as f64;
         let ra = v.mem.dram_reads_by(Requestor::Runahead) as f64;
@@ -385,10 +427,11 @@ fn fig_timeliness(opts: &Opts) {
     println!("\n== Fig. timeliness: where the main thread finds runahead-prefetched lines ==\n");
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "L1", "L2", "L3", "off-chip"]);
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
-        let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
-        let f = v.mem.timeliness_fractions();
+        run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts).mem.timeliness_fractions()
+    });
+    for (w, f) in set.iter().zip(&results) {
         t.row(vec![w.name.clone(), pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3])]);
     }
     print!("{}", t.render());
@@ -402,14 +445,18 @@ fn fig_veclen(opts: &Opts) {
     let lanes = [16usize, 32, 64, 128];
     let mut t = Table::new(&["benchmark", "K=16", "K=32", "K=64", "K=128"]);
     let mut agg = vec![Vec::new(); lanes.len()];
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
-        let mut cells = vec![w.name.clone()];
-        for (i, &k) in lanes.iter().enumerate() {
+        lanes.map(|k| {
             let ra = RunaheadConfig { vr_lanes: k, ..RunaheadConfig::vector() };
-            let s = run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts);
-            let sp = s.speedup_over(&base);
+            run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts)
+                .speedup_over(&base)
+        })
+    });
+    for (w, sps) in set.iter().zip(&results) {
+        let mut cells = vec![w.name.clone()];
+        for (i, &sp) in sps.iter().enumerate() {
             agg[i].push(sp);
             cells.push(ratio(sp));
         }
@@ -441,10 +488,13 @@ fn fig_interval(opts: &Opts) {
         "lanes",
         "inv",
     ]);
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let b = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
         let v = run_technique(w, CoreConfig::table1(), Technique::Vr, opts.insts);
+        (b, v)
+    });
+    for (w, (b, v)) in set.iter().zip(&results) {
         t.row(vec![
             w.name.clone(),
             v.runahead_entries.to_string(),
@@ -478,14 +528,20 @@ fn fig_ablation(opts: &Opts) {
     ];
     let mut t = Table::new(&["benchmark", "VR", "no-pipe", "+reconv", "+bounded"]);
     let mut agg = vec![Vec::new(); variants.len()];
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
+        variants
+            .clone()
+            .map(|(_, ra)| {
+                run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra, opts.insts)
+                    .speedup_over(&base)
+            })
+            .to_vec()
+    });
+    for (w, sps) in set.iter().zip(&results) {
         let mut cells = vec![w.name.clone()];
-        for (i, (_, ra)) in variants.iter().enumerate() {
-            let s =
-                run_custom(w, CoreConfig::table1(), MemConfig::table1(), ra.clone(), opts.insts);
-            let sp = s.speedup_over(&base);
+        for (i, &sp) in sps.iter().enumerate() {
             agg[i].push(sp);
             cells.push(ratio(sp));
         }
@@ -506,10 +562,9 @@ fn fig_mshr(opts: &Opts) {
     let counts = [8usize, 16, 24, 48];
     let mut t = Table::new(&["benchmark", "8", "16", "24", "48"]);
     let mut agg = vec![Vec::new(); counts.len()];
-    for w in &set {
+    let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
-        let mut cells = vec![w.name.clone()];
-        for (i, &m) in counts.iter().enumerate() {
+        counts.map(|m| {
             let mem_cfg = MemConfig { mshrs: m, ..MemConfig::table1() };
             let base = run_custom(
                 w,
@@ -520,7 +575,12 @@ fn fig_mshr(opts: &Opts) {
             );
             let vr =
                 run_custom(w, CoreConfig::table1(), mem_cfg, RunaheadConfig::vector(), opts.insts);
-            let sp = vr.speedup_over(&base);
+            vr.speedup_over(&base)
+        })
+    });
+    for (w, sps) in set.iter().zip(&results) {
+        let mut cells = vec![w.name.clone()];
+        for (i, &sp) in sps.iter().enumerate() {
             agg[i].push(sp);
             cells.push(ratio(sp));
         }
@@ -547,6 +607,113 @@ fn table_hw() {
     }
     t.row(vec!["TOTAL".into(), total.to_string(), format!("{:.0}", (total as f64 / 8.0).ceil())]);
     print!("{}", t.render());
+}
+
+// ------------------------------------------------------------- perf report
+
+/// Simulator-throughput regression harness (not a paper artifact).
+///
+/// Measures, per workload and technique, how many committed
+/// kilo-instructions the simulator retires per wall-clock second
+/// (KIPS — the metric the performance-engineering work is judged on),
+/// times representative figures end-to-end at one worker and at
+/// `--threads` workers (sweep-runner scaling), and writes everything
+/// to `BENCH_sim.json` in the current directory for CI trending.
+/// Timings are machine-dependent: the JSON is an artifact to plot,
+/// not an assertion that fails the build.
+fn perf_report(opts: &Opts) {
+    use std::fmt::Write as _;
+    use std::time::{Duration, Instant};
+    use vr_bench::micro::Runner;
+
+    println!(
+        "\n== Perf report: simulation throughput (KIPS) + harness wall time \
+         ({} insts/run, {} threads) ==\n",
+        opts.insts, opts.threads
+    );
+
+    // --- per-point KIPS, measured with the micro-benchmark runner.
+    let set = build_set(opts);
+    let mut runner = Runner::new("sim");
+    runner.samples = 5;
+    runner.sample_time = Duration::from_millis(20);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v1\",");
+    let _ = writeln!(json, "  \"insts_per_run\": {},", opts.insts);
+    let _ = writeln!(json, "  \"threads\": {},", opts.threads);
+    json.push_str("  \"kips\": [\n");
+    let mut t = Table::new(&["workload", "tech", "KIPS"]);
+    let mut all_kips = Vec::new();
+    let techs = [Technique::Baseline, Technique::Vr];
+    for (wi, w) in set.iter().enumerate() {
+        for (ti, tech) in techs.into_iter().enumerate() {
+            let insts = run_technique(w, CoreConfig::table1(), tech, opts.insts).instructions;
+            let m = runner.bench(&format!("{}/{}", w.name, tech.label()), || {
+                run_technique(w, CoreConfig::table1(), tech, opts.insts)
+            });
+            let kips = insts as f64 / m.per_iter.as_secs_f64() / 1e3;
+            all_kips.push(kips);
+            t.row(vec![w.name.clone(), tech.label().into(), format!("{kips:.0}")]);
+            let last = wi + 1 == set.len() && ti + 1 == techs.len();
+            let _ = writeln!(
+                json,
+                "    {{\"workload\": \"{}\", \"technique\": \"{}\", \"insts\": {}, \
+                 \"kips\": {:.1}}}{}",
+                w.name,
+                tech.label(),
+                insts,
+                kips,
+                if last { "" } else { "," }
+            );
+        }
+    }
+    json.push_str("  ],\n");
+    let hmean_kips = harmonic_mean(&all_kips);
+    let _ = writeln!(json, "  \"kips_hmean\": {hmean_kips:.1},");
+    println!();
+    print!("{}", t.render());
+    println!("\nh-mean throughput: {hmean_kips:.0} KIPS");
+
+    // --- end-to-end figure wall time, serial vs the sweep pool. The
+    // figure output itself still goes to stdout; only the timings land
+    // in the JSON.
+    type Figure = (&'static str, fn(&Opts));
+    let figures: [Figure; 2] = [("table2", table2), ("fig-mlp", fig_mlp)];
+    json.push_str("  \"figures\": [\n");
+    for (fi, (id, f)) in figures.into_iter().enumerate() {
+        let serial = Opts {
+            insts: opts.insts,
+            presets: opts.presets.clone(),
+            scale: opts.scale,
+            threads: 1,
+        };
+        let t0 = Instant::now();
+        f(&serial);
+        let ms_serial = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        f(opts);
+        let ms_pool = t1.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "  [time] {id}: {ms_serial:.0} ms serial, {ms_pool:.0} ms with {} threads \
+             ({:.2}x)",
+            opts.threads,
+            ms_serial / ms_pool
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{id}\", \"wall_ms_threads_1\": {ms_serial:.1}, \
+             \"wall_ms_threads_n\": {ms_pool:.1}, \"pool_speedup\": {:.2}}}{}",
+            ms_serial / ms_pool,
+            if fi + 1 == figures.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_sim.json", &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write BENCH_sim.json: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote BENCH_sim.json");
 }
 
 // ------------------------------------------------------------ fault oracle

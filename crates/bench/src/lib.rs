@@ -12,9 +12,75 @@
 
 pub mod micro;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use vr_core::{CoreConfig, RunaheadConfig, RunaheadKind, SimStats, Simulator};
 use vr_mem::MemConfig;
 use vr_workloads::{gap_suite, graph::GraphPreset, hpcdb_suite, Scale, Workload};
+
+/// Default worker-thread count for [`parallel_map`]: every available
+/// core (the sweep points are CPU-bound and share nothing).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Fans `f` over `items` across `threads` OS threads and returns the
+/// results **in input order**.
+///
+/// This is the sweep runner's work pool: each (configuration ×
+/// workload) simulation point is independent — every [`Simulator`] is
+/// constructed fresh from cloned program/memory state inside `f` — so
+/// the results are bit-identical to a serial loop no matter how the
+/// points are interleaved across workers. Determinism contract:
+///
+/// * `f` must not mutate shared state (enforced by `F: Fn + Sync`);
+/// * results are reassembled by input index before returning, so
+///   callers observe serial order regardless of completion order.
+///
+/// Work is distributed dynamically through an atomic cursor (sweep
+/// points have wildly different costs — a DRAM-bound BFS point runs
+/// ~10x longer than an L1-resident kernel — so static chunking would
+/// leave cores idle). Built on [`std::thread::scope`] only: the
+/// workspace is deliberately offline and has zero registry
+/// dependencies, so no rayon.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool joins all workers first).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Join everything before surfacing a panic so no worker is
+        // left running over soon-to-be-dropped borrows.
+        let results: Vec<_> =
+            workers.into_iter().map(std::thread::ScopedJoinHandle::join).collect();
+        results.into_iter().flat_map(|r| r.expect("sweep worker panicked")).collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
 
 /// The evaluated techniques, in the paper's presentation order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -266,6 +332,43 @@ mod tests {
             let stats = run_technique(w, CoreConfig::table1(), tech, 20_000);
             assert!(stats.instructions >= 20_000, "{:?} must commit", tech);
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8, 128] {
+            assert_eq!(parallel_map(&items, threads, |x| x * x), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: [u64; 0] = [];
+        assert_eq!(parallel_map(&empty, 8, |x| *x), Vec::<u64>::new());
+        assert_eq!(parallel_map(&[7u64], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_stats_bit_for_bit() {
+        // The determinism contract of the sweep runner: fanning the
+        // same simulation points across threads must reproduce the
+        // serial stats exactly (each point builds its own Simulator).
+        let set = quick_workload_set();
+        let points: Vec<(usize, Technique)> =
+            (0..4).flat_map(|i| [(i, Technique::Baseline), (i, Technique::Vr)]).collect();
+        let run = |&(i, tech): &(usize, Technique)| {
+            let s = run_technique(&set[i], CoreConfig::table1(), tech, 5_000);
+            (s.instructions, s.cycles, s.mem.dram_reads_total())
+        };
+        let serial: Vec<_> = points.iter().map(run).collect();
+        assert_eq!(parallel_map(&points, 4, run), serial);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
     }
 
     #[test]

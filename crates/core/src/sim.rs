@@ -1,6 +1,7 @@
 //! The out-of-order core timing model and runahead orchestration.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use vr_frontend::{Btb, DirectionPredictor, Ras, TageScL};
 use vr_isa::{Cpu, Memory, OpClass, Program, Reg, RegRef, SplitMix64, Step};
@@ -37,6 +38,9 @@ struct Slot {
     mispredicted: bool,
     src_seqs: [Option<u64>; 2],
     hit: Option<HitLevel>,
+    /// In-flight producers this slot still waits on (event-driven
+    /// wakeup bookkeeping; 0, 1 or 2).
+    pending: u8,
 }
 
 impl Slot {
@@ -102,7 +106,19 @@ pub struct Simulator {
     fetch_q: VecDeque<Slot>,
     rob: VecDeque<Slot>,
     next_seq: u64,
-    last_writer: HashMap<usize, u64>,
+    /// Youngest in-flight writer of each architectural register
+    /// (indexed by [`RegRef::flat_index`]; flat array — the rename
+    /// table is on the per-instruction hot path).
+    last_writer: [Option<u64>; RegRef::FLAT_COUNT],
+    /// Completion events `(done_at, producer seq)` — the event-driven
+    /// wakeup queue. Stale entries (squashed and re-issued seqs) are
+    /// filtered on pop by revalidating against the ROB slot.
+    wake_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// producer seq → consumer seqs registered at dispatch time.
+    waiters: HashMap<u64, Vec<u64>>,
+    /// Dispatched, unissued slots with no outstanding producers,
+    /// sorted by seq (program order — the issue priority).
+    ready: Vec<u64>,
     free_int: isize,
     free_fp: isize,
     iq_used: usize,
@@ -162,13 +178,16 @@ impl Simulator {
             bp: TageScL::default_8kb(),
             btb: Btb::default(),
             ras: Ras::default(),
-            fetch_cpu: cpu.clone(),
+            fetch_cpu: cpu,
             fetch_done: false,
             committed: cpu,
             fetch_q: VecDeque::new(),
             rob: VecDeque::new(),
             next_seq: 0,
-            last_writer: HashMap::new(),
+            last_writer: [None; RegRef::FLAT_COUNT],
+            wake_events: BinaryHeap::new(),
+            waiters: HashMap::new(),
+            ready: Vec::new(),
             free_int,
             free_fp,
             iq_used: 0,
@@ -214,6 +233,7 @@ impl Simulator {
     pub fn try_run(&mut self, max_insts: u64) -> Result<SimStats, SimError> {
         self.validate_config()?;
         while !self.halted && self.committed_insts < max_insts {
+            self.maybe_fast_forward();
             self.try_tick()?;
             if self.cycle - self.last_commit_cycle >= self.cfg.watchdog {
                 return Err(SimError::Deadlock(Box::new(self.deadlock_dump())));
@@ -222,8 +242,8 @@ impl Simulator {
         self.stats.cycles = self.cycle;
         self.stats.instructions = self.committed_insts;
         self.stats.mshr_occupancy_integral = self.ms.mshr_occupancy_integral();
-        self.stats.mem = self.ms.stats().clone();
-        Ok(self.stats.clone())
+        self.stats.mem = *self.ms.stats();
+        Ok(self.stats)
     }
 
     /// Panicking convenience wrapper over [`Self::try_run`] for call
@@ -433,6 +453,125 @@ impl Simulator {
         Ok(())
     }
 
+    /// Idle-cycle fast-forward: when every pipeline stage is provably
+    /// quiescent until a known future event, advance the cycle counter
+    /// in bulk instead of spinning through no-op ticks.
+    ///
+    /// This cannot change timing because a cycle is skipped only when
+    /// *every* `try_tick` phase is a no-op for it, by induction over
+    /// the skipped window (the state each phase reads is exactly the
+    /// state that the phases are proven not to modify):
+    ///
+    /// * fault injection / runahead step / trigger: no episode is
+    ///   running, and (when a trigger is configured) the head is not a
+    ///   DRAM-blocked load, so the trigger predicate — whose inputs
+    ///   are all frozen — stays false;
+    /// * commit: the ROB head has not completed, and its completion
+    ///   event bounds the skip horizon;
+    /// * store drain: the post-commit store buffer is empty and only
+    ///   commit refills it;
+    /// * issue: the ready list is empty and the earliest wakeup event
+    ///   bounds the horizon, so no instruction becomes ready earlier;
+    /// * dispatch: the front-end queue is empty, time-gated (the gate
+    ///   bounds the horizon), or blocked on a back-end resource that
+    ///   only the frozen commit/issue stages could free;
+    /// * fetch: the fetch unit is done, the queue is full, or an
+    ///   unresolved branch redirect — whose resolution is bounded by
+    ///   the branch's wakeup event — blocks it.
+    ///
+    /// The horizon is additionally capped at the watchdog deadline so
+    /// a genuine deadlock is still reported at the exact cycle the
+    /// unskipped simulator would have reported it. Per-cycle stall
+    /// counters are bulk-incremented with the same values the skipped
+    /// ticks would have accumulated.
+    fn maybe_fast_forward(&mut self) {
+        if self.runahead.is_some() || !self.ready.is_empty() || !self.store_buffer.is_empty() {
+            return;
+        }
+        let c = self.cycle;
+
+        // Commit and trigger must be frozen.
+        let mut head_blocked_dram = false;
+        if let Some(head) = self.rob.front() {
+            if head.done_by(c) {
+                return; // commit acts this cycle
+            }
+            head_blocked_dram = head.is_load() && head.issued && head.hit == Some(HitLevel::Dram);
+        }
+        if self.ra_cfg.kind != RunaheadKind::None && head_blocked_dram {
+            // The runahead trigger could fire as soon as the back end
+            // reports full; don't reason about it, just don't skip.
+            return;
+        }
+
+        // Fetch must be frozen.
+        if let Some(bseq) = self.pending_branch {
+            let resolved = match self.rob.front() {
+                None => true,
+                Some(head) if bseq < head.seq => true,
+                Some(head) => {
+                    self.rob.get((bseq - head.seq) as usize).is_some_and(|s| s.done_by(c))
+                }
+            };
+            if resolved {
+                return; // fetch clears the redirect this cycle
+            }
+        } else if !self.fetch_done && self.fetch_q.len() < fetch_q_cap(&self.cfg) {
+            return; // fetch has work
+        }
+
+        // Dispatch must be frozen: empty, time-gated, or blocked.
+        // `stalled` is the steady-state `backend_stalled` value the
+        // skipped dispatch phases would have recomputed each cycle.
+        let mut dispatch_gate = None;
+        let mut stalled = false;
+        if let Some(front) = self.fetch_q.front() {
+            let eligible_at = front.fetch_at + self.cfg.frontend_depth;
+            if eligible_at > c {
+                dispatch_gate = Some(eligible_at);
+            } else {
+                let inst = front.step.inst;
+                let blocked = self.rob.len() >= self.cfg.rob
+                    || self.iq_used >= self.cfg.iq
+                    || (inst.is_load() && self.lq_used >= self.cfg.lq)
+                    || (inst.is_store() && self.sq_used >= self.cfg.sq)
+                    || match inst.dst() {
+                        Some(RegRef::Int(_)) => self.free_int == 0,
+                        Some(RegRef::Fp(_)) => self.free_fp == 0,
+                        None => false,
+                    };
+                if !blocked {
+                    return; // dispatch acts this cycle
+                }
+                stalled = true;
+            }
+        }
+
+        // Horizon: the earliest cycle anything can happen — the next
+        // completion event, the dispatch time gate, or the watchdog
+        // deadline (exclusive of the reporting cycle itself).
+        let mut target = self.last_commit_cycle.saturating_add(self.cfg.watchdog - 1);
+        if let Some(&Reverse((t, _))) = self.wake_events.peek() {
+            target = target.min(t);
+        }
+        if let Some(gate) = dispatch_gate {
+            target = target.min(gate);
+        }
+        if target <= c {
+            return;
+        }
+
+        // Skip cycles c .. target: bulk-apply the per-cycle stats the
+        // no-op ticks would have recorded.
+        let delta = target - c;
+        self.cycle = target;
+        self.stats.commit_stall_cycles += delta;
+        if self.rob.len() >= self.cfg.rob || stalled {
+            self.stats.full_rob_stall_cycles += delta;
+        }
+        self.backend_stalled = stalled;
+    }
+
     /// Per-cycle structural assertions (the `checked` cargo feature).
     /// Always defined so call sites need no cfg; a no-op without the
     /// feature.
@@ -500,6 +639,40 @@ impl Simulator {
                         )));
                     }
                 }
+            }
+
+            // Event-driven wakeup bookkeeping: the ready list is
+            // sorted program order, references only live unissued
+            // slots, and covers exactly the slots with no outstanding
+            // producers.
+            if !self.ready.windows(2).all(|w| w[0] < w[1]) {
+                return Err(err(format!("ready list out of order: {:?}", self.ready)));
+            }
+            if let Some(head) = self.rob.front() {
+                let h = head.seq;
+                for &seq in &self.ready {
+                    let ok = seq >= h
+                        && self
+                            .rob
+                            .get((seq - h) as usize)
+                            .is_some_and(|s| s.dispatched && !s.issued);
+                    if !ok {
+                        return Err(err(format!("ready seq {seq} is not a live unissued slot")));
+                    }
+                }
+                for s in &self.rob {
+                    if s.dispatched && !s.issued {
+                        let in_ready = self.ready.binary_search(&s.seq).is_ok();
+                        if in_ready != (s.pending == 0) {
+                            return Err(err(format!(
+                                "seq {} pending={} but ready-list membership is {}",
+                                s.seq, s.pending, in_ready
+                            )));
+                        }
+                    }
+                }
+            } else if !self.ready.is_empty() {
+                return Err(err("ready list non-empty with empty ROB".to_string()));
             }
 
             // Runahead containment: speculative requestors never write
@@ -638,7 +811,7 @@ impl Simulator {
             return;
         }
         let end_at = head.done_at.expect("issued load has a completion time");
-        let mut cpu = self.committed.clone();
+        let mut cpu = self.committed;
         cpu.set_pc(head.step.pc);
         let blocked_dst = head.step.inst.dst();
         let engine = match self.ra_cfg.kind {
@@ -678,7 +851,7 @@ impl Simulator {
             return;
         }
         let last_addr = entry.last_addr;
-        let mut cpu = self.committed.clone();
+        let mut cpu = self.committed;
         cpu.set_pc(load_pc);
         let mut eng = VectorRunahead::new(cpu, &self.ra_cfg, self.cfg.width, self.cfg.fu.vec_alu);
         eng.seed_base(load_pc, last_addr);
@@ -713,21 +886,32 @@ impl Simulator {
             s.done_at = None;
             s.hit = None;
             s.src_seqs = [None, None];
+            s.pending = 0;
             self.fetch_q.push_front(s);
         }
         self.recompute_resources();
     }
 
     fn recompute_resources(&mut self) {
-        self.last_writer.clear();
+        self.last_writer = [None; RegRef::FLAT_COUNT];
+        // Wakeup state is rebuilt wholesale: consumers re-register at
+        // re-dispatch, and stale heap events are filtered on pop.
+        self.waiters.clear();
+        self.ready.clear();
         self.iq_used = 0;
         self.lq_used = 0;
         self.sq_used = 0;
         let mut int_alloc = 0isize;
         let mut fp_alloc = 0isize;
-        for s in &self.rob {
+        // Both call paths leave at most the ROB head behind, so a
+        // surviving unissued slot has no in-flight producers and goes
+        // straight to the ready list.
+        debug_assert!(self.rob.len() <= 1, "flush leaves at most the head");
+        for s in &mut self.rob {
             if !s.issued {
                 self.iq_used += 1;
+                s.pending = 0;
+                self.ready.push(s.seq);
             }
             if s.is_load() {
                 self.lq_used += 1;
@@ -736,7 +920,7 @@ impl Simulator {
                 self.sq_used += 1;
             }
             if let Some(d) = s.step.inst.dst() {
-                self.last_writer.insert(d.flat_index(), s.seq);
+                self.last_writer[d.flat_index()] = Some(s.seq);
                 match d {
                     RegRef::Int(_) => int_alloc += 1,
                     RegRef::Fp(_) => fp_alloc += 1,
@@ -794,8 +978,8 @@ impl Simulator {
                     RegRef::Int(_) => self.free_int += 1,
                     RegRef::Fp(_) => self.free_fp += 1,
                 }
-                if self.last_writer.get(&d.flat_index()) == Some(&slot.seq) {
-                    self.last_writer.remove(&d.flat_index());
+                if self.last_writer[d.flat_index()] == Some(slot.seq) {
+                    self.last_writer[d.flat_index()] = None;
                 }
             }
             if slot.step.inst.is_cond_branch() {
@@ -854,40 +1038,83 @@ impl Simulator {
         }
     }
 
-    fn issue(&mut self, c: u64) {
-        let mut budget = self.new_budget();
-        let head_seq = match self.rob.front() {
-            Some(s) => s.seq,
-            None => return,
-        };
-        let mut load_retry_blocked = false;
-
-        for i in 0..self.rob.len() {
-            if budget.total == 0 {
+    /// Drains completion events up to cycle `c` and wakes the waiters
+    /// of each completing producer. An event is *stale* when its seq
+    /// was squashed and re-issued with a different completion time (or
+    /// not re-issued at all); staleness is detected by revalidating
+    /// against the live ROB slot, exploiting seq-contiguity. Events
+    /// for already-committed producers are trivially valid: a slot
+    /// only commits once done, and its waiters were woken then.
+    ///
+    /// Equivalence with the old per-cycle O(ROB × srcs) scan: a
+    /// consumer used to become issuable at the first cycle `c` with
+    /// `producer.done_at <= c` — exactly the cycle this event pops.
+    fn process_wake_events(&mut self, c: u64) {
+        let head_seq = self.rob.front().map(|s| s.seq);
+        let mut woke = false;
+        while let Some(&Reverse((t, seq))) = self.wake_events.peek() {
+            if t > c {
                 break;
             }
-            let (ready, class) = {
-                let s = &self.rob[i];
-                if !s.dispatched || s.issued {
-                    continue;
-                }
-                let mut ready = true;
-                for src in s.src_seqs.iter().flatten() {
-                    if *src < head_seq {
-                        continue; // producer already committed
-                    }
-                    let idx = (src - head_seq) as usize;
-                    debug_assert!(idx < i, "producer must be older");
-                    if !self.rob[idx].done_by(c) {
-                        ready = false;
-                        break;
-                    }
-                }
-                (ready, s.step.inst.class())
+            self.wake_events.pop();
+            let valid = match head_seq {
+                None => true,               // producer committed (ROB drained)
+                Some(h) if seq < h => true, // producer committed
+                Some(h) => match self.rob.get((seq - h) as usize) {
+                    // Squashed and re-fetched, not re-issued (or
+                    // re-issued with a different completion time):
+                    // stale — the re-issue pushed its own event.
+                    Some(s) => s.issued && s.done_at == Some(t),
+                    None => false, // squashed, still in the fetch queue
+                },
             };
-            if !ready {
+            if !valid {
                 continue;
             }
+            let Some(consumers) = self.waiters.remove(&seq) else { continue };
+            for wseq in consumers {
+                let Some(h) = head_seq else { continue };
+                if wseq < h {
+                    continue;
+                }
+                let Some(s) = self.rob.get_mut((wseq - h) as usize) else { continue };
+                debug_assert!(s.pending > 0, "woken consumer must be pending");
+                s.pending -= 1;
+                if s.pending == 0 && !s.issued {
+                    self.ready.push(wseq);
+                    woke = true;
+                }
+            }
+        }
+        if woke {
+            // Multiple producers completing the same cycle can push
+            // consumers out of program order; issue priority is oldest
+            // first, so restore it.
+            self.ready.sort_unstable();
+        }
+    }
+
+    fn issue(&mut self, c: u64) {
+        self.process_wake_events(c);
+        if self.ready.is_empty() {
+            return;
+        }
+        let mut budget = self.new_budget();
+        let head_seq = self.rob.front().expect("ready implies non-empty ROB").seq;
+        let mut load_retry_blocked = false;
+
+        // Walk the ready list in program order, issuing what the FU
+        // budget allows and keeping the rest for next cycle.
+        let ready = std::mem::take(&mut self.ready);
+        let mut kept: Vec<u64> = Vec::with_capacity(ready.len());
+        for (pos, &seq) in ready.iter().enumerate() {
+            if budget.total == 0 {
+                kept.extend_from_slice(&ready[pos..]);
+                break;
+            }
+            debug_assert!(seq >= head_seq, "ready entries are in flight");
+            let i = (seq - head_seq) as usize;
+            let class = self.rob[i].step.inst.class();
 
             // Functional-unit availability.
             let lat = match class {
@@ -897,11 +1124,13 @@ impl Simulator {
                     s.issued = true;
                     s.issue_at = c;
                     s.done_at = Some(c + 1);
+                    self.wake_events.push(Reverse((c + 1, seq)));
                     self.iq_used -= 1;
                     continue;
                 }
                 OpClass::IntAlu | OpClass::Branch => {
                     if budget.int_alu == 0 {
+                        kept.push(seq);
                         continue;
                     }
                     budget.int_alu -= 1;
@@ -909,6 +1138,7 @@ impl Simulator {
                 }
                 OpClass::IntMul => {
                     if budget.int_mul == 0 {
+                        kept.push(seq);
                         continue;
                     }
                     budget.int_mul -= 1;
@@ -916,6 +1146,7 @@ impl Simulator {
                 }
                 OpClass::IntDiv => {
                     if self.div_busy_until > c {
+                        kept.push(seq);
                         continue;
                     }
                     self.div_busy_until = c + self.cfg.lat.int_div;
@@ -923,6 +1154,7 @@ impl Simulator {
                 }
                 OpClass::FpAdd => {
                     if budget.fp_add == 0 {
+                        kept.push(seq);
                         continue;
                     }
                     budget.fp_add -= 1;
@@ -930,6 +1162,7 @@ impl Simulator {
                 }
                 OpClass::FpMul => {
                     if budget.fp_mul == 0 {
+                        kept.push(seq);
                         continue;
                     }
                     budget.fp_mul -= 1;
@@ -937,6 +1170,7 @@ impl Simulator {
                 }
                 OpClass::FpDiv => {
                     if self.fdiv_busy_until > c {
+                        kept.push(seq);
                         continue;
                     }
                     self.fdiv_busy_until = c + self.cfg.lat.fp_div;
@@ -944,6 +1178,7 @@ impl Simulator {
                 }
                 OpClass::Load => {
                     if budget.loads == 0 || load_retry_blocked {
+                        kept.push(seq);
                         continue;
                     }
                     budget.loads -= 1;
@@ -951,6 +1186,7 @@ impl Simulator {
                 }
                 OpClass::Store => {
                     if budget.stores == 0 {
+                        kept.push(seq);
                         continue;
                     }
                     budget.stores -= 1;
@@ -965,6 +1201,7 @@ impl Simulator {
                         // MSHR full: retry next cycle; keep program
                         // order among loads.
                         load_retry_blocked = true;
+                        kept.push(seq);
                         continue;
                     }
                 }
@@ -973,10 +1210,12 @@ impl Simulator {
                 s.issued = true;
                 s.issue_at = c;
                 s.done_at = Some(c + lat);
+                self.wake_events.push(Reverse((c + lat, seq)));
             }
             self.iq_used -= 1;
             budget.total -= 1;
         }
+        self.ready = kept;
     }
 
     fn issue_load(&mut self, i: usize, c: u64) -> Result<(), ()> {
@@ -1001,11 +1240,13 @@ impl Simulator {
             }
         }
         if forwarded {
+            let done = c + self.ms.config().l1d.latency;
             let s = &mut self.rob[i];
             s.issued = true;
             s.issue_at = c;
-            s.done_at = Some(c + self.ms.config().l1d.latency);
+            s.done_at = Some(done);
             s.hit = Some(HitLevel::L1);
+            self.wake_events.push(Reverse((done, s.seq)));
             return Ok(());
         }
 
@@ -1016,6 +1257,7 @@ impl Simulator {
                 s.issue_at = c;
                 s.done_at = Some(out.ready_at);
                 s.hit = Some(out.hit);
+                self.wake_events.push(Reverse((out.ready_at, s.seq)));
                 let _ = value;
                 Ok(())
             }
@@ -1049,16 +1291,31 @@ impl Simulator {
             let mut slot = self.fetch_q.pop_front().expect("front exists");
             slot.dispatched = true;
             slot.dispatch_at = c;
-            // Resolve dependences against in-flight producers.
+            // Resolve dependences against in-flight producers and
+            // register on their wakeup lists. `last_writer` only maps
+            // in-flight (ROB-resident) producers, so a hit implies a
+            // non-empty ROB.
             let mut srcs = [None, None];
+            let mut pending = 0u8;
             for (k, src) in inst.srcs().enumerate() {
-                if let Some(&seq) = self.last_writer.get(&src.flat_index()) {
-                    srcs[k] = Some(seq);
+                if let Some(pseq) = self.last_writer[src.flat_index()] {
+                    srcs[k] = Some(pseq);
+                    let h = self.rob.front().expect("producer in flight").seq;
+                    let p = &self.rob[(pseq - h) as usize];
+                    if !(p.issued && p.done_by(c)) {
+                        pending += 1;
+                        self.waiters.entry(pseq).or_default().push(slot.seq);
+                    }
                 }
             }
             slot.src_seqs = srcs;
+            slot.pending = pending;
+            if pending == 0 {
+                // New seqs are maximal, so the ready list stays sorted.
+                self.ready.push(slot.seq);
+            }
             if let Some(d) = inst.dst() {
-                self.last_writer.insert(d.flat_index(), slot.seq);
+                self.last_writer[d.flat_index()] = Some(slot.seq);
                 match d {
                     RegRef::Int(_) => self.free_int -= 1,
                     RegRef::Fp(_) => self.free_fp -= 1,
@@ -1085,8 +1342,15 @@ impl Simulator {
         // Misprediction: fetch resumes the cycle after the branch
         // resolves.
         if let Some(bseq) = self.pending_branch {
-            let resolved = self.rob.front().is_none_or(|head| bseq < head.seq)
-                || self.rob.iter().find(|s| s.seq == bseq).is_some_and(|s| s.done_by(c));
+            // Seq-contiguous ROB: the branch (if still in flight) lives
+            // at index bseq - head.seq — no scan needed.
+            let resolved = match self.rob.front() {
+                None => true,
+                Some(head) if bseq < head.seq => true,
+                Some(head) => {
+                    self.rob.get((bseq - head.seq) as usize).is_some_and(|s| s.done_by(c))
+                }
+            };
             if resolved {
                 self.pending_branch = None;
             }
@@ -1126,6 +1390,7 @@ impl Simulator {
                 mispredicted: false,
                 src_seqs: [None, None],
                 hit: None,
+                pending: 0,
             };
             let mut stop = false;
             if let Some(taken) = step.taken {

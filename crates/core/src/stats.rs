@@ -3,7 +3,7 @@
 use vr_mem::MemStats;
 
 /// End-of-run statistics produced by [`crate::Simulator::run`].
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -196,7 +196,7 @@ impl VectorRunahead {
             // A striding load? Vectorize from here.
             if matches!(inst.op, Op::Ld(_) | Op::Fld) {
                 if let Some(stride) = ctx.ms.stride_detector().confident_stride(cursor.pc()) {
-                    let cursor = cursor.clone();
+                    let cursor = *cursor;
                     let overlay = overlay.clone();
                     self.start_batch(ctx, cursor, overlay, inst, stride);
                     return VrStatus::Working;
@@ -232,7 +232,7 @@ impl VectorRunahead {
         overlay: &StoreOverlay,
         stride_pc: u64,
     ) -> Option<usize> {
-        let mut probe = cursor.clone();
+        let mut probe = *cursor;
         let mut ov = overlay.clone();
         let mut count = 0usize;
         // Step past the striding load first so re-encounters count.
@@ -309,7 +309,7 @@ impl VectorRunahead {
         let mut lanes = Vec::with_capacity(k);
         let mut pending = Vec::with_capacity(k);
         for l in 0..k {
-            let mut cpu = cursor.clone();
+            let mut cpu = cursor;
             let addr = base_addr.wrapping_add((stride as u64).wrapping_mul(l as u64 + 1));
             // Execute the striding load manually for this lane's
             // future iteration.
@@ -600,7 +600,7 @@ impl VectorRunahead {
                 .iter()
                 .rev()
                 .find(|l| l.active || l.done)
-                .map(|l| (l.cpu.clone(), l.overlay.clone()))
+                .map(|l| (l.cpu, l.overlay.clone()))
         };
         let _ = ctx;
         match next_cursor {
@@ -831,7 +831,7 @@ mod tests {
         cpu.set_x(Reg::T0, (256 - 6) * 8);
         let cfg =
             RunaheadConfig { vr_lanes: 64, loop_bound_discovery: true, ..RunaheadConfig::vector() };
-        let mut vr = VectorRunahead::new(cpu.clone(), &cfg, 5, 3);
+        let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
         run_engine(&mut vr, &prog, &mem, &mut ms, 1500);
         assert!(vr.found_stride);
         assert!(
@@ -940,7 +940,7 @@ mod tests {
                 reconvergence: reconverge,
                 ..RunaheadConfig::vector()
             };
-            let mut vr = VectorRunahead::new(cpu.clone(), &cfg, 5, 3);
+            let mut vr = VectorRunahead::new(cpu, &cfg, 5, 3);
             let mut now = 0;
             while now < 3000 {
                 let mut ctx = RaCtx { prog: &prog, mem: &mem, ms: &mut ms, now };

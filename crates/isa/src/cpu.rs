@@ -16,7 +16,7 @@ use crate::reg::{FReg, Reg, RegRef};
 /// * [`Cpu::step_spec`] — the *speculative* step used by the runahead
 ///   engines: stores are captured in a [`StoreOverlay`] (the "runahead
 ///   cache") and never reach memory; loads see the overlay first.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Cpu {
     pc: u64,
     halted: bool,

@@ -1,10 +1,42 @@
 //! Sparse byte-addressed memory.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Pages per chunk (2 MiB of address space per chunk).
+const CHUNK_BITS: u64 = 9;
+const CHUNK_PAGES: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: u64 = (CHUNK_PAGES as u64) - 1;
+
+type Page = [u8; PAGE_SIZE];
+
+/// A 2 MiB-aligned span of the address space: 512 optional 4 KiB
+/// pages. Chunks are kept in a sorted vector (a flat two-level radix
+/// index): within a chunk, page lookup is a direct array index; across
+/// chunks, a binary search — accelerated by a last-chunk hint, since
+/// the simulator's access stream is overwhelmingly chunk-local.
+#[derive(Clone, Debug)]
+struct Chunk {
+    idx: u64,
+    pages: Box<[Option<Box<Page>>]>,
+}
+
+impl Chunk {
+    fn new(idx: u64) -> Chunk {
+        Chunk { idx, pages: vec![None; CHUNK_PAGES].into_boxed_slice() }
+    }
+}
+
+/// Direct-mapped chunk-position hint slots. A workload's hot data
+/// structures live in a handful of distinct chunks accessed in an
+/// interleaved pattern (offsets / neighbours / frontier / visited in
+/// BFS), so a single last-chunk hint thrashes; a small direct-mapped
+/// cache keyed on the low chunk bits keeps each region's position
+/// warm.
+const HINT_SLOTS: usize = 16;
 
 /// A sparse, paged, little-endian, 64-bit byte-addressed memory.
 ///
@@ -14,6 +46,11 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// real hardware would simply fetch a garbage line). Writes allocate
 /// the containing 4 KiB page on demand.
 ///
+/// Internally a sorted vector of 2 MiB chunks with a direct-mapped
+/// chunk-position hint cache (atomics, so shared `&Memory` lookups
+/// stay `Sync` for parallel sweep runners) — replacing a per-access
+/// `HashMap` hash+probe with an array index on the hot path.
+///
 /// ```
 /// use vr_isa::Memory;
 /// let mut m = Memory::new();
@@ -22,9 +59,29 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(m.read(0x1000, 8), 0x0123_4567_89ab_cdef);
 /// assert_eq!(m.read(0x1004, 4), 0x0123_4567);
 /// ```
-#[derive(Clone, Default, Debug)]
+#[derive(Default, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Sorted by `Chunk::idx`.
+    chunks: Vec<Chunk>,
+    /// Count of mapped 4 KiB pages.
+    mapped: usize,
+    /// Direct-mapped cache of chunk positions (`pos + 1`; 0 = empty),
+    /// indexed by the low chunk-index bits. Entries self-verify
+    /// against `chunks[pos].idx`, so stale hints (after an insert
+    /// shifts positions) are harmless. Atomics keep shared `&Memory`
+    /// lookups `Sync` for the parallel sweep runner; relaxed loads and
+    /// stores compile to plain moves.
+    hints: [AtomicUsize; HINT_SLOTS],
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            chunks: self.chunks.clone(),
+            mapped: self.mapped,
+            hints: std::array::from_fn(|i| AtomicUsize::new(self.hints[i].load(Ordering::Relaxed))),
+        }
+    }
 }
 
 impl Memory {
@@ -33,14 +90,65 @@ impl Memory {
         Memory::default()
     }
 
+    /// Position of the chunk with index `cidx`, if mapped. Checks the
+    /// direct-mapped hint cache before falling back to binary search.
+    fn find_chunk(&self, cidx: u64) -> Option<usize> {
+        let slot = (cidx as usize) & (HINT_SLOTS - 1);
+        let cached = self.hints[slot].load(Ordering::Relaxed);
+        if cached != 0 {
+            if let Some(c) = self.chunks.get(cached - 1) {
+                if c.idx == cidx {
+                    return Some(cached - 1);
+                }
+            }
+        }
+        match self.chunks.binary_search_by_key(&cidx, |c| c.idx) {
+            Ok(pos) => {
+                self.hints[slot].store(pos + 1, Ordering::Relaxed);
+                Some(pos)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The mapped page containing page index `pidx`, if any.
+    fn page(&self, pidx: u64) -> Option<&Page> {
+        let pos = self.find_chunk(pidx >> CHUNK_BITS)?;
+        self.chunks[pos].pages[(pidx & CHUNK_MASK) as usize].as_deref()
+    }
+
+    /// The page containing page index `pidx`, mapping it (and its
+    /// chunk) on demand.
+    fn page_mut(&mut self, pidx: u64) -> &mut Page {
+        let cidx = pidx >> CHUNK_BITS;
+        let pos = match self.find_chunk(cidx) {
+            Some(pos) => pos,
+            None => {
+                let pos = self
+                    .chunks
+                    .binary_search_by_key(&cidx, |c| c.idx)
+                    .expect_err("find_chunk said absent");
+                self.chunks.insert(pos, Chunk::new(cidx));
+                self.hints[(cidx as usize) & (HINT_SLOTS - 1)].store(pos + 1, Ordering::Relaxed);
+                pos
+            }
+        };
+        let slot = &mut self.chunks[pos].pages[(pidx & CHUNK_MASK) as usize];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE]));
+            self.mapped += 1;
+        }
+        slot.as_deref_mut().expect("just mapped")
+    }
+
     /// Number of mapped 4 KiB pages.
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.mapped
     }
 
     /// Whether the page containing `addr` has been written.
     pub fn is_mapped(&self, addr: u64) -> bool {
-        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+        self.page(addr >> PAGE_SHIFT).is_some()
     }
 
     /// Reads `size` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
@@ -55,7 +163,7 @@ impl Memory {
         if off + size as usize <= PAGE_SIZE {
             // Fast path: the access lies within one page.
             let mut bytes = [0u8; 8];
-            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+            if let Some(page) = self.page(addr >> PAGE_SHIFT) {
                 bytes[..size as usize].copy_from_slice(&page[off..off + size as usize]);
             }
             return u64::from_le_bytes(bytes);
@@ -79,8 +187,7 @@ impl Memory {
         let off = (addr & PAGE_MASK) as usize;
         if off + size as usize <= PAGE_SIZE {
             // Fast path: the access lies within one page.
-            let page =
-                self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self.page_mut(addr >> PAGE_SHIFT);
             page[off..off + size as usize].copy_from_slice(&bytes[..size as usize]);
             return;
         }
@@ -117,8 +224,7 @@ impl Memory {
             let a = addr + offset as u64;
             let page_off = (a & PAGE_MASK) as usize;
             let chunk = (PAGE_SIZE - page_off).min(bytes.len() - offset);
-            let page =
-                self.pages.entry(a >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self.page_mut(a >> PAGE_SHIFT);
             page[page_off..page_off + chunk].copy_from_slice(&bytes[offset..offset + chunk]);
             offset += chunk;
         }
@@ -173,35 +279,38 @@ impl Memory {
     pub fn digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-        let mut keys: Vec<&u64> = self.pages.keys().collect();
-        keys.sort_unstable();
         let mut h = FNV_OFFSET;
-        for &page_idx in keys {
-            let page = &self.pages[&page_idx];
-            if page.iter().all(|&b| b == 0) {
-                continue;
-            }
-            for b in page_idx.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            }
-            for &b in page.iter() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        // `chunks` is sorted by index and pages within a chunk are
+        // positional, so this walks mapped pages in ascending address
+        // order — the same order the HashMap implementation produced
+        // by sorting its keys.
+        for chunk in &self.chunks {
+            for (i, page) in chunk.pages.iter().enumerate() {
+                let Some(page) = page else { continue };
+                if page.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                let page_idx = (chunk.idx << CHUNK_BITS) | i as u64;
+                for b in page_idx.to_le_bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                }
+                for &b in page.iter() {
+                    h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                }
             }
         }
         h
     }
 
     fn read_byte(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+        match self.page(addr >> PAGE_SHIFT) {
             Some(page) => page[(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     fn write_byte(&mut self, addr: u64, value: u8) {
-        let page =
-            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        self.page_mut(addr >> PAGE_SHIFT)[(addr & PAGE_MASK) as usize] = value;
     }
 }
 

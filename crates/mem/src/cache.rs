@@ -83,22 +83,41 @@ impl Cache {
         ((line_addr >> self.line_shift) & self.set_mask) as usize
     }
 
+    /// Single probe for `addr`: its way position within the set (0 =
+    /// MRU), without changing replacement state. Every other lookup
+    /// flavour is built on this one scan — `contains` + `lookup` used
+    /// to walk the set twice per hit.
+    pub fn probe(&self, addr: u64) -> Option<usize> {
+        let la = self.line_addr(addr);
+        self.sets[self.set_of(la)].iter().position(|l| l.line_addr == la)
+    }
+
     /// Probes for `addr` without changing replacement state.
     pub fn contains(&self, addr: u64) -> bool {
+        self.probe(addr).is_some()
+    }
+
+    /// Promotes the line at `pos` (as returned by [`Cache::probe`]) in
+    /// `addr`'s set to MRU and returns a mutable reference to it.
+    /// Single rotate — no remove/insert pair shifting the tail twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range for the set (a stale probe).
+    pub fn promote(&mut self, addr: u64, pos: usize) -> &mut LineState {
         let la = self.line_addr(addr);
-        self.sets[self.set_of(la)].iter().any(|l| l.line_addr == la)
+        let set_idx = self.set_of(la);
+        let set = &mut self.sets[set_idx];
+        debug_assert_eq!(set[pos].line_addr, la, "stale probe position");
+        set[..=pos].rotate_right(1);
+        &mut set[0]
     }
 
     /// Looks up `addr`; on a hit, refreshes LRU and returns a mutable
     /// reference to the line's state.
     pub fn lookup(&mut self, addr: u64) -> Option<&mut LineState> {
-        let la = self.line_addr(addr);
-        let set_idx = self.set_of(la);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.line_addr == la)?;
-        let line = set.remove(pos);
-        set.insert(0, line);
-        Some(&mut set[0])
+        let pos = self.probe(addr)?;
+        Some(self.promote(addr, pos))
     }
 
     /// Inserts the line containing `addr` as MRU, evicting the LRU
@@ -108,7 +127,8 @@ impl Cache {
     /// flags are left untouched) and `None` is returned.
     pub fn fill(&mut self, addr: u64, prefetch_src: Option<Requestor>) -> Option<LineState> {
         let la = self.line_addr(addr);
-        if self.lookup(la).is_some() {
+        if let Some(pos) = self.probe(la) {
+            self.promote(la, pos);
             return None;
         }
         let assoc = self.cfg.assoc;
@@ -199,6 +219,30 @@ mod tests {
         assert!(c.invalidate(0x20).is_some()); // same line as 0
         assert!(!c.contains(0));
         assert!(c.invalidate(0).is_none());
+    }
+
+    #[test]
+    fn probe_reports_way_position_without_refreshing_lru() {
+        let mut c = tiny();
+        c.fill(0, None);
+        c.fill(256, None); // same set, becomes MRU
+        assert_eq!(c.probe(256), Some(0));
+        assert_eq!(c.probe(0), Some(1));
+        assert_eq!(c.probe(512), None);
+        // probe must not have promoted 0: it is still the LRU victim.
+        let victim = c.fill(512, None).expect("set full");
+        assert_eq!(victim.line_addr, 0);
+    }
+
+    #[test]
+    fn promote_moves_probed_line_to_mru() {
+        let mut c = tiny();
+        c.fill(0, None);
+        c.fill(256, None);
+        let pos = c.probe(0).unwrap();
+        assert_eq!(c.promote(0, pos).line_addr, 0);
+        assert_eq!(c.probe(0), Some(0), "promoted line is MRU");
+        assert_eq!(c.probe(256), Some(1));
     }
 
     #[test]

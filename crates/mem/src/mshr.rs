@@ -1,11 +1,10 @@
 //! Miss-status holding registers.
 
-use std::collections::HashMap;
-
 use crate::Requestor;
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
+    line_addr: u64,
     ready_at: u64,
     requestor: Requestor,
 }
@@ -15,10 +14,15 @@ struct Entry {
 /// for free. This is the structure that caps memory-level parallelism
 /// (24 entries per Table 1) and that Vector Runahead's vectorized
 /// gathers try to keep full.
+///
+/// Stored as a flat vector searched linearly: at ≤ a few dozen entries
+/// a scan over contiguous `Copy` records beats hashing the address on
+/// every probe (this is the hottest lookup in the hierarchy — every
+/// access expires and probes the file).
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    entries: Vec<Entry>,
     /// Σ (ready − alloc) over all allocations; occupancy integral for
     /// the MLP figure.
     occupancy_integral: u64,
@@ -36,29 +40,33 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             occupancy_integral: 0,
             allocations: 0,
             merges: 0,
         }
     }
 
+    fn find(&self, line_addr: u64) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.line_addr == line_addr)
+    }
+
     /// Releases entries whose fills have completed by `now`.
     pub fn expire(&mut self, now: u64) {
-        self.entries.retain(|_, e| e.ready_at > now);
+        self.entries.retain(|e| e.ready_at > now);
     }
 
     /// Whether `line_addr` is outstanding, without counting a merge
     /// (used by prefetch duplicate suppression, which is a probe, not
     /// a secondary miss).
     pub fn is_pending(&self, line_addr: u64) -> bool {
-        self.entries.contains_key(&line_addr)
+        self.find(line_addr).is_some()
     }
 
     /// If `line_addr` is already outstanding, merges and returns its
     /// ready cycle.
     pub fn pending(&mut self, line_addr: u64) -> Option<u64> {
-        let ready = self.entries.get(&line_addr).map(|e| e.ready_at);
+        let ready = self.find(line_addr).map(|e| e.ready_at);
         if ready.is_some() {
             self.merges += 1;
         }
@@ -71,7 +79,8 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return false;
         }
-        self.entries.insert(line_addr, Entry { ready_at, requestor: req });
+        debug_assert!(!self.is_pending(line_addr), "duplicate MSHR allocation");
+        self.entries.push(Entry { line_addr, ready_at, requestor: req });
         self.occupancy_integral += ready_at.saturating_sub(now);
         self.allocations += 1;
         true
@@ -79,13 +88,20 @@ impl MshrFile {
 
     /// Requestor that allocated the outstanding entry for `line_addr`.
     pub fn requestor_of(&self, line_addr: u64) -> Option<Requestor> {
-        self.entries.get(&line_addr).map(|e| e.requestor)
+        self.find(line_addr).map(|e| e.requestor)
     }
 
     /// Number of currently outstanding entries (call [`MshrFile::expire`]
     /// first for an up-to-date answer).
     pub fn outstanding(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Earliest completion time among outstanding entries — the next
+    /// cycle at which the memory system can change state on its own
+    /// (used by the core's idle-cycle fast-forward).
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.ready_at).min()
     }
 
     /// Whether the file has a free entry.

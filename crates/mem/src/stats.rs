@@ -19,7 +19,7 @@ pub enum TimelinessLevel {
 }
 
 /// Counters maintained by [`crate::MemorySystem`].
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug)]
 pub struct MemStats {
     /// Main-thread demand loads.
     pub demand_loads: u64,
@@ -63,7 +63,9 @@ pub struct MemStats {
 }
 
 impl MemStats {
-    pub(crate) fn req_idx(req: Requestor) -> usize {
+    /// Index of `req` in the per-requestor counter arrays
+    /// (`dram_reads`, `pf_issued`, `pf_used`).
+    pub fn req_idx(req: Requestor) -> usize {
         match req {
             Requestor::Main => 0,
             Requestor::Runahead => 1,
