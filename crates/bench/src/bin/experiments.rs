@@ -1,18 +1,15 @@
 //! Regenerates every table and figure of the Vector Runahead
 //! evaluation (DESIGN.md §5 maps each id to the paper artifact).
 //!
-//! ```text
-//! experiments <id> [--insts N] [--all-inputs] [--quick] [--threads N]
+//! Run `experiments` with no arguments for the full usage text — it
+//! is generated from the same dispatch table `main` dispatches on, so
+//! the list of ids can never drift from the commands that actually
+//! exist.
 //!
-//! ids: table1 table2 fig-perf fig-rob fig-breakdown fig-mlp
-//!      fig-accuracy fig-timeliness fig-veclen fig-interval
-//!      fig-ablation fig-mshr table-hw fault-oracle perf-report all
-//! ```
-//!
-//! `--insts N`     instruction budget per run (default 200000)
-//! `--all-inputs`  run GAP on all five graph presets (default KR + UR)
-//! `--quick`       small inputs and budgets (smoke test)
-//! `--threads N`   worker threads for the sweep runner (default: all cores)
+//! Every figure builds [`Report`]s; the text printed to stdout and
+//! the `--json` / `--csv` exports are rendered from the *same*
+//! reports, so exported values always equal the printed ones (see
+//! DESIGN.md §10).
 //!
 //! Simulation points are fanned across a work pool
 //! ([`vr_bench::parallel_map`]); every table and figure is
@@ -20,11 +17,13 @@
 //! its own simulator and results are reassembled in input order.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
+use vr_bench::report::{write_exports, Report, RunMeta};
 use vr_bench::{
     parallel_map, pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique,
 };
-use vr_core::{harmonic_mean, CoreConfig, RunaheadConfig};
+use vr_core::{harmonic_mean, CoreConfig, RunaheadConfig, Simulator};
 use vr_mem::{HitLevel, MemConfig, Requestor};
 use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
 
@@ -33,15 +32,93 @@ struct Opts {
     presets: Vec<GraphPreset>,
     scale: Scale,
     threads: usize,
+    /// First non-flag argument after the id (the `trace` workload).
+    workload: Option<String>,
+}
+
+/// One dispatchable subcommand: the id `main` matches on, the help
+/// line the usage text prints, and the figure function itself.
+struct Cmd {
+    id: &'static str,
+    help: &'static str,
+    run: fn(&Opts) -> Vec<Report>,
+}
+
+/// The dispatch table. The usage text is generated from this table,
+/// so adding a command here is the *only* step needed to expose it.
+const COMMANDS: &[Cmd] = &[
+    Cmd { id: "table1", help: "baseline core/memory configuration (Table 1)", run: table1 },
+    Cmd { id: "table2", help: "graph inputs + measured LLC MPKI (Table 2)", run: table2 },
+    Cmd { id: "fig-perf", help: "speedup over the baseline OoO (Fig. 7)", run: fig_perf },
+    Cmd { id: "fig-rob", help: "ROB-size sensitivity sweep (Fig. 2/12)", run: fig_rob },
+    Cmd { id: "fig-breakdown", help: "VR + extension breakdown (Fig. 8)", run: fig_breakdown },
+    Cmd { id: "fig-mlp", help: "memory-level parallelism (Fig. 9)", run: fig_mlp },
+    Cmd { id: "fig-accuracy", help: "prefetch accuracy/coverage (Fig. 10)", run: fig_accuracy },
+    Cmd {
+        id: "fig-timeliness",
+        help: "prefetch timeliness by level (Fig. 11)",
+        run: fig_timeliness,
+    },
+    Cmd { id: "fig-veclen", help: "vector-length sweep", run: fig_veclen },
+    Cmd { id: "fig-interval", help: "trigger/interval statistics", run: fig_interval },
+    Cmd { id: "table-hw", help: "hardware overhead of the VR structures", run: table_hw },
+    Cmd { id: "fig-ablation", help: "design-choice ablations", run: fig_ablation },
+    Cmd { id: "fig-mshr", help: "MSHR-count sensitivity sweep", run: fig_mshr },
+    Cmd { id: "trace", help: "pipeline-diagram trace of one workload under VR", run: trace_cmd },
+    Cmd {
+        id: "fault-oracle",
+        help: "fault-injection architectural-invisibility check",
+        run: fault_oracle,
+    },
+    Cmd {
+        id: "perf-report",
+        help: "simulator-throughput report (writes BENCH_sim.json)",
+        run: perf_report,
+    },
+    Cmd { id: "all", help: "every paper table and figure above", run: all_figures },
+];
+
+/// Usage text, generated from [`COMMANDS`] so it cannot drift.
+fn usage() -> String {
+    let mut u = String::from(
+        "usage: experiments <id> [workload] [--insts N] [--all-inputs] [--quick] \
+         [--threads N] [--json PATH] [--csv PATH]\n\nids:\n",
+    );
+    for c in COMMANDS {
+        u.push_str(&format!("  {:<14} {}\n", c.id, c.help));
+    }
+    u.push_str(
+        "\nflags:\n\
+         \x20 --insts N     instruction budget per run (default 200000)\n\
+         \x20 --all-inputs  run GAP on all five graph presets (default KR + UR)\n\
+         \x20 --quick       small inputs and budgets (smoke test)\n\
+         \x20 --threads N   worker threads for the sweep runner (default: all cores)\n\
+         \x20 --json PATH   export every report as schema-versioned JSON\n\
+         \x20 --csv PATH    export every table as CSV\n\
+         \nthe `trace` id takes a positional workload name (see its error text \
+         for the available names).\n",
+    );
+    u
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let id = args.first().map(String::as_str).unwrap_or("help");
+    let Some(id) = args.first().cloned() else {
+        eprint!("{}", usage());
+        std::process::exit(2);
+    };
+    let Some(cmd) = COMMANDS.iter().find(|c| c.id == id) else {
+        eprintln!("error: unknown command {id:?}");
+        eprint!("{}", usage());
+        std::process::exit(2);
+    };
     let mut insts: u64 = 200_000;
     let mut presets = vec![GraphPreset::Kron, GraphPreset::Urand];
     let mut scale = Scale::Paper;
     let mut threads = vr_bench::default_threads();
+    let mut json: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut workload: Option<String> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,55 +145,85 @@ fn main() {
                 scale = Scale::Test;
                 insts = 60_000;
             }
+            "--json" => {
+                json = match it.next() {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --json requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => {
+                csv = match it.next() {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --csv requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other if !other.starts_with('-') && workload.is_none() => {
+                workload = Some(other.to_string());
+            }
             other => {
+                // A mistyped flag after a valid subcommand used to die
+                // with a bare one-line error; print the usage too so
+                // the caller can see what was meant.
                 eprintln!("error: unknown flag {other}");
+                eprint!("{}", usage());
                 std::process::exit(2);
             }
         }
     }
-    let opts = Opts { insts, presets, scale, threads };
+    let opts = Opts { insts, presets, scale, threads, workload };
 
-    match id {
-        "table1" => table1(),
-        "table2" => table2(&opts),
-        "fig-perf" => fig_perf(&opts),
-        "fig-rob" => fig_rob(&opts),
-        "fig-breakdown" => fig_breakdown(&opts),
-        "fig-mlp" => fig_mlp(&opts),
-        "fig-accuracy" => fig_accuracy(&opts),
-        "fig-timeliness" => fig_timeliness(&opts),
-        "fig-veclen" => fig_veclen(&opts),
-        "fig-interval" => fig_interval(&opts),
-        "table-hw" => table_hw(),
-        "fig-ablation" => fig_ablation(&opts),
-        "fig-mshr" => fig_mshr(&opts),
-        "fault-oracle" => fault_oracle(),
-        "perf-report" => perf_report(&opts),
-        "all" => {
-            table1();
-            table2(&opts);
-            fig_perf(&opts);
-            fig_rob(&opts);
-            fig_breakdown(&opts);
-            fig_mlp(&opts);
-            fig_accuracy(&opts);
-            fig_timeliness(&opts);
-            fig_veclen(&opts);
-            fig_interval(&opts);
-            fig_ablation(&opts);
-            fig_mshr(&opts);
-            table_hw();
-        }
-        _ => {
-            eprintln!(
-                "usage: experiments <table1|table2|fig-perf|fig-rob|fig-breakdown|fig-mlp|\
-                 fig-accuracy|fig-timeliness|fig-veclen|fig-interval|fig-ablation|fig-mshr|\
-                 table-hw|fault-oracle|perf-report|all> \
-                 [--insts N] [--all-inputs] [--quick] [--threads N]"
-            );
-            std::process::exit(2);
-        }
+    let reports = (cmd.run)(&opts);
+    for r in &reports {
+        print!("{}", r.render_text());
     }
+    let meta = RunMeta {
+        command: id.clone(),
+        insts: opts.insts,
+        threads: opts.threads,
+        scale: match opts.scale {
+            Scale::Paper => "paper".to_string(),
+            Scale::Test => "test".to_string(),
+        },
+    };
+    if let Err(e) = write_exports(&reports, &meta, json.as_deref(), csv.as_deref()) {
+        eprintln!("error: cannot write export: {e}");
+        std::process::exit(1);
+    }
+    if let Some(p) = &json {
+        eprintln!("wrote {}", p.display());
+    }
+    if let Some(p) = &csv {
+        eprintln!("wrote {}", p.display());
+    }
+    if reports.iter().any(|r| r.failed) {
+        eprintln!("error: {id} reported a failure (see the tables above)");
+        std::process::exit(1);
+    }
+}
+
+fn all_figures(opts: &Opts) -> Vec<Report> {
+    let figures: [fn(&Opts) -> Vec<Report>; 13] = [
+        table1,
+        table2,
+        fig_perf,
+        fig_rob,
+        fig_breakdown,
+        fig_mlp,
+        fig_accuracy,
+        fig_timeliness,
+        fig_veclen,
+        fig_interval,
+        fig_ablation,
+        fig_mshr,
+        table_hw,
+    ];
+    figures.iter().flat_map(|f| f(opts)).collect()
 }
 
 fn build_set(opts: &Opts) -> Vec<Workload> {
@@ -143,10 +250,10 @@ fn sweep_set(opts: &Opts) -> Vec<Workload> {
 
 // ---------------------------------------------------------------- table 1
 
-fn table1() {
+fn table1(_opts: &Opts) -> Vec<Report> {
     let c = CoreConfig::table1();
     let m = MemConfig::table1();
-    println!("\n== Table 1: baseline configuration for the OoO core ==\n");
+    let mut r = Report::new("table1", "Table 1: baseline configuration for the OoO core");
     let mut t = Table::new(&["parameter", "value"]);
     t.row(vec!["Core".into(), "4.0 GHz, out-of-order".into()]);
     t.row(vec!["ROB size".into(), c.rob.to_string()]);
@@ -202,13 +309,15 @@ fn table1() {
             m.dram_min_latency, m.dram_cycles_per_line
         ),
     ]);
-    print!("{}", t.render());
+    r.push_table("config", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- table 2
 
-fn table2(opts: &Opts) {
-    println!("\n== Table 2: graph inputs (synthetic stand-ins) + measured LLC MPKI ==\n");
+fn table2(opts: &Opts) -> Vec<Report> {
+    let mut r =
+        Report::new("table2", "Table 2: graph inputs (synthetic stand-ins) + measured LLC MPKI");
     let mut t = Table::new(&["input", "nodes(K)", "edges(K)", "footprint(MB)", "LLC MPKI"]);
     for p in GraphPreset::ALL {
         let g = p.generate(opts.scale);
@@ -221,6 +330,7 @@ fn table2(opts: &Opts) {
         let misses: u64 = per_kernel.iter().map(|&(m, _)| m).sum();
         let insts: u64 = per_kernel.iter().map(|&(_, i)| i).sum();
         let mpki = misses as f64 * 1000.0 / insts as f64;
+        r.metric(&format!("mpki_{}", p.abbrev()), mpki);
         t.row(vec![
             p.abbrev().into(),
             format!("{:.1}", g.num_nodes() as f64 / 1e3),
@@ -229,15 +339,19 @@ fn table2(opts: &Opts) {
             format!("{mpki:.1}"),
         ]);
     }
-    print!("{}", t.render());
+    r.push_table("inputs", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 7
 
-fn fig_perf(opts: &Opts) {
-    println!(
-        "\n== Fig. performance: IPC normalized to the baseline OoO (budget {} insts) ==\n",
-        opts.insts
+fn fig_perf(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-perf",
+        &format!(
+            "Fig. performance: IPC normalized to the baseline OoO (budget {} insts)",
+            opts.insts
+        ),
     );
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "PRE", "IMP", "VR", "Oracle"]);
@@ -265,20 +379,23 @@ fn fig_perf(opts: &Opts) {
     }
     let mut hmean = vec!["h-mean".to_string()];
     for tech in ["PRE", "IMP", "VR", "Oracle"] {
-        hmean.push(ratio(harmonic_mean(&speedups[tech])));
+        let hm = harmonic_mean(&speedups[tech]);
+        r.metric(&format!("hmean_{tech}"), hm);
+        hmean.push(ratio(hm));
     }
     t.row(hmean);
-    print!("{}", t.render());
-    println!();
-    print!("{}", vr_chart.render());
+    r.push_table("speedup", t);
+    r.push_chart(vr_chart);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 2 / 12
 
-fn fig_rob(opts: &Opts) {
-    println!(
-        "\n== Fig. ROB sensitivity: OoO and VR vs ROB size (back-end queues and PRF \
-         scaled in proportion), normalized to OoO@350; plus full-window stall fraction ==\n"
+fn fig_rob(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-rob",
+        "Fig. ROB sensitivity: OoO and VR vs ROB size (back-end queues and PRF \
+         scaled in proportion), normalized to OoO@350; plus full-window stall fraction",
     );
     let set = sweep_set(opts);
     let robs = [128usize, 192, 224, 350, 512];
@@ -325,15 +442,17 @@ fn fig_rob(opts: &Opts) {
             pct(avg(&stall)),
         ]);
     }
-    print!("{}", t.render());
+    r.push_table("sweep", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 8
 
-fn fig_breakdown(opts: &Opts) {
-    println!(
-        "\n== Fig. breakdown: VR, +eager (decoupled) trigger, +loop-bound discovery \
-         [extensions], normalized to baseline ==\n"
+fn fig_breakdown(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-breakdown",
+        "Fig. breakdown: VR, +eager (decoupled) trigger, +loop-bound discovery \
+         [extensions], normalized to baseline",
     );
     let set = sweep_set(opts);
     let mut t = Table::new(&["benchmark", "VR", "+eager", "+eager+discovery"]);
@@ -363,19 +482,24 @@ fn fig_breakdown(opts: &Opts) {
         }
         t.row(cells);
     }
+    for (name, a) in ["hmean_VR", "hmean_eager", "hmean_eager_discovery"].iter().zip(&agg) {
+        r.metric(name, harmonic_mean(a));
+    }
     t.row(vec![
         "h-mean".into(),
         ratio(harmonic_mean(&agg[0])),
         ratio(harmonic_mean(&agg[1])),
         ratio(harmonic_mean(&agg[2])),
     ]);
-    print!("{}", t.render());
+    r.push_table("speedup", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 9
 
-fn fig_mlp(opts: &Opts) {
-    println!("\n== Fig. MLP: average outstanding L1-D misses (MSHRs used per cycle) ==\n");
+fn fig_mlp(opts: &Opts) -> Vec<Report> {
+    let mut r =
+        Report::new("fig-mlp", "Fig. MLP: average outstanding L1-D misses (MSHRs used per cycle)");
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "OoO", "VR"]);
     let results = parallel_map(&set, opts.threads, |w| {
@@ -387,15 +511,17 @@ fn fig_mlp(opts: &Opts) {
     for (w, (b_mlp, v_mlp)) in set.iter().zip(&results) {
         t.row(vec![w.name.clone(), format!("{b_mlp:.2}"), format!("{v_mlp:.2}")]);
     }
-    print!("{}", t.render());
+    r.push_table("mlp", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 10
 
-fn fig_accuracy(opts: &Opts) {
-    println!(
-        "\n== Fig. accuracy/coverage: DRAM line reads normalized to the baseline, \
-         split main thread vs runahead ==\n"
+fn fig_accuracy(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-accuracy",
+        "Fig. accuracy/coverage: DRAM line reads normalized to the baseline, \
+         split main thread vs runahead",
     );
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "OoO total", "VR main", "VR runahead", "VR total(norm)"]);
@@ -418,13 +544,17 @@ fn fig_accuracy(opts: &Opts) {
             format!("{:.2}", vt / bt),
         ]);
     }
-    print!("{}", t.render());
+    r.push_table("dram-reads", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- fig 11
 
-fn fig_timeliness(opts: &Opts) {
-    println!("\n== Fig. timeliness: where the main thread finds runahead-prefetched lines ==\n");
+fn fig_timeliness(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-timeliness",
+        "Fig. timeliness: where the main thread finds runahead-prefetched lines",
+    );
     let set = build_set(opts);
     let mut t = Table::new(&["benchmark", "L1", "L2", "L3", "off-chip"]);
     let results = parallel_map(&set, opts.threads, |w| {
@@ -434,13 +564,17 @@ fn fig_timeliness(opts: &Opts) {
     for (w, f) in set.iter().zip(&results) {
         t.row(vec![w.name.clone(), pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3])]);
     }
-    print!("{}", t.render());
+    r.push_table("timeliness", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- veclen
 
-fn fig_veclen(opts: &Opts) {
-    println!("\n== Fig. vector length: VR speedup over baseline vs vectorization degree K ==\n");
+fn fig_veclen(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-veclen",
+        "Fig. vector length: VR speedup over baseline vs vectorization degree K",
+    );
     let set = sweep_set(opts);
     let lanes = [16usize, 32, 64, 128];
     let mut t = Table::new(&["benchmark", "K=16", "K=32", "K=64", "K=128"]);
@@ -463,19 +597,23 @@ fn fig_veclen(opts: &Opts) {
         t.row(cells);
     }
     let mut hm = vec!["h-mean".to_string()];
-    for a in &agg {
-        hm.push(ratio(harmonic_mean(a)));
+    for (k, a) in lanes.iter().zip(&agg) {
+        let h = harmonic_mean(a);
+        r.metric(&format!("hmean_K{k}"), h);
+        hm.push(ratio(h));
     }
     t.row(hm);
-    print!("{}", t.render());
+    r.push_table("speedup", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- interval
 
-fn fig_interval(opts: &Opts) {
-    println!(
-        "\n== Fig. trigger/interval statistics (VR): entries, runahead-time, \
-         full-window stall, delayed-termination commit stall ==\n"
+fn fig_interval(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-interval",
+        "Fig. trigger/interval statistics (VR): entries, runahead-time, \
+         full-window stall, delayed-termination commit stall",
     );
     let set = build_set(opts);
     let mut t = Table::new(&[
@@ -506,7 +644,8 @@ fn fig_interval(opts: &Opts) {
             v.vr_lanes_invalidated.to_string(),
         ]);
     }
-    print!("{}", t.render());
+    r.push_table("intervals", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- ablations
@@ -514,8 +653,11 @@ fn fig_interval(opts: &Opts) {
 /// Design-choice ablations of the VR engine implementation (the
 /// choices DESIGN.md §4 calls out): VIR pipelining, reconvergence,
 /// bounded termination.
-fn fig_ablation(opts: &Opts) {
-    println!("\n== Fig. design ablations: VR variants, speedup over the baseline OoO ==\n");
+fn fig_ablation(opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new(
+        "fig-ablation",
+        "Fig. design ablations: VR variants, speedup over the baseline OoO",
+    );
     let set = sweep_set(opts);
     let variants: [(&str, RunaheadConfig); 4] = [
         ("VR", RunaheadConfig::vector()),
@@ -552,12 +694,14 @@ fn fig_ablation(opts: &Opts) {
         hm.push(ratio(harmonic_mean(a)));
     }
     t.row(hm);
-    print!("{}", t.render());
+    r.push_table("speedup", t);
+    vec![r]
 }
 
 /// Sensitivity to the MSHR count — the resource VR saturates.
-fn fig_mshr(opts: &Opts) {
-    println!("\n== Fig. MSHR sensitivity: VR speedup over same-MSHR baseline ==\n");
+fn fig_mshr(opts: &Opts) -> Vec<Report> {
+    let mut r =
+        Report::new("fig-mshr", "Fig. MSHR sensitivity: VR speedup over same-MSHR baseline");
     let set = sweep_set(opts);
     let counts = [8usize, 16, 24, 48];
     let mut t = Table::new(&["benchmark", "8", "16", "24", "48"]);
@@ -591,13 +735,14 @@ fn fig_mshr(opts: &Opts) {
         hm.push(ratio(harmonic_mean(a)));
     }
     t.row(hm);
-    print!("{}", t.render());
+    r.push_table("speedup", t);
+    vec![r]
 }
 
 // ---------------------------------------------------------------- hw table
 
-fn table_hw() {
-    println!("\n== Hardware overhead of the Vector Runahead structures ==\n");
+fn table_hw(_opts: &Opts) -> Vec<Report> {
+    let mut r = Report::new("table-hw", "Hardware overhead of the Vector Runahead structures");
     let mut t = Table::new(&["structure", "bits", "bytes"]);
     let items = vr_core::hardware_overhead_bits(128);
     let mut total = 0u64;
@@ -606,7 +751,119 @@ fn table_hw() {
         t.row(vec![(*name).into(), bits.to_string(), format!("{:.1}", *bits as f64 / 8.0)]);
     }
     t.row(vec!["TOTAL".into(), total.to_string(), format!("{:.0}", (total as f64 / 8.0).ceil())]);
-    print!("{}", t.render());
+    r.metric("total_bits", total as f64);
+    r.push_table("overhead", t);
+    vec![r]
+}
+
+// ---------------------------------------------------------------- trace
+
+/// Pipeline-diagram trace of one workload under Vector Runahead:
+/// runs the workload with both the pipeline trace and the episode
+/// telemetry enabled, asserts the trace is well-ordered, and renders
+/// the commit window with runahead episodes annotated (`<RA>` rows,
+/// `== runahead episode ==` separators). The full `vr-telemetry-v1`
+/// document is attached to the JSON export.
+fn trace_cmd(opts: &Opts) -> Vec<Report> {
+    use vr_core::PipelineTrace;
+    const TRACE_WINDOW: usize = 64;
+    /// Records of context rendered before the focused episode's entry.
+    const CONTEXT: usize = 8;
+    /// Cap on retained records (~80 B each) for huge `--insts` budgets.
+    const MAX_RETAINED: usize = 1 << 18;
+    let set = build_set(opts);
+    let names = || set.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join(" ");
+    let Some(name) = &opts.workload else {
+        eprintln!("error: trace requires a workload name\navailable: {}", names());
+        std::process::exit(2);
+    };
+    let Some(w) = set.iter().find(|w| &w.name == name) else {
+        eprintln!("error: unknown workload {name:?}\navailable: {}", names());
+        std::process::exit(2);
+    };
+    let (mem, ra) = Technique::Vr.configure();
+    let mut sim = Simulator::new(
+        CoreConfig::table1(),
+        mem,
+        ra,
+        w.program.clone(),
+        w.memory.clone(),
+        &w.init_regs,
+    );
+    sim.enable_trace(usize::try_from(opts.insts).unwrap_or(MAX_RETAINED).min(MAX_RETAINED));
+    sim.enable_telemetry(4096);
+    let stats = sim.try_run(opts.insts).unwrap_or_else(|e| {
+        eprintln!("error: {name}: {e}");
+        std::process::exit(1);
+    });
+    let full = sim.trace().expect("trace was enabled");
+    assert!(full.is_well_ordered(), "pipeline trace violates stage ordering");
+    let tel = sim.telemetry().expect("telemetry was enabled");
+
+    // Focus the rendered window on the last completed episode the
+    // trace still covers (rendering the whole run would be thousands
+    // of lines); fall back to the final commits when the run had no
+    // episodes. The focused records are re-pushed into a small
+    // PipelineTrace so the column widths fit the window, not the run.
+    let records: Vec<&vr_core::TraceRecord> = full.records().collect();
+    let covered = records.first().map_or(u64::MAX, |r| r.fetch_at);
+    let focus = tel
+        .episodes()
+        .filter(|e| e.exited_at >= covered)
+        .last()
+        .map(|e| (e.entered_at, e.exited_at));
+    let start = match focus {
+        Some((entered, _)) => records
+            .iter()
+            .position(|r| r.commit_at >= entered)
+            .unwrap_or(records.len())
+            .saturating_sub(CONTEXT),
+        None => records.len().saturating_sub(TRACE_WINDOW),
+    };
+    let mut window = PipelineTrace::new(TRACE_WINDOW);
+    for r in records.iter().skip(start).take(TRACE_WINDOW) {
+        window.push(**r);
+    }
+    // Only annotate episodes overlapping the window — earlier ones
+    // would render as a stack of separators above it.
+    let window_start = window.records().next().map_or(0, |r| r.fetch_at);
+    let episodes: Vec<(u64, u64)> = tel
+        .episodes()
+        .map(|e| (e.entered_at, e.exited_at))
+        .filter(|&(_, exited)| exited >= window_start)
+        .collect();
+
+    let mut r = Report::new(
+        "trace",
+        &format!(
+            "Pipeline trace: {name} under VR (last {TRACE_WINDOW} commits, episodes annotated)"
+        ),
+    );
+    let mut s = Table::new(&["metric", "value"]);
+    s.row(vec!["cycles".into(), stats.cycles.to_string()]);
+    s.row(vec!["instructions".into(), stats.instructions.to_string()]);
+    s.row(vec!["IPC".into(), format!("{:.3}", stats.ipc())]);
+    s.row(vec!["runahead entries".into(), stats.runahead_entries.to_string()]);
+    s.row(vec!["episodes completed".into(), tel.completed().to_string()]);
+    s.row(vec!["vector batches".into(), tel.batches().to_string()]);
+    s.row(vec!["lanes spawned".into(), tel.lanes_spawned().to_string()]);
+    r.push_table("summary", s);
+    let mut et = Table::new(&["trigger pc", "entered", "exited", "kind", "batches", "lanes"]);
+    for e in tel.episodes() {
+        et.row(vec![
+            format!("{:#x}", e.trigger_pc),
+            e.entered_at.to_string(),
+            e.exited_at.to_string(),
+            e.kind.label().into(),
+            e.batches.to_string(),
+            e.lanes_spawned.to_string(),
+        ]);
+    }
+    r.push_table("episodes", et);
+    r.push_note(window.render_annotated(&episodes));
+    r.metric("ipc", stats.ipc());
+    r.attach("telemetry", tel.to_json());
+    vec![r]
 }
 
 // ------------------------------------------------------------- perf report
@@ -621,15 +878,18 @@ fn table_hw() {
 /// to `BENCH_sim.json` in the current directory for CI trending.
 /// Timings are machine-dependent: the JSON is an artifact to plot,
 /// not an assertion that fails the build.
-fn perf_report(opts: &Opts) {
+fn perf_report(opts: &Opts) -> Vec<Report> {
     use std::fmt::Write as _;
     use std::time::{Duration, Instant};
     use vr_bench::micro::Runner;
 
-    println!(
-        "\n== Perf report: simulation throughput (KIPS) + harness wall time \
-         ({} insts/run, {} threads) ==\n",
-        opts.insts, opts.threads
+    let mut rep = Report::new(
+        "perf-report",
+        &format!(
+            "Perf report: simulation throughput (KIPS) + harness wall time \
+             ({} insts/run, {} threads)",
+            opts.insts, opts.threads
+        ),
     );
 
     // --- per-point KIPS, measured with the micro-benchmark runner.
@@ -670,14 +930,14 @@ fn perf_report(opts: &Opts) {
     json.push_str("  ],\n");
     let hmean_kips = harmonic_mean(&all_kips);
     let _ = writeln!(json, "  \"kips_hmean\": {hmean_kips:.1},");
-    println!();
-    print!("{}", t.render());
-    println!("\nh-mean throughput: {hmean_kips:.0} KIPS");
+    rep.push_table("kips", t);
+    rep.metric("kips_hmean", hmean_kips);
+    rep.push_note(format!("h-mean throughput: {hmean_kips:.0} KIPS"));
 
     // --- end-to-end figure wall time, serial vs the sweep pool. The
     // figure output itself still goes to stdout; only the timings land
     // in the JSON.
-    type Figure = (&'static str, fn(&Opts));
+    type Figure = (&'static str, fn(&Opts) -> Vec<Report>);
     let figures: [Figure; 2] = [("table2", table2), ("fig-mlp", fig_mlp)];
     json.push_str("  \"figures\": [\n");
     for (fi, (id, f)) in figures.into_iter().enumerate() {
@@ -686,12 +946,17 @@ fn perf_report(opts: &Opts) {
             presets: opts.presets.clone(),
             scale: opts.scale,
             threads: 1,
+            workload: None,
         };
         let t0 = Instant::now();
-        f(&serial);
+        for r in f(&serial) {
+            print!("{}", r.render_text());
+        }
         let ms_serial = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        f(opts);
+        for r in f(opts) {
+            print!("{}", r.render_text());
+        }
         let ms_pool = t1.elapsed().as_secs_f64() * 1e3;
         eprintln!(
             "  [time] {id}: {ms_serial:.0} ms serial, {ms_pool:.0} ms with {} threads \
@@ -713,7 +978,8 @@ fn perf_report(opts: &Opts) {
         eprintln!("error: cannot write BENCH_sim.json: {e}");
         std::process::exit(1);
     });
-    println!("\nwrote BENCH_sim.json");
+    rep.push_note("wrote BENCH_sim.json");
+    vec![rep]
 }
 
 // ------------------------------------------------------------ fault oracle
@@ -723,12 +989,16 @@ fn perf_report(opts: &Opts) {
 /// checks that committed registers, the final memory image and the
 /// retired-instruction count are bit-identical to the no-runahead
 /// baseline — the architectural-invisibility contract of runahead.
-/// Exits non-zero on any mismatch.
-fn fault_oracle() {
-    use vr_core::{FaultPlan, RunaheadKind, Simulator};
+/// The returned report is marked failed on any mismatch, which makes
+/// `main` exit non-zero after printing and exporting it.
+fn fault_oracle(_opts: &Opts) -> Vec<Report> {
+    use vr_core::{FaultPlan, RunaheadKind};
     use vr_isa::Reg;
 
-    println!("\n== Fault-injection oracle: runahead is architecturally invisible ==\n");
+    let mut rep = Report::new(
+        "fault-oracle",
+        "Fault-injection oracle: runahead is architecturally invisible",
+    );
 
     let run = |w: &Workload, ra: RunaheadConfig| {
         let mut sim = Simulator::new(
@@ -782,10 +1052,12 @@ fn fault_oracle() {
             }
         }
     }
-    print!("{}", t.render());
-    if failed {
-        eprintln!("error: fault injection leaked into architectural state");
-        std::process::exit(1);
-    }
-    println!("\nall runs bit-identical to the no-runahead baseline");
+    rep.push_table("oracle", t);
+    rep.failed = failed;
+    rep.push_note(if failed {
+        "error: fault injection leaked into architectural state"
+    } else {
+        "all runs bit-identical to the no-runahead baseline"
+    });
+    vec![rep]
 }

@@ -11,6 +11,7 @@
 //! ```
 
 pub mod micro;
+pub mod report;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -194,6 +195,16 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers, in order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The appended rows, in order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -252,6 +263,16 @@ impl BarChart {
     /// Appends one bar.
     pub fn bar(&mut self, label: &str, value: f64) {
         self.bars.push((label.to_string(), value));
+    }
+
+    /// The chart title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The appended `(label, value)` bars, in order.
+    pub fn bars(&self) -> &[(String, f64)] {
+        &self.bars
     }
 
     /// Renders the chart (40-column bars).

@@ -1,0 +1,127 @@
+//! Integration tests for the `experiments` binary's command-line
+//! surface: generated usage, error exits, and the `--json` / `--csv`
+//! export path. Only simulation-free subcommands (`table1`,
+//! `table-hw`) and one `--quick` trace run are exercised, so the
+//! suite stays cheap in debug builds.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use vr_obs::Json;
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments")).args(args).output().expect("spawn experiments")
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vr-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn no_arguments_prints_generated_usage_and_exits_nonzero() {
+    let o = experiments(&[]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("usage: experiments"), "missing usage header: {err}");
+    // The id list is generated from the dispatch table: every command
+    // must appear, including the ones added by this layer.
+    for id in ["table1", "fig-accuracy", "trace", "fault-oracle", "perf-report", "all"] {
+        assert!(err.contains(id), "usage must list {id}: {err}");
+    }
+    assert!(err.contains("--json"), "usage must document --json: {err}");
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let o = experiments(&["fig-bogus"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("usage: experiments"), "{err}");
+}
+
+#[test]
+fn unknown_flag_after_valid_subcommand_exits_nonzero_with_usage() {
+    // Regression: a mistyped flag used to die with a bare one-line
+    // error and no usage text.
+    let o = experiments(&["table1", "--bogus-flag"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("unknown flag --bogus-flag"), "{err}");
+    assert!(err.contains("usage: experiments"), "{err}");
+}
+
+#[test]
+fn missing_flag_values_exit_nonzero() {
+    for args in [["table1", "--insts"], ["table1", "--json"], ["table1", "--threads"]] {
+        let o = experiments(&args);
+        assert_eq!(o.status.code(), Some(2), "{args:?} must exit 2");
+    }
+}
+
+#[test]
+fn trace_without_a_workload_lists_the_available_names() {
+    let o = experiments(&["trace", "--quick"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = stderr(&o);
+    assert!(err.contains("requires a workload name"), "{err}");
+    assert!(err.contains("available:"), "{err}");
+    assert!(err.contains("Kangaroo"), "{err}");
+}
+
+#[test]
+fn json_export_is_schema_versioned_and_matches_the_text_output() {
+    let path = tmp("table1.json");
+    let o = experiments(&["table1", "--json", path.to_str().unwrap()]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let text = stdout(&o);
+    let doc = Json::parse(&std::fs::read_to_string(&path).expect("json written"))
+        .expect("exported JSON parses");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-experiments-v1"));
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("table1"));
+    let reports = doc.get("reports").and_then(Json::as_arr).expect("reports");
+    assert_eq!(reports[0].get("id").and_then(Json::as_str), Some("table1"));
+    // Every exported cell string appears verbatim in the text output.
+    let tables = reports[0].get("tables").and_then(Json::as_arr).expect("tables");
+    let rows = tables[0].get("rows").and_then(Json::as_arr).expect("rows");
+    assert!(!rows.is_empty());
+    for row in rows {
+        for cell in row.as_arr().expect("row") {
+            let cell = cell.as_str().expect("cell string");
+            assert!(text.contains(cell), "exported cell {cell:?} missing from text output");
+        }
+    }
+}
+
+#[test]
+fn csv_export_carries_the_schema_comment_and_table_headers() {
+    let path = tmp("hw.csv");
+    let o = experiments(&["table-hw", "--csv", path.to_str().unwrap()]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let csv = std::fs::read_to_string(&path).expect("csv written");
+    std::fs::remove_file(&path).ok();
+    assert!(csv.starts_with("# schema: vr-experiments-v1\n"), "{csv}");
+    assert!(csv.contains("# report: table-hw table: overhead"), "{csv}");
+    assert!(csv.contains("structure,bits,bytes"), "{csv}");
+}
+
+#[test]
+fn trace_renders_an_annotated_episode_window() {
+    let o = experiments(&["trace", "Kangaroo", "--quick"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("Pipeline trace: Kangaroo"), "{out}");
+    // Kangaroo's dependent-load chain always triggers vector runahead
+    // at Test scale, so the focused window must overlay an episode.
+    assert!(out.contains("== runahead episode ["), "no episode separator: {out}");
+    assert!(out.contains("<RA>"), "no record flagged in-episode: {out}");
+}

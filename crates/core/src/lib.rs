@@ -42,6 +42,7 @@ mod invariant;
 mod runahead;
 mod sim;
 mod stats;
+mod telemetry;
 mod trace;
 mod vector;
 
@@ -50,5 +51,6 @@ pub use error::{DeadlockDump, EpisodeStatus, OldestSlot, SimError};
 pub use runahead::ScalarRunahead;
 pub use sim::Simulator;
 pub use stats::{harmonic_mean, SimStats};
+pub use telemetry::{EpisodeExit, EpisodeKind, EpisodeRecord, Telemetry};
 pub use trace::{PipelineTrace, TraceRecord};
 pub use vector::{hardware_overhead_bits, hardware_overhead_bytes, VectorRunahead, VrStatus};

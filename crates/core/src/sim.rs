@@ -11,6 +11,7 @@ use crate::config::{CoreConfig, RunaheadConfig, RunaheadKind};
 use crate::error::{DeadlockDump, EpisodeStatus, OldestSlot, SimError};
 use crate::runahead::{RaCtx, ScalarRunahead};
 use crate::stats::SimStats;
+use crate::telemetry::{EpisodeExit, EpisodeKind, Telemetry};
 use crate::trace::{PipelineTrace, TraceRecord};
 use crate::vector::{VectorRunahead, VrStatus};
 
@@ -147,6 +148,9 @@ pub struct Simulator {
     halted: bool,
     stats: SimStats,
     tracer: Option<PipelineTrace>,
+    /// Optional episode-lifecycle tracker; hooks fire only on episode
+    /// boundaries (see [`crate::telemetry`]).
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl Simulator {
@@ -207,6 +211,7 @@ impl Simulator {
             halted: false,
             stats: SimStats::default(),
             tracer: None,
+            telemetry: None,
             cfg,
             ra_cfg,
             prog,
@@ -389,6 +394,26 @@ impl Simulator {
     /// The pipeline trace, if enabled.
     pub fn trace(&self) -> Option<&PipelineTrace> {
         self.tracer.as_ref()
+    }
+
+    /// Enables runahead-episode *and* prefetch-lifecycle telemetry,
+    /// each retaining the last `capacity` completed records. The
+    /// reported [`SimStats`] are bit-identical with telemetry on or
+    /// off — the trackers only observe transitions the simulator and
+    /// memory system already perform.
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = Some(Box::new(Telemetry::new(capacity)));
+        self.ms.enable_telemetry(capacity);
+    }
+
+    /// The runahead-episode tracker, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// The memory system's prefetch-lifecycle tracker, if enabled.
+    pub fn pf_telemetry(&self) -> Option<&vr_mem::PfTelemetry> {
+        self.ms.telemetry()
     }
 
     /// Memory image accessor (for architectural-result checks after a
@@ -713,7 +738,7 @@ impl Simulator {
         }
         if finished {
             let ep = self.runahead.take().expect("episode exists");
-            self.accumulate_episode_stats(&ep);
+            self.accumulate_episode_stats(&ep, c, EpisodeExit::Completed);
             if flush {
                 self.flush_after_head(c);
             }
@@ -721,8 +746,9 @@ impl Simulator {
     }
 
     /// Folds an ending episode's engine counters into the run stats
-    /// (shared by the normal exit path and fault-induced aborts).
-    fn accumulate_episode_stats(&mut self, ep: &RunaheadEpisode) {
+    /// and closes the telemetry record (shared by the normal exit path
+    /// and fault-induced aborts).
+    fn accumulate_episode_stats(&mut self, ep: &RunaheadEpisode, c: u64, exit: EpisodeExit) {
         if let Engine::Vector(eng) = &ep.engine {
             self.stats.vr_batches += eng.batches;
             self.stats.vr_batches_aborted += eng.batches_aborted;
@@ -732,6 +758,15 @@ impl Simulator {
             if !eng.found_stride {
                 self.stats.vr_no_stride_intervals += 1;
             }
+        }
+        if let Some(t) = &mut self.telemetry {
+            let (batches, batches_aborted, lanes_spawned, lanes_invalidated) = match &ep.engine {
+                Engine::Scalar(_) => (0, 0, 0, 0),
+                Engine::Vector(eng) => {
+                    (eng.batches, eng.batches_aborted, eng.lanes_spawned, eng.lanes_invalidated)
+                }
+            };
+            t.on_exit(c, batches, batches_aborted, lanes_spawned, lanes_invalidated, exit);
         }
     }
 
@@ -744,7 +779,7 @@ impl Simulator {
     /// lever. A no-op when no episode is running.
     fn abort_episode(&mut self, c: u64) {
         let Some(ep) = self.runahead.take() else { return };
-        self.accumulate_episode_stats(&ep);
+        self.accumulate_episode_stats(&ep, c, EpisodeExit::Aborted);
         self.stats.runahead_aborts += 1;
         // Mirror the timing consequences of the normal exit path:
         // classic runahead pays its invalidation flush; a coupled
@@ -811,8 +846,9 @@ impl Simulator {
             return;
         }
         let end_at = head.done_at.expect("issued load has a completion time");
+        let trigger_pc = head.step.pc;
         let mut cpu = self.committed;
-        cpu.set_pc(head.step.pc);
+        cpu.set_pc(trigger_pc);
         let blocked_dst = head.step.inst.dst();
         let engine = match self.ra_cfg.kind {
             RunaheadKind::Classic => {
@@ -832,6 +868,13 @@ impl Simulator {
             ))),
             RunaheadKind::None => unreachable!(),
         };
+        if let Some(t) = &mut self.telemetry {
+            let kind = match &engine {
+                Engine::Scalar(_) => EpisodeKind::Scalar,
+                Engine::Vector(_) => EpisodeKind::Vector,
+            };
+            t.on_enter(trigger_pc, kind, false, c);
+        }
         self.runahead = Some(RunaheadEpisode { engine, end_at, decoupled: false });
         self.stats.runahead_entries += 1;
     }
@@ -860,6 +903,9 @@ impl Simulator {
         // the cycle math so a pathological `c` near u64::MAX cannot
         // wrap `end_at` into the past.
         let interval = EAGER_INTERVAL.min(self.cfg.watchdog.saturating_sub(1)).max(1);
+        if let Some(t) = &mut self.telemetry {
+            t.on_enter(load_pc, EpisodeKind::Vector, true, c);
+        }
         self.runahead = Some(RunaheadEpisode {
             engine: Engine::Vector(Box::new(eng)),
             end_at: c.saturating_add(interval),

@@ -3,7 +3,7 @@
 use vr_mem::MemStats;
 
 /// End-of-run statistics produced by [`crate::Simulator::run`].
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -69,44 +69,86 @@ impl SimStats {
     /// Used by [`crate::Simulator::run_roi`] to implement
     /// warmup-then-measure (the paper's region-of-interest
     /// methodology).
+    ///
+    /// Written with *exhaustive destructuring* — no `..` rest pattern —
+    /// so adding a counter to `SimStats` without deciding how it
+    /// subtracts is a compile error, not a silently-zero delta (the
+    /// memory-side counters get the same guarantee from
+    /// [`MemStats::delta`]).
     pub fn delta(&self, earlier: &SimStats) -> SimStats {
-        let mem = MemStats {
-            demand_loads: self.mem.demand_loads - earlier.mem.demand_loads,
-            demand_stores: self.mem.demand_stores - earlier.mem.demand_stores,
-            load_hits: std::array::from_fn(|i| self.mem.load_hits[i] - earlier.mem.load_hits[i]),
-            load_merges: self.mem.load_merges - earlier.mem.load_merges,
-            dram_reads: std::array::from_fn(|i| self.mem.dram_reads[i] - earlier.mem.dram_reads[i]),
-            dram_writebacks: self.mem.dram_writebacks - earlier.mem.dram_writebacks,
-            pf_issued: std::array::from_fn(|i| self.mem.pf_issued[i] - earlier.mem.pf_issued[i]),
-            pf_used: std::array::from_fn(|i| self.mem.pf_used[i] - earlier.mem.pf_used[i]),
-            pf_dropped_mshr: self.mem.pf_dropped_mshr - earlier.mem.pf_dropped_mshr,
-            pf_dropped_fault: self.mem.pf_dropped_fault - earlier.mem.pf_dropped_fault,
-            pf_delayed_fault: self.mem.pf_delayed_fault - earlier.mem.pf_delayed_fault,
-            spec_stores: self.mem.spec_stores - earlier.mem.spec_stores,
-            timeliness: std::array::from_fn(|i| self.mem.timeliness[i] - earlier.mem.timeliness[i]),
-        };
-        SimStats {
-            cycles: self.cycles - earlier.cycles,
-            instructions: self.instructions - earlier.instructions,
-            full_rob_stall_cycles: self.full_rob_stall_cycles - earlier.full_rob_stall_cycles,
-            commit_stall_cycles: self.commit_stall_cycles - earlier.commit_stall_cycles,
-            branches: self.branches - earlier.branches,
-            mispredicts: self.mispredicts - earlier.mispredicts,
-            runahead_entries: self.runahead_entries - earlier.runahead_entries,
-            runahead_cycles: self.runahead_cycles - earlier.runahead_cycles,
-            runahead_insts: self.runahead_insts - earlier.runahead_insts,
-            delayed_termination_stall_cycles: self.delayed_termination_stall_cycles
-                - earlier.delayed_termination_stall_cycles,
-            vr_batches: self.vr_batches - earlier.vr_batches,
-            vr_batches_aborted: self.vr_batches_aborted - earlier.vr_batches_aborted,
-            vr_lanes_spawned: self.vr_lanes_spawned - earlier.vr_lanes_spawned,
-            vr_lanes_invalidated: self.vr_lanes_invalidated - earlier.vr_lanes_invalidated,
-            vr_lanes_reconverged: self.vr_lanes_reconverged - earlier.vr_lanes_reconverged,
-            vr_no_stride_intervals: self.vr_no_stride_intervals - earlier.vr_no_stride_intervals,
-            faults_injected: self.faults_injected - earlier.faults_injected,
-            runahead_aborts: self.runahead_aborts - earlier.runahead_aborts,
+        fn sub(a: u64, b: u64) -> u64 {
+            a.saturating_sub(b)
+        }
+        // Both sides destructured exhaustively: a new field must be
+        // named here (twice) before this compiles again.
+        let SimStats {
+            cycles,
+            instructions,
+            full_rob_stall_cycles,
+            commit_stall_cycles,
+            branches,
+            mispredicts,
+            runahead_entries,
+            runahead_cycles,
+            runahead_insts,
+            delayed_termination_stall_cycles,
+            vr_batches,
+            vr_batches_aborted,
+            vr_lanes_spawned,
+            vr_lanes_invalidated,
+            vr_lanes_reconverged,
+            vr_no_stride_intervals,
+            faults_injected,
+            runahead_aborts,
             mem,
-            mshr_occupancy_integral: self.mshr_occupancy_integral - earlier.mshr_occupancy_integral,
+            mshr_occupancy_integral,
+        } = *self;
+        let SimStats {
+            cycles: e_cycles,
+            instructions: e_instructions,
+            full_rob_stall_cycles: e_full_rob_stall_cycles,
+            commit_stall_cycles: e_commit_stall_cycles,
+            branches: e_branches,
+            mispredicts: e_mispredicts,
+            runahead_entries: e_runahead_entries,
+            runahead_cycles: e_runahead_cycles,
+            runahead_insts: e_runahead_insts,
+            delayed_termination_stall_cycles: e_delayed_termination_stall_cycles,
+            vr_batches: e_vr_batches,
+            vr_batches_aborted: e_vr_batches_aborted,
+            vr_lanes_spawned: e_vr_lanes_spawned,
+            vr_lanes_invalidated: e_vr_lanes_invalidated,
+            vr_lanes_reconverged: e_vr_lanes_reconverged,
+            vr_no_stride_intervals: e_vr_no_stride_intervals,
+            faults_injected: e_faults_injected,
+            runahead_aborts: e_runahead_aborts,
+            mem: e_mem,
+            mshr_occupancy_integral: e_mshr_occupancy_integral,
+        } = *earlier;
+        SimStats {
+            cycles: sub(cycles, e_cycles),
+            instructions: sub(instructions, e_instructions),
+            full_rob_stall_cycles: sub(full_rob_stall_cycles, e_full_rob_stall_cycles),
+            commit_stall_cycles: sub(commit_stall_cycles, e_commit_stall_cycles),
+            branches: sub(branches, e_branches),
+            mispredicts: sub(mispredicts, e_mispredicts),
+            runahead_entries: sub(runahead_entries, e_runahead_entries),
+            runahead_cycles: sub(runahead_cycles, e_runahead_cycles),
+            runahead_insts: sub(runahead_insts, e_runahead_insts),
+            delayed_termination_stall_cycles: sub(
+                delayed_termination_stall_cycles,
+                e_delayed_termination_stall_cycles,
+            ),
+            vr_batches: sub(vr_batches, e_vr_batches),
+            vr_batches_aborted: sub(vr_batches_aborted, e_vr_batches_aborted),
+            vr_lanes_spawned: sub(vr_lanes_spawned, e_vr_lanes_spawned),
+            vr_lanes_invalidated: sub(vr_lanes_invalidated, e_vr_lanes_invalidated),
+            vr_lanes_reconverged: sub(vr_lanes_reconverged, e_vr_lanes_reconverged),
+            vr_no_stride_intervals: sub(vr_no_stride_intervals, e_vr_no_stride_intervals),
+            faults_injected: sub(faults_injected, e_faults_injected),
+            runahead_aborts: sub(runahead_aborts, e_runahead_aborts),
+            mem: mem.delta(&e_mem),
+            mshr_occupancy_integral: sub(mshr_occupancy_integral, e_mshr_occupancy_integral),
         }
     }
 
@@ -153,8 +195,31 @@ impl SimStats {
 }
 
 /// Harmonic mean of a slice of speedups (how the paper aggregates).
+///
+/// # Sentinel
+///
+/// Returns `0.0` — a documented sentinel meaning "undefined / no
+/// data" — for an empty slice, or when any input is non-positive or
+/// non-finite (the harmonic mean is undefined there). A non-positive
+/// speedup reaching this function is almost always an upstream harness
+/// bug (e.g. a run with zero IPC), so in debug builds this fires a
+/// `debug_assert!` naming the offending value; in release builds it
+/// logs a warning to stderr and returns the sentinel. Callers that
+/// render figures must treat `0.0` as "missing", never as a measured
+/// mean.
 pub fn harmonic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if let Some(&bad) = values.iter().find(|&&v| v <= 0.0 || !v.is_finite()) {
+        debug_assert!(
+            false,
+            "harmonic_mean: non-positive/non-finite input {bad} (upstream harness bug?)"
+        );
+        eprintln!(
+            "warning: harmonic_mean received non-positive/non-finite input {bad}; \
+             returning the 0.0 sentinel (see vr_core::harmonic_mean rustdoc)"
+        );
         return 0.0;
     }
     values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
@@ -183,8 +248,55 @@ mod tests {
     fn harmonic_mean_behaviour() {
         assert_eq!(harmonic_mean(&[1.0, 1.0]), 1.0);
         assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
-        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0, "empty slice yields the sentinel quietly");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "harmonic_mean")]
+    fn harmonic_mean_asserts_on_non_positive_input_in_debug() {
+        let _ = harmonic_mean(&[1.0, 0.0]);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn harmonic_mean_returns_sentinel_on_bad_input_in_release() {
         assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[-2.0]), 0.0);
+        assert_eq!(harmonic_mean(&[f64::NAN]), 0.0);
+        assert_eq!(harmonic_mean(&[f64::INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn delta_of_default_round_trips() {
+        let s = SimStats {
+            cycles: 100,
+            instructions: 50,
+            full_rob_stall_cycles: 10,
+            commit_stall_cycles: 20,
+            branches: 5,
+            mispredicts: 1,
+            runahead_entries: 2,
+            runahead_cycles: 30,
+            runahead_insts: 40,
+            delayed_termination_stall_cycles: 3,
+            vr_batches: 4,
+            vr_batches_aborted: 1,
+            vr_lanes_spawned: 32,
+            vr_lanes_invalidated: 2,
+            vr_lanes_reconverged: 1,
+            vr_no_stride_intervals: 1,
+            faults_injected: 0,
+            runahead_aborts: 0,
+            mem: vr_mem::MemStats {
+                demand_loads: 9,
+                timeliness: [1, 2, 3, 4],
+                ..Default::default()
+            },
+            mshr_occupancy_integral: 77,
+        };
+        assert_eq!(s.delta(&SimStats::default()), s, "x - 0 == x (every field survives)");
+        assert_eq!(s.delta(&s), SimStats::default(), "x - x == 0 (every field subtracts)");
     }
 
     #[test]

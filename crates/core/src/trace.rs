@@ -67,23 +67,68 @@ impl PipelineTrace {
         self.total
     }
 
-    /// Renders the retained window as a pipeline diagram:
+    /// Renders the retained window as a pipeline diagram. The pc is
+    /// printed in hex and every column is sized to the widest value in
+    /// the window (never narrower than its header), so columns never
+    /// shear no matter how large the cycle counts or addresses get:
     ///
     /// ```text
-    /// seq    pc  F        D        I        X        C         instruction
-    /// 12     7   100      115      116      117      118       add x6, x6, x5
+    /// seq pc    F   D   I   X   C   instruction
+    /// 12  0x7   100 115 116 117 118 add x6, x6, x5
     /// ```
     pub fn render(&self) -> String {
+        self.render_annotated(&[])
+    }
+
+    /// Renders like [`Self::render`], with runahead episodes overlaid:
+    /// for each `(entered_at, exited_at)` episode window, a
+    /// `== runahead episode [a..b] ==` separator is inserted before the
+    /// first instruction committing at or after the entry cycle, and
+    /// every instruction whose in-flight span `[fetch, commit]`
+    /// overlaps an episode is flagged `<RA>`.
+    pub fn render_annotated(&self, episodes: &[(u64, u64)]) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "seq      pc       F         D         I         X         C          instruction\n",
+        let width = |vals: &mut dyn Iterator<Item = usize>, header: usize| -> usize {
+            vals.fold(header, usize::max)
+        };
+        let dec = |v: u64| -> usize {
+            let mut n = 1;
+            let mut v = v / 10;
+            while v > 0 {
+                n += 1;
+                v /= 10;
+            }
+            n
+        };
+        let rs = &self.records;
+        // {:#x} renders as "0x" + hex digits.
+        let pcs: Vec<String> = rs.iter().map(|r| format!("{:#x}", r.pc)).collect();
+        let seq_w = width(&mut rs.iter().map(|r| dec(r.seq)), "seq".len());
+        let pc_w = width(&mut pcs.iter().map(String::len), 2);
+        let f_w = width(&mut rs.iter().map(|r| dec(r.fetch_at)), 1);
+        let d_w = width(&mut rs.iter().map(|r| dec(r.dispatch_at)), 1);
+        let i_w = width(&mut rs.iter().map(|r| dec(r.issue_at)), 1);
+        let x_w = width(&mut rs.iter().map(|r| dec(r.complete_at)), 1);
+        let c_w = width(&mut rs.iter().map(|r| dec(r.commit_at)), 1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<seq_w$} {:<pc_w$} {:<f_w$} {:<d_w$} {:<i_w$} {:<x_w$} {:<c_w$} instruction",
+            "seq", "pc", "F", "D", "I", "X", "C",
         );
-        for r in &self.records {
+        let mut next_ep = 0usize;
+        for (r, pc) in rs.iter().zip(&pcs) {
+            while next_ep < episodes.len() && episodes[next_ep].0 <= r.commit_at {
+                let (a, b) = episodes[next_ep];
+                let _ = writeln!(out, "== runahead episode [{a}..{b}] ==");
+                next_ep += 1;
+            }
+            let in_episode = episodes.iter().any(|&(a, b)| r.fetch_at <= b && a <= r.commit_at);
             let _ = writeln!(
                 out,
-                "{:<8} {:<8} {:<9} {:<9} {:<9} {:<9} {:<9} {}{}",
+                "{:<seq_w$} {:<pc_w$} {:<f_w$} {:<d_w$} {:<i_w$} {:<x_w$} {:<c_w$} {}{}{}",
                 r.seq,
-                r.pc,
+                pc,
                 r.fetch_at,
                 r.dispatch_at,
                 r.issue_at,
@@ -91,6 +136,7 @@ impl PipelineTrace {
                 r.commit_at,
                 r.inst,
                 if r.mispredicted { "   <MISPREDICT>" } else { "" },
+                if in_episode { "   <RA>" } else { "" },
             );
         }
         out
@@ -144,6 +190,54 @@ mod tests {
         assert!(s.contains("nop"));
         assert!(s.contains("<MISPREDICT>"));
         assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn rendering_prints_pc_in_hex_and_never_shears_columns() {
+        // Regression: pc used to print in decimal and the fixed-width
+        // columns sheared once any value exceeded 8-9 digits.
+        let mut t = PipelineTrace::new(4);
+        t.push(rec(2));
+        let mut big = rec(4);
+        big.pc = 0x4000_0000; // 10 decimal digits — used to shear
+        big.fetch_at = 1_234_567_890;
+        big.dispatch_at = 1_234_567_901;
+        big.issue_at = 1_234_567_902;
+        big.complete_at = 1_234_567_903;
+        big.commit_at = 1_234_567_904;
+        big.mispredicted = false;
+        t.push(big);
+        let s = t.render();
+        assert!(s.contains("0x4000000"), "pc must render in hex: {s}");
+        assert!(!s.contains("1073741824"), "pc must not render in decimal: {s}");
+        // Every row puts the instruction mnemonic in the same column.
+        let cols: Vec<usize> = s
+            .lines()
+            .map(|l| l.find("nop").or(l.find("instruction")))
+            .map(Option::unwrap)
+            .collect();
+        assert!(cols.windows(2).all(|w| w[0] == w[1]), "columns sheared: {s}");
+    }
+
+    #[test]
+    fn annotated_rendering_marks_episodes() {
+        let mut t = PipelineTrace::new(4);
+        t.push(rec(0)); // spans cycles 10..28
+        let mut late = rec(2);
+        late.mispredicted = false;
+        late.fetch_at = 100;
+        late.dispatch_at = 101;
+        late.issue_at = 102;
+        late.complete_at = 103;
+        late.commit_at = 104;
+        t.push(late);
+        let s = t.render_annotated(&[(15, 60)]);
+        assert!(s.contains("== runahead episode [15..60] =="), "missing separator: {s}");
+        let in_ep: Vec<&str> = s.lines().filter(|l| l.contains("<RA>")).collect();
+        assert_eq!(in_ep.len(), 1, "only the overlapping record is flagged: {s}");
+        assert!(in_ep[0].starts_with('0'), "seq 0 overlaps [15..60]: {s}");
+        // Plain render is the empty-episode special case.
+        assert_eq!(t.render(), t.render_annotated(&[]));
     }
 
     #[test]

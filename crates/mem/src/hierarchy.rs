@@ -7,6 +7,7 @@ use crate::imp::Imp;
 use crate::mshr::MshrFile;
 use crate::stats::{MemStats, TimelinessLevel};
 use crate::stride::StridePrefetcher;
+use crate::telemetry::PfTelemetry;
 use crate::Requestor;
 use vr_isa::SplitMix64;
 
@@ -90,6 +91,10 @@ pub struct MemorySystem {
     imp: Imp,
     stats: MemStats,
     chaos: Option<PrefetchChaos>,
+    /// Optional prefetch-lifecycle tracker. Boxed so the disabled
+    /// (default) case costs one pointer; every hook is an `if let` on
+    /// a prefetch *bookkeeping* path, never the per-access fast path.
+    telemetry: Option<Box<PfTelemetry>>,
 }
 
 impl MemorySystem {
@@ -109,8 +114,22 @@ impl MemorySystem {
             imp: Imp::new(cfg.imp_config),
             stats: MemStats::default(),
             chaos: None,
+            telemetry: None,
             cfg,
         }
+    }
+
+    /// Enables per-line prefetch-lifecycle telemetry, retaining the
+    /// last `capacity` completed lifecycles. The reported [`MemStats`]
+    /// are bit-identical with telemetry on or off — the tracker only
+    /// observes the bookkeeping the hierarchy already performs.
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = Some(Box::new(PfTelemetry::new(capacity)));
+    }
+
+    /// The prefetch-lifecycle tracker, if enabled.
+    pub fn telemetry(&self) -> Option<&PfTelemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Arms the fault-injection chaos layer: every subsequent
@@ -242,6 +261,9 @@ impl MemorySystem {
                                 [MemStats::timeliness_idx(TimelinessLevel::OffChip)] += 1;
                         }
                         self.stats.pf_used[MemStats::req_idx(owner)] += 1;
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_use(la, TimelinessLevel::OffChip, now);
+                        }
                         // Transfer line ownership to the demand stream
                         // so later touches count as plain hits.
                         if let Some(line) = self.l1d.lookup(la) {
@@ -273,6 +295,9 @@ impl MemorySystem {
                     self.stats.pf_used[MemStats::req_idx(src)] += 1;
                     if src == Requestor::Runahead {
                         self.stats.timeliness[MemStats::timeliness_idx(TimelinessLevel::L1)] += 1;
+                    }
+                    if let Some(t) = &mut self.telemetry {
+                        t.on_use(la, TimelinessLevel::L1, now);
                     }
                 }
                 if kind == Access::Load {
@@ -308,6 +333,9 @@ impl MemorySystem {
                     if src == Requestor::Runahead {
                         self.stats.timeliness[MemStats::timeliness_idx(TimelinessLevel::L2)] += 1;
                     }
+                    if let Some(t) = &mut self.telemetry {
+                        t.on_use(la, TimelinessLevel::L2, now);
+                    }
                 }
                 if kind == Access::Load {
                     self.stats.load_hits[MemStats::level_idx(HitLevel::L2)] += 1;
@@ -317,8 +345,11 @@ impl MemorySystem {
             self.mshr.allocate(la, now, ready, req);
             if req.is_prefetch() {
                 self.stats.pf_issued[MemStats::req_idx(req)] += 1;
+                if let Some(t) = &mut self.telemetry {
+                    t.on_issue(la, req, now, ready, HitLevel::L2);
+                }
             }
-            self.fill_l1(la, kind, req, dirty);
+            self.fill_l1(la, kind, req, dirty, now);
             return Ok(AccessOutcome { ready_at: ready, hit: HitLevel::L2, prefetched_by: was_pf });
         }
 
@@ -332,6 +363,9 @@ impl MemorySystem {
                     if src == Requestor::Runahead {
                         self.stats.timeliness[MemStats::timeliness_idx(TimelinessLevel::L3)] += 1;
                     }
+                    if let Some(t) = &mut self.telemetry {
+                        t.on_use(la, TimelinessLevel::L3, now);
+                    }
                 }
                 if kind == Access::Load {
                     self.stats.load_hits[MemStats::level_idx(HitLevel::L3)] += 1;
@@ -341,12 +375,15 @@ impl MemorySystem {
             self.mshr.allocate(la, now, ready, req);
             if req.is_prefetch() {
                 self.stats.pf_issued[MemStats::req_idx(req)] += 1;
+                if let Some(t) = &mut self.telemetry {
+                    t.on_issue(la, req, now, ready, HitLevel::L3);
+                }
             }
             // Prefetch ownership is tracked on the L1 copy only; the
             // L2 copy inherits it on eviction (fill_l1_flagged), which
             // is what the timeliness L2/L3 buckets mean.
-            self.fill_l2_flagged(la, None, dirty);
-            self.fill_l1(la, kind, req, dirty);
+            self.fill_l2_flagged(la, None, dirty, now);
+            self.fill_l1(la, kind, req, dirty, now);
             return Ok(AccessOutcome { ready_at: ready, hit: HitLevel::L3, prefetched_by: was_pf });
         }
 
@@ -357,6 +394,9 @@ impl MemorySystem {
         self.stats.dram_reads[MemStats::req_idx(req)] += 1;
         if req.is_prefetch() {
             self.stats.pf_issued[MemStats::req_idx(req)] += 1;
+            if let Some(t) = &mut self.telemetry {
+                t.on_issue(la, req, now, ready, HitLevel::Dram);
+            }
         }
         if is_demand && kind == Access::Load {
             self.stats.load_hits[MemStats::level_idx(HitLevel::Dram)] += 1;
@@ -364,18 +404,18 @@ impl MemorySystem {
         let pf_src = req.is_prefetch().then_some(req);
         // Flag only the L1 copy (the level runahead prefetches into);
         // lower-level copies inherit the flag on eviction.
-        self.fill_l3(la, None);
-        self.fill_l2_flagged(la, None, kind == Access::Store);
-        self.fill_l1_flagged(la, pf_src, kind == Access::Store);
+        self.fill_l3(la, None, now);
+        self.fill_l2_flagged(la, None, kind == Access::Store, now);
+        self.fill_l1_flagged(la, pf_src, kind == Access::Store, now);
         Ok(AccessOutcome { ready_at: ready, hit: HitLevel::Dram, prefetched_by: None })
     }
 
-    fn fill_l1(&mut self, la: u64, kind: Access, req: Requestor, dirty: bool) {
+    fn fill_l1(&mut self, la: u64, kind: Access, req: Requestor, dirty: bool, now: u64) {
         let pf_src = req.is_prefetch().then_some(req);
-        self.fill_l1_flagged(la, pf_src, kind == Access::Store || dirty);
+        self.fill_l1_flagged(la, pf_src, kind == Access::Store || dirty, now);
     }
 
-    fn fill_l1_flagged(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool) {
+    fn fill_l1_flagged(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool, now: u64) {
         if let Some(victim) = self.l1d.fill(la, pf_src) {
             // The victim lives on in L2: carry its dirtiness and its
             // not-yet-consumed prefetch ownership down with it (this
@@ -388,9 +428,12 @@ impl MemorySystem {
                         line.prefetch_src = victim.prefetch_src;
                     }
                 }
-                None => {
-                    self.fill_l2_flagged_src(victim.line_addr, victim.prefetch_src, victim.dirty)
-                }
+                None => self.fill_l2_flagged_src(
+                    victim.line_addr,
+                    victim.prefetch_src,
+                    victim.dirty,
+                    now,
+                ),
             }
         }
         if dirty {
@@ -400,11 +443,11 @@ impl MemorySystem {
         }
     }
 
-    fn fill_l2_flagged(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool) {
-        self.fill_l2_flagged_src(la, pf_src, dirty);
+    fn fill_l2_flagged(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool, now: u64) {
+        self.fill_l2_flagged_src(la, pf_src, dirty, now);
     }
 
-    fn fill_l2_flagged_src(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool) {
+    fn fill_l2_flagged_src(&mut self, la: u64, pf_src: Option<Requestor>, dirty: bool, now: u64) {
         if let Some(victim) = self.l2.fill(la, pf_src) {
             match self.l3.lookup(victim.line_addr) {
                 Some(line) => {
@@ -415,7 +458,14 @@ impl MemorySystem {
                 }
                 None => {
                     if victim.dirty {
-                        self.fill_l3_dirty(victim.line_addr, victim.prefetch_src);
+                        self.fill_l3_dirty(victim.line_addr, victim.prefetch_src, now);
+                    } else if victim.prefetch_src.is_some() {
+                        // A clean, still-flagged victim with no L3 copy
+                        // is silently dropped: the prefetched line has
+                        // left the hierarchy without ever being used.
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_evict(victim.line_addr, now);
+                        }
                     }
                 }
             }
@@ -427,17 +477,25 @@ impl MemorySystem {
         }
     }
 
-    fn fill_l3(&mut self, la: u64, pf_src: Option<Requestor>) {
+    fn fill_l3(&mut self, la: u64, pf_src: Option<Requestor>, now: u64) {
         if let Some(victim) = self.l3.fill(la, pf_src) {
             if victim.dirty {
                 self.dram.write_line(0);
                 self.stats.dram_writebacks += 1;
             }
+            if victim.prefetch_src.is_some() {
+                // The still-flagged L3 victim is the last copy (the
+                // flag only reaches L3 after the L1/L2 copies were
+                // themselves evicted): unused-prefetch lifecycle ends.
+                if let Some(t) = &mut self.telemetry {
+                    t.on_evict(victim.line_addr, now);
+                }
+            }
         }
     }
 
-    fn fill_l3_dirty(&mut self, la: u64, pf_src: Option<Requestor>) {
-        self.fill_l3(la, pf_src);
+    fn fill_l3_dirty(&mut self, la: u64, pf_src: Option<Requestor>, now: u64) {
+        self.fill_l3(la, pf_src, now);
         if let Some(line) = self.l3.lookup(la) {
             line.dirty = true;
         }

@@ -34,6 +34,7 @@ mod imp;
 mod mshr;
 mod stats;
 mod stride;
+mod telemetry;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use config::MemConfig;
@@ -43,6 +44,7 @@ pub use imp::{Imp, ImpConfig, ImpPrefetch};
 pub use mshr::MshrFile;
 pub use stats::{MemStats, TimelinessLevel};
 pub use stride::{StrideDetector, StrideEntry, StridePrefetcher};
+pub use telemetry::{PfEvent, PfOutcome, PfTelemetry};
 
 /// Who issued a memory request; used for traffic attribution
 /// (accuracy/coverage figures) and prefetch bookkeeping.
@@ -64,5 +66,15 @@ impl Requestor {
     /// but a main-thread demand access).
     pub fn is_prefetch(self) -> bool {
         self != Requestor::Main
+    }
+
+    /// Stable lowercase label (used in telemetry/JSON export).
+    pub fn label(self) -> &'static str {
+        match self {
+            Requestor::Main => "main",
+            Requestor::Runahead => "runahead",
+            Requestor::Stride => "stride",
+            Requestor::Imp => "imp",
+        }
     }
 }

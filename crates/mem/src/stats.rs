@@ -19,7 +19,7 @@ pub enum TimelinessLevel {
 }
 
 /// Counters maintained by [`crate::MemorySystem`].
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct MemStats {
     /// Main-thread demand loads.
     pub demand_loads: u64,
@@ -134,6 +134,67 @@ impl MemStats {
         }
         self.timeliness.map(|c| c as f64 / total as f64)
     }
+
+    /// Counters accumulated since `earlier` (saturating per field).
+    ///
+    /// Written with *exhaustive destructuring* — no `..` rest pattern —
+    /// so adding a counter to `MemStats` without deciding how it
+    /// subtracts is a compile error, not a silently-zero delta.
+    pub fn delta(&self, earlier: &MemStats) -> MemStats {
+        fn sub(a: u64, b: u64) -> u64 {
+            a.saturating_sub(b)
+        }
+        fn sub4(a: [u64; 4], b: [u64; 4]) -> [u64; 4] {
+            [sub(a[0], b[0]), sub(a[1], b[1]), sub(a[2], b[2]), sub(a[3], b[3])]
+        }
+        // Both sides destructured exhaustively: a new field must be
+        // named here (twice) before this compiles again.
+        let MemStats {
+            demand_loads,
+            demand_stores,
+            load_hits,
+            load_merges,
+            dram_reads,
+            dram_writebacks,
+            pf_issued,
+            pf_used,
+            pf_dropped_mshr,
+            pf_dropped_fault,
+            pf_delayed_fault,
+            spec_stores,
+            timeliness,
+        } = *self;
+        let MemStats {
+            demand_loads: e_demand_loads,
+            demand_stores: e_demand_stores,
+            load_hits: e_load_hits,
+            load_merges: e_load_merges,
+            dram_reads: e_dram_reads,
+            dram_writebacks: e_dram_writebacks,
+            pf_issued: e_pf_issued,
+            pf_used: e_pf_used,
+            pf_dropped_mshr: e_pf_dropped_mshr,
+            pf_dropped_fault: e_pf_dropped_fault,
+            pf_delayed_fault: e_pf_delayed_fault,
+            spec_stores: e_spec_stores,
+            timeliness: e_timeliness,
+        } = *earlier;
+        MemStats {
+            demand_loads: sub(demand_loads, e_demand_loads),
+            demand_stores: sub(demand_stores, e_demand_stores),
+            load_hits: sub4(load_hits, e_load_hits),
+            load_merges: sub(load_merges, e_load_merges),
+            dram_reads: sub4(dram_reads, e_dram_reads),
+            dram_writebacks: sub(dram_writebacks, e_dram_writebacks),
+            pf_issued: sub4(pf_issued, e_pf_issued),
+            pf_used: sub4(pf_used, e_pf_used),
+            pf_dropped_mshr: sub(pf_dropped_mshr, e_pf_dropped_mshr),
+            pf_dropped_fault: sub(pf_dropped_fault, e_pf_dropped_fault),
+            pf_delayed_fault: sub(pf_delayed_fault, e_pf_delayed_fault),
+            spec_stores: sub(spec_stores, e_spec_stores),
+            timeliness: sub4(timeliness, e_timeliness),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +229,37 @@ mod tests {
     #[test]
     fn empty_timeliness_is_all_zero() {
         assert_eq!(MemStats::default().timeliness_fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn delta_of_default_round_trips() {
+        let s = MemStats {
+            demand_loads: 5,
+            demand_stores: 4,
+            load_hits: [1, 2, 3, 4],
+            load_merges: 9,
+            dram_reads: [4, 3, 2, 1],
+            dram_writebacks: 8,
+            pf_issued: [0, 7, 6, 5],
+            pf_used: [0, 5, 4, 3],
+            pf_dropped_mshr: 2,
+            pf_dropped_fault: 1,
+            pf_delayed_fault: 1,
+            spec_stores: 1,
+            timeliness: [9, 8, 7, 6],
+        };
+        assert_eq!(s.delta(&MemStats::default()), s, "x - 0 == x");
+        assert_eq!(s.delta(&s), MemStats::default(), "x - x == 0");
+    }
+
+    #[test]
+    fn delta_subtracts_per_field() {
+        let a = MemStats { demand_loads: 10, load_hits: [5, 5, 5, 5], ..Default::default() };
+        let b = MemStats { demand_loads: 4, load_hits: [1, 2, 3, 4], ..Default::default() };
+        let d = a.delta(&b);
+        assert_eq!(d.demand_loads, 6);
+        assert_eq!(d.load_hits, [4, 3, 2, 1]);
+        // Saturating, never wrapping, if counters were ever reset.
+        assert_eq!(b.delta(&a).demand_loads, 0);
     }
 }

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # vr-obs
+//!
+//! Observability primitives shared by the simulator crates and the
+//! experiment harness:
+//!
+//! * [`RingLog`] — a bounded, allocation-stable event ring buffer
+//!   (oldest events are evicted; a total-pushed counter survives
+//!   eviction so aggregate reconciliation never depends on capacity);
+//! * [`Histogram`] — power-of-two-bucketed `u64` histogram with exact
+//!   count/sum/min/max (used for prefetch lead-distance and
+//!   runahead-episode-shape distributions);
+//! * [`Registry`] — a small, insertion-ordered name → counter /
+//!   histogram registry that renders itself to JSON;
+//! * [`Json`] — a zero-dependency JSON value type with a serializer
+//!   and a strict parser, used for every machine-readable artifact the
+//!   `experiments` harness emits (`--json`) and for validating those
+//!   artifacts in tests and CI.
+//!
+//! Everything here is pay-as-you-go: the simulator only constructs
+//! these structures when telemetry is explicitly enabled, so a
+//! disabled build path carries nothing but an `Option` check.
+
+mod hist;
+mod json;
+mod registry;
+mod ring;
+
+pub use hist::Histogram;
+pub use json::Json;
+pub use registry::Registry;
+pub use ring::RingLog;
+
+/// Schema-version tag stamped into every telemetry JSON document
+/// produced from a [`Registry`] (see DESIGN.md §10 for the policy:
+/// additive changes keep the version; renames/removals bump it).
+pub const TELEMETRY_SCHEMA: &str = "vr-telemetry-v1";

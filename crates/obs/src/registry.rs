@@ -1,0 +1,116 @@
+//! Named counter / histogram registry.
+
+use crate::{Histogram, Json};
+
+/// A small, insertion-ordered registry of named counters and
+/// histograms.
+///
+/// Lookups are linear scans: a telemetry registry holds a handful of
+/// entries and hot paths cache `&mut` references or use fixed fields —
+/// the registry is the *export* surface, not the recording fast path.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Mutable access to the counter `name`, creating it at 0.
+    pub fn counter(&mut self, name: &str) -> &mut u64 {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return &mut self.counters[i].1;
+        }
+        self.counters.push((name.to_string(), 0));
+        &mut self.counters.last_mut().expect("just pushed").1
+    }
+
+    /// Adds `v` to the counter `name`.
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.counter(name) += v;
+    }
+
+    /// The counter `name`, if it exists.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Mutable access to the histogram `name`, creating it empty.
+    pub fn hist(&mut self, name: &str) -> &mut Histogram {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            return &mut self.hists[i].1;
+        }
+        self.hists.push((name.to_string(), Histogram::new()));
+        &mut self.hists.last_mut().expect("just pushed").1
+    }
+
+    /// The histogram `name`, if it exists.
+    pub fn get_hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All counters in insertion order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// All histograms in insertion order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// JSON rendering: `{"counters": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(self.counters.iter().map(|(n, v)| (n.clone(), Json::U64(*v))).collect()),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(self.hists.iter().map(|(n, h)| (n.clone(), h.to_json())).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_find_or_insert() {
+        let mut r = Registry::new();
+        *r.counter("a") += 2;
+        r.add("a", 3);
+        r.add("b", 1);
+        assert_eq!(r.get("a"), Some(5));
+        assert_eq!(r.get("b"), Some(1));
+        assert_eq!(r.get("missing"), None);
+        let names: Vec<_> = r.counters().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"], "insertion order is stable");
+    }
+
+    #[test]
+    fn histograms_find_or_insert() {
+        let mut r = Registry::new();
+        r.hist("lead").record(10);
+        r.hist("lead").record(20);
+        assert_eq!(r.get_hist("lead").map(Histogram::count), Some(2));
+        assert_eq!(r.get_hist("missing").map(Histogram::count), None);
+    }
+
+    #[test]
+    fn json_contains_both_sections() {
+        let mut r = Registry::new();
+        r.add("n", 7);
+        r.hist("h").record(1);
+        let j = r.to_json();
+        assert_eq!(j.get("counters").and_then(|c| c.get("n")).and_then(Json::as_u64), Some(7));
+        assert!(j.get("histograms").and_then(|h| h.get("h")).is_some());
+    }
+}
