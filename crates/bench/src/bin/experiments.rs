@@ -32,8 +32,14 @@ struct Opts {
     presets: Vec<GraphPreset>,
     scale: Scale,
     threads: usize,
-    /// First non-flag argument after the id (the `trace` workload).
+    /// First non-flag argument after the id (the `trace` workload, or
+    /// the `campaign` action).
     workload: Option<String>,
+    /// `--figure ID`: restrict `campaign` to one figure's points.
+    figure: Option<String>,
+    /// `--cancel-after-ms N`: graceful-cancellation testing aid for
+    /// `campaign run`.
+    cancel_after_ms: Option<u64>,
 }
 
 /// One dispatchable subcommand: the id `main` matches on, the help
@@ -75,6 +81,11 @@ const COMMANDS: &[Cmd] = &[
         help: "simulator-throughput report (writes BENCH_sim.json)",
         run: perf_report,
     },
+    Cmd {
+        id: "campaign",
+        help: "result-store campaign over the figure sim points (run/status/verify/gc)",
+        run: campaign_cmd,
+    },
     Cmd { id: "all", help: "every paper table and figure above", run: all_figures },
 ];
 
@@ -82,7 +93,7 @@ const COMMANDS: &[Cmd] = &[
 fn usage() -> String {
     let mut u = String::from(
         "usage: experiments <id> [workload] [--insts N] [--all-inputs] [--quick] \
-         [--threads N] [--json PATH] [--csv PATH]\n\nids:\n",
+         [--threads N] [--cache DIR] [--json PATH] [--csv PATH]\n\nids:\n",
     );
     for c in COMMANDS {
         u.push_str(&format!("  {:<14} {}\n", c.id, c.help));
@@ -92,11 +103,16 @@ fn usage() -> String {
          \x20 --insts N     instruction budget per run (default 200000)\n\
          \x20 --all-inputs  run GAP on all five graph presets (default KR + UR)\n\
          \x20 --quick       small inputs and budgets (smoke test)\n\
-         \x20 --threads N   worker threads for the sweep runner (default: all cores)\n\
+         \x20 --threads N   worker threads for the sweep runner (0 or default: all cores)\n\
+         \x20 --cache DIR   route every simulation through the result store at DIR\n\
+         \x20               (cached figure output is byte-identical to uncached)\n\
          \x20 --json PATH   export every report as schema-versioned JSON\n\
          \x20 --csv PATH    export every table as CSV\n\
+         \x20 --figure ID   restrict `campaign` to one figure's points (default: all)\n\
+         \x20 --cancel-after-ms N  cancel a `campaign run` after N ms (testing aid)\n\
          \nthe `trace` id takes a positional workload name (see its error text \
-         for the available names).\n",
+         for the available names); `campaign` takes a positional action \
+         (run, status, verify, gc) and requires --cache DIR.\n",
     );
     u
 }
@@ -119,6 +135,9 @@ fn main() {
     let mut json: Option<PathBuf> = None;
     let mut csv: Option<PathBuf> = None;
     let mut workload: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut figure: Option<String> = None;
+    let mut cancel_after_ms: Option<u64> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -132,10 +151,39 @@ fn main() {
                 };
             }
             "--threads" => {
+                // 0 is an explicit "auto": every available core.
                 threads = match it.next().and_then(|v| v.parse().ok()) {
-                    Some(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("error: --threads requires a positive integer");
+                    Some(0) => vr_bench::default_threads(),
+                    Some(n) => n,
+                    None => {
+                        eprintln!("error: --threads requires a non-negative integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cache" => {
+                cache_dir = match it.next() {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --cache requires a directory path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--figure" => {
+                figure = match it.next() {
+                    Some(f) => Some(f.clone()),
+                    None => {
+                        eprintln!("error: --figure requires a figure id");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cancel-after-ms" => {
+                cancel_after_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("error: --cancel-after-ms requires an integer");
                         std::process::exit(2);
                     }
                 };
@@ -176,7 +224,14 @@ fn main() {
             }
         }
     }
-    let opts = Opts { insts, presets, scale, threads, workload };
+    let opts = Opts { insts, presets, scale, threads, workload, figure, cancel_after_ms };
+
+    if let Some(dir) = &cache_dir {
+        if let Err(e) = vr_bench::cache::enable(dir) {
+            eprintln!("error: cannot open result store at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 
     let reports = (cmd.run)(&opts);
     for r in &reports {
@@ -200,6 +255,12 @@ fn main() {
     }
     if let Some(p) = &csv {
         eprintln!("wrote {}", p.display());
+    }
+    if let Some(c) = vr_bench::cache::counters() {
+        eprintln!(
+            "cache: {} hits, {} misses, {} writes, {} stale, {} quarantined",
+            c.hits, c.misses, c.writes, c.stale, c.quarantined
+        );
     }
     if reports.iter().any(|r| r.failed) {
         eprintln!("error: {id} reported a failure (see the tables above)");
@@ -233,19 +294,155 @@ fn build_set(opts: &Opts) -> Vec<Workload> {
     }
 }
 
-/// A smaller, representative subset for parameter sweeps.
+/// A smaller, representative subset for parameter sweeps (shared with
+/// the campaign-point enumeration in `vr_bench::points`).
 fn sweep_set(opts: &Opts) -> Vec<Workload> {
-    let scale = opts.scale;
-    let mut v = vec![
-        vr_workloads::hpcdb::kangaroo(scale),
-        vr_workloads::hpcdb::hashjoin(scale, 2),
-        vr_workloads::hpcdb::hashjoin(scale, 8),
-        vr_workloads::hpcdb::camel(scale),
-    ];
-    let g = GraphPreset::Kron.generate(scale);
-    v.push(vr_workloads::gap::bfs_on(&g, GraphPreset::Kron));
-    v.push(vr_workloads::gap::sssp_on(&g, GraphPreset::Kron));
-    v
+    vr_bench::sweep_workload_set(opts.scale)
+}
+
+// ---------------------------------------------------------------- campaign
+
+/// `experiments campaign <run|status|verify|gc> --cache DIR`: drives
+/// the figure simulation points through the result store (DESIGN.md
+/// §11). `run` computes only the missing points — resumable across
+/// kills because every record is published atomically; `status` is a
+/// cheap census; `verify` fully validates every record (non-zero exit
+/// if the store is not clean); `gc` reclaims stale/corrupt/orphaned
+/// files.
+fn campaign_cmd(opts: &Opts) -> Vec<Report> {
+    use vr_campaign::{
+        campaign_status, run_campaign, CancelToken, EngineConfig, ProgressEvent, ProgressKind,
+        SimExecutor,
+    };
+    let Some(store) = vr_bench::cache::active() else {
+        eprintln!("error: campaign requires --cache DIR (the store to run against)");
+        std::process::exit(2);
+    };
+    let action = opts.workload.as_deref().unwrap_or_else(|| {
+        eprintln!("error: campaign requires an action\navailable: run status verify gc");
+        std::process::exit(2);
+    });
+    let figure = opts.figure.as_deref().unwrap_or("all");
+    let fig_opts = vr_bench::points::FigureOpts {
+        insts: opts.insts,
+        presets: opts.presets.clone(),
+        scale: opts.scale,
+    };
+    let enumerate = || {
+        vr_bench::points::campaign_points(figure, &fig_opts).unwrap_or_else(|| {
+            eprintln!(
+                "error: unknown or uncacheable figure {figure:?}\navailable: {}",
+                vr_bench::points::CACHED_FIGURES.join(" ")
+            );
+            std::process::exit(2);
+        })
+    };
+    let mut r = Report::new("campaign", &format!("Campaign {action}: figure={figure}"));
+    match action {
+        "run" => {
+            let points = enumerate();
+            let cancel = CancelToken::new();
+            if let Some(ms) = opts.cancel_after_ms {
+                let timer_token = cancel.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    timer_token.cancel();
+                });
+            }
+            let cfg = EngineConfig { threads: opts.threads, ..EngineConfig::default() };
+            let sink = |ev: &ProgressEvent<'_>| {
+                let what = match ev.kind {
+                    ProgressKind::CacheHit => "hit".to_string(),
+                    ProgressKind::Computed => "computed".to_string(),
+                    ProgressKind::Retried { attempt } => format!("retry (attempt {attempt})"),
+                    ProgressKind::Failed => "FAILED".to_string(),
+                };
+                eprintln!("  [{}/{}] {} {}", ev.done, ev.total, ev.label, what);
+            };
+            let out = run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink));
+            let mut t = Table::new(&["metric", "value"]);
+            t.row(vec!["submitted".into(), out.submitted.to_string()]);
+            t.row(vec!["duplicates".into(), out.duplicates.to_string()]);
+            t.row(vec!["unique points".into(), out.total.to_string()]);
+            t.row(vec!["cache hits".into(), out.cache_hits.to_string()]);
+            t.row(vec!["computed".into(), out.computed.to_string()]);
+            t.row(vec!["retries".into(), out.retries.to_string()]);
+            t.row(vec!["failed".into(), out.failed.len().to_string()]);
+            t.row(vec!["cancelled".into(), out.cancelled.to_string()]);
+            r.push_table("run", t);
+            if !out.failed.is_empty() {
+                let mut ft = Table::new(&["point", "error"]);
+                for (label, err) in &out.failed {
+                    ft.row(vec![label.clone(), err.clone()]);
+                }
+                r.push_table("failures", ft);
+                r.failed = true;
+            }
+            r.push_note(if out.cancelled {
+                "cancelled: run again to finish the remaining points"
+            } else if out.complete() {
+                "campaign complete: every point has a stored result"
+            } else {
+                "campaign incomplete (see failures above)"
+            });
+            r.attach("campaign", out.to_json());
+        }
+        "status" => {
+            let points = enumerate();
+            let st = campaign_status(&points, store);
+            let mut t = Table::new(&["metric", "value"]);
+            t.row(vec!["submitted".into(), st.submitted.to_string()]);
+            t.row(vec!["unique points".into(), st.total.to_string()]);
+            t.row(vec!["present".into(), st.present.to_string()]);
+            t.row(vec!["missing".into(), st.missing.to_string()]);
+            t.row(vec![
+                "store records".into(),
+                store.len().map_or_else(|e| format!("? ({e})"), |n| n.to_string()),
+            ]);
+            r.push_table("status", t);
+        }
+        "verify" => match store.verify() {
+            Ok(rep) => {
+                let mut t = Table::new(&["metric", "value"]);
+                t.row(vec!["ok".into(), rep.ok.to_string()]);
+                t.row(vec!["stale".into(), rep.stale.to_string()]);
+                t.row(vec!["quarantined".into(), rep.quarantined.to_string()]);
+                t.row(vec!["tmp files".into(), rep.tmp_files.to_string()]);
+                t.row(vec!["quarantine backlog".into(), rep.quarantine_backlog.to_string()]);
+                r.push_table("verify", t);
+                r.failed = !rep.clean();
+                r.push_note(if rep.clean() {
+                    "store clean: every record validates"
+                } else {
+                    "store NOT clean (run `campaign gc` to reclaim)"
+                });
+            }
+            Err(e) => {
+                eprintln!("error: verify: {e}");
+                std::process::exit(1);
+            }
+        },
+        "gc" => match store.gc() {
+            Ok(rep) => {
+                let mut t = Table::new(&["metric", "value"]);
+                t.row(vec!["kept".into(), rep.kept.to_string()]);
+                t.row(vec!["stale removed".into(), rep.stale_removed.to_string()]);
+                t.row(vec!["corrupt removed".into(), rep.corrupt_removed.to_string()]);
+                t.row(vec!["tmp removed".into(), rep.tmp_removed.to_string()]);
+                t.row(vec!["quarantine removed".into(), rep.quarantine_removed.to_string()]);
+                r.push_table("gc", t);
+            }
+            Err(e) => {
+                eprintln!("error: gc: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("error: unknown campaign action {other:?}\navailable: run status verify gc");
+            std::process::exit(2);
+        }
+    }
+    vec![r]
 }
 
 // ---------------------------------------------------------------- table 1
@@ -930,6 +1127,20 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     json.push_str("  ],\n");
     let hmean_kips = harmonic_mean(&all_kips);
     let _ = writeln!(json, "  \"kips_hmean\": {hmean_kips:.1},");
+    // Result-store effectiveness for this process (zeros when no
+    // --cache was given): CI trends hit rates alongside throughput.
+    let cc = vr_bench::cache::counters().unwrap_or_default();
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \"writes\": {}, \
+         \"stale\": {}, \"quarantined\": {}}},",
+        vr_bench::cache::active().is_some(),
+        cc.hits,
+        cc.misses,
+        cc.writes,
+        cc.stale,
+        cc.quarantined
+    );
     rep.push_table("kips", t);
     rep.metric("kips_hmean", hmean_kips);
     rep.push_note(format!("h-mean throughput: {hmean_kips:.0} KIPS"));
@@ -947,6 +1158,8 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
             scale: opts.scale,
             threads: 1,
             workload: None,
+            figure: None,
+            cancel_after_ms: None,
         };
         let t0 = Instant::now();
         for r in f(&serial) {

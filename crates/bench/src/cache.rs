@@ -1,0 +1,70 @@
+//! Optional result-store routing for every simulation the harness
+//! runs (`experiments --cache DIR`).
+//!
+//! When a store is [`enable`]d, [`crate::run_custom`] — the single
+//! choke point every figure's simulations flow through — consults it
+//! before simulating and publishes each fresh result after. Because
+//! the store round-trips [`vr_core::SimStats`] bit-identically (see
+//! `vr_campaign::serial`), a figure rendered from cached stats is
+//! **byte-identical** to an uncached run: same stdout, same `--json`,
+//! same `--csv`.
+//!
+//! The store handle is process-global (`OnceLock`): the harness
+//! resolves `--cache` once in `main`, and threading a handle through
+//! every figure function would buy nothing but plumbing. `enable` is
+//! first-write-wins and cannot be undone within a process — exactly
+//! the CLI's lifecycle.
+
+use std::io;
+use std::path::Path;
+use std::sync::OnceLock;
+
+use vr_campaign::{ResultStore, StoreCounters};
+
+static STORE: OnceLock<ResultStore> = OnceLock::new();
+
+/// Opens the store rooted at `dir` and routes every subsequent
+/// [`crate::run_custom`] through it. First call wins; a second call
+/// (harness bug — `main` parses `--cache` once) is reported as an
+/// error rather than silently switching stores mid-run.
+///
+/// # Errors
+///
+/// Returns the underlying error if the store directories cannot be
+/// created, or an [`io::ErrorKind::AlreadyExists`] error if a store
+/// was already enabled.
+pub fn enable(dir: &Path) -> io::Result<()> {
+    let store = ResultStore::open(dir)?;
+    STORE
+        .set(store)
+        .map_err(|_| io::Error::new(io::ErrorKind::AlreadyExists, "result store already enabled"))
+}
+
+/// The enabled store, if any.
+pub fn active() -> Option<&'static ResultStore> {
+    STORE.get()
+}
+
+/// Session counters of the enabled store (hits/misses/writes since
+/// `enable`); `None` when no store is active. The perf report exports
+/// these so cache effectiveness is visible in `BENCH_sim.json`.
+pub fn counters() -> Option<StoreCounters> {
+    active().map(ResultStore::counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: `enable` is process-global, so unit tests here must not
+    // call it — it would leak a store into every other test in this
+    // binary. The full enable → hit → byte-identical pipeline is
+    // exercised by the `experiments` CLI integration tests, which get
+    // a fresh process per invocation.
+
+    #[test]
+    fn cache_is_inactive_by_default() {
+        assert!(active().is_none());
+        assert!(counters().is_none());
+    }
+}

@@ -10,7 +10,9 @@
 //! cargo run --release -p vr-bench --bin experiments -- all --insts 300000
 //! ```
 
+pub mod cache;
 pub mod micro;
+pub mod points;
 pub mod report;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -140,7 +142,34 @@ pub fn run_technique(w: &Workload, core: CoreConfig, tech: Technique, max_insts:
 
 /// Runs `workload` with explicit configurations (for sweeps and
 /// ablations).
+///
+/// This is the choke point every figure's simulations flow through:
+/// when a result store is enabled ([`cache::enable`], the CLI's
+/// `--cache DIR`), the point's fingerprint is looked up first and the
+/// simulation is skipped on a hit. Stored stats round-trip
+/// bit-identically, so cached and uncached figure output are
+/// byte-identical.
 pub fn run_custom(
+    w: &Workload,
+    core: CoreConfig,
+    mem_cfg: MemConfig,
+    ra_cfg: RunaheadConfig,
+    max_insts: u64,
+) -> SimStats {
+    let Some(store) = cache::active() else {
+        return simulate(w, core, mem_cfg, ra_cfg, max_insts);
+    };
+    let key = vr_campaign::point_key(w, &core, &mem_cfg, &ra_cfg, max_insts);
+    if let Some(stats) = store.load(key) {
+        return stats;
+    }
+    let stats = simulate(w, core, mem_cfg, ra_cfg, max_insts);
+    // A failed save degrades to "not cached", never to a failed run.
+    let _ = store.save(key, &w.name, &stats);
+    stats
+}
+
+fn simulate(
     w: &Workload,
     core: CoreConfig,
     mem_cfg: MemConfig,
@@ -170,6 +199,22 @@ pub fn quick_workload_set() -> Vec<Workload> {
     let mut all = gap_suite(Scale::Test, GraphPreset::Kron);
     all.extend(hpcdb_suite(Scale::Test));
     all
+}
+
+/// A smaller, representative subset for parameter sweeps (the ROB,
+/// vector-length, MSHR and ablation figures): the four hpc-db
+/// irregular kernels plus BFS/SSSP on the Kronecker graph.
+pub fn sweep_workload_set(scale: Scale) -> Vec<Workload> {
+    let mut v = vec![
+        vr_workloads::hpcdb::kangaroo(scale),
+        vr_workloads::hpcdb::hashjoin(scale, 2),
+        vr_workloads::hpcdb::hashjoin(scale, 8),
+        vr_workloads::hpcdb::camel(scale),
+    ];
+    let g = GraphPreset::Kron.generate(scale);
+    v.push(vr_workloads::gap::bfs_on(&g, GraphPreset::Kron));
+    v.push(vr_workloads::gap::sssp_on(&g, GraphPreset::Kron));
+    v
 }
 
 /// Fixed-width text table printer (the harness's "figure" output).
@@ -362,6 +407,19 @@ mod tests {
         for threads in [1, 2, 8, 128] {
             assert_eq!(parallel_map(&items, threads, |x| x * x), serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn parallel_map_propagates_a_worker_panic() {
+        // Regression: a panicking closure must surface to the caller,
+        // not strand the sweep with a missing result. All workers are
+        // joined first, so no thread outlives the borrowed items.
+        let items: Vec<u64> = (0..64).collect();
+        let _ = parallel_map(&items, 4, |&x| {
+            assert!(x != 33, "injected worker failure");
+            x
+        });
     }
 
     #[test]

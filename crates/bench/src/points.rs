@@ -1,0 +1,326 @@
+//! Campaign-point enumeration for the experiment figures.
+//!
+//! [`campaign_points`] lists, for a figure id, every simulation point
+//! that figure will run — the set `experiments campaign run` drives
+//! through the result store so a later `--cache` figure invocation is
+//! pure cache hits.
+//!
+//! The enumeration deliberately *mirrors* each figure body in
+//! `experiments.rs` rather than sharing code with it: the figures
+//! interleave simulation with rendering, and extracting a common
+//! driver would contort them. Drift between a figure and its
+//! enumeration is caught where it matters — the CLI integration test
+//! warms the cache via `campaign run` and then asserts the figure run
+//! reports **zero misses**.
+
+use std::sync::Arc;
+
+use vr_campaign::CampaignPoint;
+use vr_core::{CoreConfig, RunaheadConfig};
+use vr_mem::MemConfig;
+use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
+
+use crate::{quick_workload_set, sweep_workload_set, workload_set, Technique};
+
+/// The inputs that determine a figure's simulation points (the
+/// campaign-relevant subset of the CLI options).
+#[derive(Clone, Debug)]
+pub struct FigureOpts {
+    /// Instruction budget per run (`--insts`).
+    pub insts: u64,
+    /// Graph presets for the GAP kernels (`--all-inputs`).
+    pub presets: Vec<GraphPreset>,
+    /// Workload scale (`--quick` selects [`Scale::Test`]).
+    pub scale: Scale,
+}
+
+/// Figure ids with cacheable simulation points, in presentation
+/// order. (`table1`, `table-hw`, `trace`, `fault-oracle` and
+/// `perf-report` run no cacheable simulations: the first two simulate
+/// nothing, the rest need side artifacts a stats record cannot carry.)
+pub const CACHED_FIGURES: &[&str] = &[
+    "table2",
+    "fig-perf",
+    "fig-rob",
+    "fig-breakdown",
+    "fig-mlp",
+    "fig-accuracy",
+    "fig-timeliness",
+    "fig-veclen",
+    "fig-interval",
+    "fig-ablation",
+    "fig-mshr",
+];
+
+fn arcs(set: Vec<Workload>) -> Vec<Arc<Workload>> {
+    set.into_iter().map(Arc::new).collect()
+}
+
+fn point(
+    fig: &str,
+    w: &Arc<Workload>,
+    variant: &str,
+    core: CoreConfig,
+    mem: MemConfig,
+    ra: RunaheadConfig,
+    insts: u64,
+) -> CampaignPoint {
+    CampaignPoint {
+        label: format!("{fig}/{}/{variant}", w.name),
+        workload: Arc::clone(w),
+        core,
+        mem,
+        ra,
+        max_insts: insts,
+    }
+}
+
+fn tech_point(fig: &str, w: &Arc<Workload>, tech: Technique, insts: u64) -> CampaignPoint {
+    let (mem, ra) = tech.configure();
+    point(fig, w, tech.label(), CoreConfig::table1(), mem, ra, insts)
+}
+
+/// Enumerates the simulation points of `figure` (a figure id from
+/// [`CACHED_FIGURES`], or `"all"` for their union). Returns `None`
+/// for ids with no cacheable points. Duplicate points across figures
+/// are fine — the engine dedups by fingerprint.
+pub fn campaign_points(figure: &str, o: &FigureOpts) -> Option<Vec<CampaignPoint>> {
+    if figure != "all" && !CACHED_FIGURES.contains(&figure) {
+        return None;
+    }
+    let want = |id: &str| figure == "all" || figure == id;
+    let needs_full = ["fig-perf", "fig-mlp", "fig-accuracy", "fig-timeliness", "fig-interval"]
+        .iter()
+        .any(|id| want(id));
+    let needs_sweep = ["fig-rob", "fig-breakdown", "fig-veclen", "fig-ablation", "fig-mshr"]
+        .iter()
+        .any(|id| want(id));
+    let full: Vec<Arc<Workload>> = if needs_full {
+        match o.scale {
+            Scale::Paper => arcs(workload_set(&o.presets)),
+            Scale::Test => arcs(quick_workload_set()),
+        }
+    } else {
+        Vec::new()
+    };
+    let sweep: Vec<Arc<Workload>> =
+        if needs_sweep { arcs(sweep_workload_set(o.scale)) } else { Vec::new() };
+    let mut pts = Vec::new();
+
+    // table2: all five presets' GAP kernels on the baseline at half
+    // budget (MPKI census).
+    if want("table2") {
+        for p in GraphPreset::ALL {
+            for w in arcs(gap_suite(o.scale, p)) {
+                pts.push(tech_point("table2", &w, Technique::Baseline, o.insts / 2));
+            }
+        }
+    }
+
+    // fig-perf: the headline five techniques on the full set.
+    if want("fig-perf") {
+        for w in &full {
+            for tech in Technique::HEADLINE {
+                pts.push(tech_point("fig-perf", w, tech, o.insts));
+            }
+        }
+    }
+
+    // fig-rob: OoO + VR across the ROB sweep (350 doubles as the
+    // normalization baseline).
+    if want("fig-rob") {
+        for rob in [128usize, 192, 224, 350, 512] {
+            for w in &sweep {
+                let core = CoreConfig::with_rob_scaled(rob);
+                let (mem, ra) = Technique::Baseline.configure();
+                pts.push(point(
+                    "fig-rob",
+                    w,
+                    &format!("rob{rob}/OoO"),
+                    core.clone(),
+                    mem,
+                    ra,
+                    o.insts,
+                ));
+                let (mem, ra) = Technique::Vr.configure();
+                pts.push(point("fig-rob", w, &format!("rob{rob}/VR"), core, mem, ra, o.insts));
+            }
+        }
+    }
+
+    // fig-breakdown: baseline + the three VR extension variants.
+    if want("fig-breakdown") {
+        for w in &sweep {
+            pts.push(tech_point("fig-breakdown", w, Technique::Baseline, o.insts));
+            let variants: [(&str, RunaheadConfig); 3] = [
+                ("VR", RunaheadConfig::vector()),
+                ("eager", RunaheadConfig { eager_trigger: true, ..RunaheadConfig::vector() }),
+                (
+                    "eager+discovery",
+                    RunaheadConfig {
+                        eager_trigger: true,
+                        loop_bound_discovery: true,
+                        ..RunaheadConfig::vector()
+                    },
+                ),
+            ];
+            for (name, ra) in variants {
+                pts.push(point(
+                    "fig-breakdown",
+                    w,
+                    name,
+                    CoreConfig::table1(),
+                    MemConfig::table1(),
+                    ra,
+                    o.insts,
+                ));
+            }
+        }
+    }
+
+    // fig-mlp / fig-accuracy / fig-interval: baseline vs VR on the
+    // full set; fig-timeliness: VR only.
+    for (fig, techs) in [
+        ("fig-mlp", &[Technique::Baseline, Technique::Vr][..]),
+        ("fig-accuracy", &[Technique::Baseline, Technique::Vr][..]),
+        ("fig-timeliness", &[Technique::Vr][..]),
+        ("fig-interval", &[Technique::Baseline, Technique::Vr][..]),
+    ] {
+        if want(fig) {
+            for w in &full {
+                for &tech in techs {
+                    pts.push(tech_point(fig, w, tech, o.insts));
+                }
+            }
+        }
+    }
+
+    // fig-veclen: baseline + the vector-length sweep.
+    if want("fig-veclen") {
+        for w in &sweep {
+            pts.push(tech_point("fig-veclen", w, Technique::Baseline, o.insts));
+            for k in [16usize, 32, 64, 128] {
+                let ra = RunaheadConfig { vr_lanes: k, ..RunaheadConfig::vector() };
+                pts.push(point(
+                    "fig-veclen",
+                    w,
+                    &format!("K{k}"),
+                    CoreConfig::table1(),
+                    MemConfig::table1(),
+                    ra,
+                    o.insts,
+                ));
+            }
+        }
+    }
+
+    // fig-ablation: baseline + the four design-choice variants.
+    if want("fig-ablation") {
+        for w in &sweep {
+            pts.push(tech_point("fig-ablation", w, Technique::Baseline, o.insts));
+            let variants: [(&str, RunaheadConfig); 4] = [
+                ("VR", RunaheadConfig::vector()),
+                ("no-pipe", RunaheadConfig { vir_pipelining: false, ..RunaheadConfig::vector() }),
+                ("reconv", RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() }),
+                (
+                    "bounded64",
+                    RunaheadConfig { termination_slack: Some(64), ..RunaheadConfig::vector() },
+                ),
+            ];
+            for (name, ra) in variants {
+                pts.push(point(
+                    "fig-ablation",
+                    w,
+                    name,
+                    CoreConfig::table1(),
+                    MemConfig::table1(),
+                    ra,
+                    o.insts,
+                ));
+            }
+        }
+    }
+
+    // fig-mshr: none vs vector at each MSHR count.
+    if want("fig-mshr") {
+        for w in &sweep {
+            for m in [8usize, 16, 24, 48] {
+                let mem = MemConfig { mshrs: m, ..MemConfig::table1() };
+                pts.push(point(
+                    "fig-mshr",
+                    w,
+                    &format!("m{m}/OoO"),
+                    CoreConfig::table1(),
+                    mem.clone(),
+                    RunaheadConfig::none(),
+                    o.insts,
+                ));
+                pts.push(point(
+                    "fig-mshr",
+                    w,
+                    &format!("m{m}/VR"),
+                    CoreConfig::table1(),
+                    mem,
+                    RunaheadConfig::vector(),
+                    o.insts,
+                ));
+            }
+        }
+    }
+
+    Some(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FigureOpts {
+        FigureOpts { insts: 10_000, presets: vec![GraphPreset::Kron], scale: Scale::Test }
+    }
+
+    #[test]
+    fn unknown_and_uncacheable_figures_have_no_points() {
+        for id in ["table1", "table-hw", "trace", "fault-oracle", "perf-report", "bogus"] {
+            assert!(campaign_points(id, &quick()).is_none(), "{id}");
+        }
+    }
+
+    #[test]
+    fn every_cached_figure_enumerates_nonempty_and_all_is_their_union() {
+        let o = quick();
+        let mut sum = 0usize;
+        for id in CACHED_FIGURES {
+            let pts = campaign_points(id, &o).unwrap_or_else(|| panic!("{id} must enumerate"));
+            assert!(!pts.is_empty(), "{id} enumerated no points");
+            assert!(
+                pts.iter().all(|p| p.label.starts_with(&format!("{id}/"))),
+                "{id} labels must be figure-prefixed"
+            );
+            sum += pts.len();
+        }
+        let all = campaign_points("all", &o).expect("all");
+        assert_eq!(all.len(), sum, "`all` must be exactly the figures' union");
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_figure() {
+        let o = quick();
+        for id in CACHED_FIGURES {
+            let pts = campaign_points(id, &o).unwrap();
+            let mut labels: Vec<&str> = pts.iter().map(|p| p.label.as_str()).collect();
+            labels.sort_unstable();
+            let before = labels.len();
+            labels.dedup();
+            assert_eq!(labels.len(), before, "{id} has duplicate labels");
+        }
+    }
+
+    #[test]
+    fn budget_participates_in_enumeration() {
+        let a = campaign_points("fig-mshr", &quick()).unwrap();
+        let b = campaign_points("fig-mshr", &FigureOpts { insts: 20_000, ..quick() }).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a[0].key(), b[0].key(), "different budgets must address different records");
+    }
+}

@@ -115,6 +115,181 @@ fn csv_export_carries_the_schema_comment_and_table_headers() {
 }
 
 #[test]
+fn threads_zero_means_auto() {
+    // `--threads 0` selects every available core instead of erroring.
+    let o = experiments(&["table1", "--threads", "0"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("Table 1"), "{}", stdout(&o));
+    // A non-numeric value still errors.
+    let o = experiments(&["table1", "--threads", "lots"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn campaign_requires_a_cache_and_an_action() {
+    let o = experiments(&["campaign", "run"]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("requires --cache"), "{}", stderr(&o));
+
+    let store = tmp("campaign-noaction");
+    let o = experiments(&["campaign", "--cache", store.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("requires an action"), "{}", stderr(&o));
+
+    let o = experiments(&["campaign", "teleport", "--cache", store.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown campaign action"), "{}", stderr(&o));
+
+    let o = experiments(&[
+        "campaign",
+        "run",
+        "--cache",
+        store.to_str().unwrap(),
+        "--figure",
+        "fig-bogus",
+    ]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("unknown or uncacheable figure"), "{}", stderr(&o));
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// The tentpole acceptance path: a `campaign run` warms the store,
+/// the same figure under `--cache` is then pure hits, and its
+/// stdout / `--json` / `--csv` output is byte-identical to an
+/// uncached run. This test is also the drift tripwire between the
+/// figure bodies and `vr_bench::points::campaign_points` — any
+/// enumeration mismatch shows up as a nonzero miss count here.
+#[test]
+fn warmed_cache_makes_the_figure_pure_hits_and_byte_identical() {
+    let store = tmp("campaign-byteident");
+    std::fs::remove_dir_all(&store).ok();
+    let base = ["fig-mshr", "--quick", "--insts", "2000", "--threads", "2"];
+
+    // 1. Warm the store through the campaign engine.
+    let o = experiments(&[
+        "campaign",
+        "run",
+        "--quick",
+        "--insts",
+        "2000",
+        "--figure",
+        "fig-mshr",
+        "--threads",
+        "2",
+        "--cache",
+        store.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("campaign complete"), "{}", stdout(&o));
+
+    // 2. Uncached reference run.
+    let (uj, uc) = (tmp("bi-u.json"), tmp("bi-u.csv"));
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--json", uj.to_str().unwrap(), "--csv", uc.to_str().unwrap()]);
+    let uncached = experiments(&args);
+    assert!(uncached.status.success(), "stderr: {}", stderr(&uncached));
+
+    // 3. Cached run against the warmed store: zero misses.
+    let (cj, cc) = (tmp("bi-c.json"), tmp("bi-c.csv"));
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--cache", store.to_str().unwrap()]);
+    args.extend(["--json", cj.to_str().unwrap(), "--csv", cc.to_str().unwrap()]);
+    let cached = experiments(&args);
+    assert!(cached.status.success(), "stderr: {}", stderr(&cached));
+    let err = stderr(&cached);
+    assert!(err.contains(" 0 misses"), "figure ran simulations despite warm cache: {err}");
+
+    // 4. Byte-identical text and exports.
+    assert_eq!(stdout(&uncached), stdout(&cached), "cached stdout differs");
+    let read = |p: &PathBuf| std::fs::read(p).expect("export written");
+    assert_eq!(read(&uj), read(&cj), "cached --json differs");
+    assert_eq!(read(&uc), read(&cc), "cached --csv differs");
+    for p in [uj, uc, cj, cc] {
+        std::fs::remove_file(&p).ok();
+    }
+
+    // 5. `status` sees a fully-present campaign; `verify` is clean.
+    let o = experiments(&[
+        "campaign",
+        "status",
+        "--quick",
+        "--insts",
+        "2000",
+        "--figure",
+        "fig-mshr",
+        "--cache",
+        store.to_str().unwrap(),
+    ]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("missing            0"), "{}", stdout(&o));
+    let o = experiments(&["campaign", "verify", "--cache", store.to_str().unwrap()]);
+    assert!(o.status.success(), "verify not clean: {}", stdout(&o));
+    assert!(stdout(&o).contains("store clean"), "{}", stdout(&o));
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// Graceful-cancellation + resume: `--cancel-after-ms` stops the run
+/// early with a consistent store; a second run finishes only the
+/// remainder and a third is pure hits.
+#[test]
+fn cancelled_campaign_resumes_without_recomputation() {
+    let store = tmp("campaign-cancel");
+    std::fs::remove_dir_all(&store).ok();
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "campaign",
+            "run",
+            "--quick",
+            "--insts",
+            "30000",
+            "--figure",
+            "fig-veclen",
+            "--threads",
+            "2",
+            "--cache",
+            store.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        experiments(&args)
+    };
+    let o = run(&["--cancel-after-ms", "0"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("cancelled       true"), "{}", stdout(&o));
+
+    let o = run(&[]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("cancelled      false"), "{out}");
+    assert!(out.contains("campaign complete"), "{out}");
+
+    let o = run(&[]);
+    assert!(stdout(&o).contains("computed           0"), "{}", stdout(&o));
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn perf_report_exports_cache_counters() {
+    // Run in a scratch cwd so BENCH_sim.json does not land in the
+    // repo root; perf-report is heavy, so use the tiniest budget.
+    let dir = tmp("perfdir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let o = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["perf-report", "--quick", "--insts", "1000", "--threads", "2"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn experiments");
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let doc = Json::parse(&std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap())
+        .expect("BENCH_sim.json parses");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v1"));
+    let cache = doc.get("cache").expect("cache section");
+    assert_eq!(cache.get("enabled"), Some(&Json::Bool(false)), "no --cache given");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
 fn trace_renders_an_annotated_episode_window() {
     let o = experiments(&["trace", "Kangaroo", "--quick"]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));

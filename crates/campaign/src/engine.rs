@@ -1,0 +1,699 @@
+//! The resumable sweep-campaign engine.
+//!
+//! A *campaign* is a set of [`CampaignPoint`]s (deduplicated by
+//! fingerprint) driven to completion against a [`ResultStore`]:
+//!
+//! * points whose result is already stored are **cache hits** — no
+//!   simulation runs;
+//! * missing points are computed on a shared-injector worker pool
+//!   (every worker pops from one queue, so load balances regardless of
+//!   how wildly per-point runtimes differ);
+//! * a worker that sees a [`SimError`] retries the point in place with
+//!   bounded exponential backoff before declaring it failed — the
+//!   retry never re-enters the queue, so "queue empty" always means
+//!   "no work left", with no completion race;
+//! * each computed result is published atomically, so killing the
+//!   process at any instant (SIGTERM, SIGKILL) leaves the store
+//!   consistent and a re-run computes only what is missing
+//!   (*resumability*);
+//! * an in-process [`CancelToken`] provides the graceful counterpart:
+//!   workers stop taking new points, finish the one in hand, and the
+//!   outcome reports `cancelled`.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vr_core::{CoreConfig, RunaheadConfig, SimError, SimStats, Simulator};
+use vr_mem::MemConfig;
+use vr_obs::{Json, CAMPAIGN_SCHEMA};
+use vr_workloads::Workload;
+
+use crate::fingerprint::{point_key, PointKey};
+use crate::store::ResultStore;
+
+/// One simulation point of a campaign: a workload plus the full
+/// configuration and budget that determine its statistics.
+///
+/// The workload is held behind an [`Arc`] because many points of one
+/// campaign typically share a workload (the same kernel swept across
+/// configurations) and workload images can be large.
+#[derive(Clone, Debug)]
+pub struct CampaignPoint {
+    /// Human-readable name for progress lines and failure reports
+    /// (e.g. `"fig7/bfs/vr"`). Not part of the fingerprint.
+    pub label: String,
+    /// The workload (program text + memory image + entry registers).
+    pub workload: Arc<Workload>,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Runahead configuration.
+    pub ra: RunaheadConfig,
+    /// Instruction budget.
+    pub max_insts: u64,
+}
+
+impl CampaignPoint {
+    /// The content address of this point in the result store.
+    pub fn key(&self) -> PointKey {
+        point_key(&self.workload, &self.core, &self.mem, &self.ra, self.max_insts)
+    }
+}
+
+/// How a campaign point is computed. The indirection exists so tests
+/// can inject flaky or instant executors: the real simulator is
+/// deterministic, so a genuine [`SimError`] would recur on every
+/// retry, making retry/backoff untestable against [`SimExecutor`].
+pub trait Executor: Sync {
+    /// Computes the statistics for `p`. `attempt` is 0 on the first
+    /// try and increments on each retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the simulation error; the engine retries up to
+    /// [`EngineConfig::max_retries`] times before recording a failure.
+    fn execute(&self, p: &CampaignPoint, attempt: u32) -> Result<SimStats, SimError>;
+}
+
+/// The production executor: one fresh [`Simulator`] per call.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SimExecutor;
+
+impl Executor for SimExecutor {
+    fn execute(&self, p: &CampaignPoint, _attempt: u32) -> Result<SimStats, SimError> {
+        let mut sim = Simulator::new(
+            p.core.clone(),
+            p.mem.clone(),
+            p.ra.clone(),
+            p.workload.program.clone(),
+            p.workload.memory.clone(),
+            &p.workload.init_regs,
+        );
+        sim.try_run(p.max_insts)
+    }
+}
+
+/// Cooperative cancellation handle (the in-process analogue of
+/// SIGTERM). Cloning shares the flag; any clone can cancel.
+#[derive(Clone, Default, Debug)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation: workers finish their current point and
+    /// stop. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available CPU; `1` runs
+    /// inline on the calling thread (fully deterministic ordering).
+    pub threads: usize,
+    /// Retries per point after the first attempt (so a point is tried
+    /// at most `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `min(backoff_base << n,
+    /// backoff_cap)`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 0,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl EngineConfig {
+    fn resolved_threads(&self, work: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        t.clamp(1, work.max(1))
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        // `attempt` is the attempt that just failed (0-based); shift
+        // saturates well before overflow matters.
+        let shifted =
+            self.backoff_base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        shifted.min(self.backoff_cap)
+    }
+}
+
+/// What happened to one point, reported through the progress callback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgressKind {
+    /// Result served from the store; no simulation ran.
+    CacheHit,
+    /// Simulated (possibly after retries) and stored.
+    Computed,
+    /// An attempt failed; the point will be retried.
+    Retried {
+        /// The 0-based attempt that failed.
+        attempt: u32,
+    },
+    /// All attempts exhausted; the point is recorded as failed.
+    Failed,
+}
+
+/// One progress notification. `done` counts points that reached a
+/// terminal state (hit, computed or failed) *including* this one —
+/// retries report the current `done` without advancing it.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressEvent<'a> {
+    /// Terminal points so far.
+    pub done: u64,
+    /// Unique points in the campaign.
+    pub total: u64,
+    /// The point's label.
+    pub label: &'a str,
+    /// What just happened.
+    pub kind: ProgressKind,
+}
+
+/// Progress callback type: called from worker threads, so it must be
+/// `Sync` (the CLI wraps a locked `stderr` writer).
+pub type ProgressSink<'a> = &'a (dyn Fn(&ProgressEvent<'_>) + Sync);
+
+/// Aggregate result of [`run_campaign`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct CampaignOutcome {
+    /// Points submitted (before dedup).
+    pub submitted: u64,
+    /// Points whose key duplicated an earlier point (skipped: same
+    /// key, same result by construction).
+    pub duplicates: u64,
+    /// Unique points driven.
+    pub total: u64,
+    /// Points served from the store.
+    pub cache_hits: u64,
+    /// Points simulated this run.
+    pub computed: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// `(label, error)` for points that exhausted their retries.
+    pub failed: Vec<(String, String)>,
+    /// Whether the run stopped early on a [`CancelToken`].
+    pub cancelled: bool,
+}
+
+impl CampaignOutcome {
+    /// True when every unique point reached a stored result.
+    pub fn complete(&self) -> bool {
+        !self.cancelled && self.failed.is_empty() && self.cache_hits + self.computed == self.total
+    }
+
+    /// Machine-readable rendering under [`CAMPAIGN_SCHEMA`].
+    pub fn to_json(&self) -> Json {
+        // Exhaustive destructuring: a new outcome field must decide
+        // how it exports before this compiles.
+        let CampaignOutcome {
+            submitted,
+            duplicates,
+            total,
+            cache_hits,
+            computed,
+            retries,
+            failed,
+            cancelled,
+        } = self;
+        let failed_arr = Json::Arr(
+            failed
+                .iter()
+                .map(|(label, error)| {
+                    Json::Obj(vec![
+                        ("label".into(), Json::from(label.as_str())),
+                        ("error".into(), Json::from(error.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::from(CAMPAIGN_SCHEMA)),
+            ("submitted".into(), Json::U64(*submitted)),
+            ("duplicates".into(), Json::U64(*duplicates)),
+            ("total".into(), Json::U64(*total)),
+            ("cache_hits".into(), Json::U64(*cache_hits)),
+            ("computed".into(), Json::U64(*computed)),
+            ("retries".into(), Json::U64(*retries)),
+            ("failed".into(), failed_arr),
+            ("cancelled".into(), Json::Bool(*cancelled)),
+        ])
+    }
+}
+
+/// Cheap census for `campaign status`: which unique points already
+/// have a record file (existence only — `verify` does validation).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StatusReport {
+    /// Points submitted (before dedup).
+    pub submitted: u64,
+    /// Unique points.
+    pub total: u64,
+    /// Unique points with a record present.
+    pub present: u64,
+    /// Unique points without a record.
+    pub missing: u64,
+}
+
+/// Computes the [`StatusReport`] for `points` against `store`.
+pub fn campaign_status(points: &[CampaignPoint], store: &ResultStore) -> StatusReport {
+    let mut seen = HashSet::new();
+    let mut rep = StatusReport { submitted: points.len() as u64, ..StatusReport::default() };
+    for p in points {
+        if !seen.insert(p.key()) {
+            continue;
+        }
+        rep.total += 1;
+        if store.contains(p.key()) {
+            rep.present += 1;
+        } else {
+            rep.missing += 1;
+        }
+    }
+    rep
+}
+
+/// Shared mutable state of one campaign run.
+struct Shared<'a> {
+    queue: Mutex<VecDeque<usize>>,
+    store: &'a ResultStore,
+    cfg: &'a EngineConfig,
+    cancel: &'a CancelToken,
+    progress: Option<ProgressSink<'a>>,
+    total: u64,
+    done: AtomicU64,
+    cache_hits: AtomicU64,
+    computed: AtomicU64,
+    retries: AtomicU64,
+    failed: Mutex<Vec<(usize, String)>>,
+}
+
+impl Shared<'_> {
+    fn emit(&self, done: u64, label: &str, kind: ProgressKind) {
+        if let Some(sink) = self.progress {
+            sink(&ProgressEvent { done, total: self.total, label, kind });
+        }
+    }
+}
+
+/// Drives `points` to completion (see the module docs for the full
+/// contract). Returns the aggregate outcome; never panics on store or
+/// simulation trouble — a worker panic (an executor bug) does
+/// propagate to the caller, matching `parallel_map`.
+pub fn run_campaign<E: Executor>(
+    points: &[CampaignPoint],
+    store: &ResultStore,
+    exec: &E,
+    cfg: &EngineConfig,
+    cancel: &CancelToken,
+    progress: Option<ProgressSink<'_>>,
+) -> CampaignOutcome {
+    // Dedup by key: the first occurrence names the point in progress
+    // output; later duplicates would compute the identical record.
+    let mut seen = HashSet::new();
+    let mut unique: Vec<usize> = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        if seen.insert(p.key()) {
+            unique.push(i);
+        }
+    }
+    let duplicates = (points.len() - unique.len()) as u64;
+    let total = unique.len() as u64;
+    let threads = cfg.resolved_threads(unique.len());
+
+    let shared = Shared {
+        queue: Mutex::new(unique.iter().copied().collect()),
+        store,
+        cfg,
+        cancel,
+        progress,
+        total,
+        done: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        computed: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        failed: Mutex::new(Vec::new()),
+    };
+
+    if threads == 1 {
+        worker(points, &shared, exec);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| worker(points, &shared, exec));
+            }
+            // `scope` joins all workers and propagates any panic.
+        });
+    }
+
+    let mut failed_idx =
+        shared.failed.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Deterministic failure order regardless of worker interleaving.
+    failed_idx.sort_by_key(|&(i, _)| i);
+    let failed = failed_idx.into_iter().map(|(i, e)| (points[i].label.clone(), e)).collect();
+    CampaignOutcome {
+        submitted: points.len() as u64,
+        duplicates,
+        total,
+        cache_hits: shared.cache_hits.into_inner(),
+        computed: shared.computed.into_inner(),
+        retries: shared.retries.into_inner(),
+        failed,
+        cancelled: cancel.is_cancelled(),
+    }
+}
+
+/// One worker: pop from the shared injector until it is empty or the
+/// campaign is cancelled. Retries happen in place — a point never
+/// re-enters the queue, so an empty queue always means no pending work.
+fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E) {
+    loop {
+        if shared.cancel.is_cancelled() {
+            return;
+        }
+        let idx = {
+            let mut q = shared.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.pop_front()
+        };
+        let Some(idx) = idx else { return };
+        let p = &points[idx];
+        let key = p.key();
+
+        if let Some(_stats) = shared.store.load(key) {
+            let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.emit(done, &p.label, ProgressKind::CacheHit);
+            continue;
+        }
+
+        let mut attempt = 0u32;
+        loop {
+            match exec.execute(p, attempt) {
+                Ok(stats) => {
+                    // A failed save degrades to "computed but not
+                    // cached" — the result is still counted; a re-run
+                    // will recompute the point.
+                    let _ = shared.store.save(key, &p.label, &stats);
+                    let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared.computed.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(done, &p.label, ProgressKind::Computed);
+                    break;
+                }
+                Err(_) if attempt < shared.cfg.max_retries && !shared.cancel.is_cancelled() => {
+                    shared.retries.fetch_add(1, Ordering::Relaxed);
+                    shared.emit(
+                        shared.done.load(Ordering::Relaxed),
+                        &p.label,
+                        ProgressKind::Retried { attempt },
+                    );
+                    let pause = shared.cfg.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared
+                        .failed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((idx, e.to_string()));
+                    shared.emit(done, &p.label, ProgressKind::Failed);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use vr_workloads::{hpcdb, Scale};
+
+    fn tiny_points(n: u64) -> Vec<CampaignPoint> {
+        let w = Arc::new(hpcdb::kangaroo(Scale::Test));
+        (0..n)
+            .map(|i| CampaignPoint {
+                label: format!("p{i}"),
+                workload: Arc::clone(&w),
+                core: CoreConfig::table1(),
+                mem: MemConfig::tiny_for_tests(),
+                ra: RunaheadConfig::none(),
+                // Distinct budgets -> distinct keys.
+                max_insts: 100 + i,
+            })
+            .collect()
+    }
+
+    /// Executor returning synthetic stats instantly (cycle count
+    /// derived from the budget so records are distinguishable).
+    struct FakeExec;
+    impl Executor for FakeExec {
+        fn execute(&self, p: &CampaignPoint, _attempt: u32) -> Result<SimStats, SimError> {
+            Ok(SimStats {
+                cycles: p.max_insts * 3,
+                instructions: p.max_insts,
+                ..SimStats::default()
+            })
+        }
+    }
+
+    /// Fails the first `fail_first` attempts of every point.
+    struct FlakyExec {
+        fail_first: u32,
+        calls: AtomicU32,
+    }
+    impl Executor for FlakyExec {
+        fn execute(&self, p: &CampaignPoint, attempt: u32) -> Result<SimStats, SimError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < self.fail_first {
+                Err(SimError::Memory { cycle: 1, what: format!("injected fault on {}", p.label) })
+            } else {
+                FakeExec.execute(p, attempt)
+            }
+        }
+    }
+
+    fn cfg_fast(threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads,
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, ResultStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "vr-engine-test-{tag}-{}-{}",
+            std::process::id(),
+            crate::test_nonce()
+        ));
+        let store = ResultStore::open(&dir).expect("open store");
+        (dir, store)
+    }
+
+    #[test]
+    fn campaign_runs_then_resumes_with_zero_recomputation() {
+        let (dir, store) = tmp_store("resume");
+        let points = tiny_points(6);
+        let first =
+            run_campaign(&points, &store, &FakeExec, &cfg_fast(3), &CancelToken::new(), None);
+        assert!(first.complete(), "{first:?}");
+        assert_eq!((first.computed, first.cache_hits), (6, 0));
+
+        // Resume with a fresh store handle: everything is a hit.
+        let store2 = ResultStore::open(&dir).unwrap();
+        let second =
+            run_campaign(&points, &store2, &FakeExec, &cfg_fast(3), &CancelToken::new(), None);
+        assert!(second.complete());
+        assert_eq!((second.computed, second.cache_hits), (0, 6), "resume recomputed");
+
+        // Partial resume: drop two records, only those recompute.
+        for p in &points[..2] {
+            std::fs::remove_file(store2.records_dir().join(format!("{}.json", p.key().hex())))
+                .unwrap();
+        }
+        let third =
+            run_campaign(&points, &store2, &FakeExec, &cfg_fast(1), &CancelToken::new(), None);
+        assert_eq!((third.computed, third.cache_hits), (2, 4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicates_are_skipped_not_recomputed() {
+        let (dir, store) = tmp_store("dedup");
+        let mut points = tiny_points(3);
+        points.extend(tiny_points(3)); // same 3 keys again
+        let out = run_campaign(&points, &store, &FakeExec, &cfg_fast(1), &CancelToken::new(), None);
+        assert_eq!(out.submitted, 6);
+        assert_eq!(out.duplicates, 3);
+        assert_eq!(out.total, 3);
+        assert_eq!(out.computed, 3);
+        assert!(out.complete());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_counts() {
+        let (dir, store) = tmp_store("retry");
+        let points = tiny_points(4);
+        let exec = FlakyExec { fail_first: 2, calls: AtomicU32::new(0) };
+        let out = run_campaign(&points, &store, &exec, &cfg_fast(2), &CancelToken::new(), None);
+        assert!(out.complete(), "{out:?}");
+        assert_eq!(out.computed, 4);
+        assert_eq!(out.retries, 8, "2 failed attempts per point");
+        assert_eq!(exec.calls.load(Ordering::Relaxed), 12, "3 attempts per point");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_faults_exhaust_retries_and_report_in_order() {
+        let (dir, store) = tmp_store("fail");
+        let points = tiny_points(3);
+        let exec = FlakyExec { fail_first: u32::MAX, calls: AtomicU32::new(0) };
+        let out = run_campaign(&points, &store, &exec, &cfg_fast(2), &CancelToken::new(), None);
+        assert!(!out.complete());
+        assert_eq!(out.computed, 0);
+        assert_eq!(out.failed.len(), 3);
+        let labels: Vec<&str> = out.failed.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["p0", "p1", "p2"], "failures sorted by submission order");
+        assert!(out.failed[0].1.contains("injected fault"), "{:?}", out.failed[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancellation_stops_taking_work_and_flags_the_outcome() {
+        let (dir, store) = tmp_store("cancel");
+        let points = tiny_points(8);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = run_campaign(&points, &store, &FakeExec, &cfg_fast(2), &token, None);
+        assert!(out.cancelled);
+        assert!(!out.complete());
+        assert_eq!(out.computed + out.cache_hits, 0, "pre-cancelled run took work");
+
+        // Cancel from the progress callback after 3 completions: the
+        // run stops early but everything stored so far is durable.
+        let token = CancelToken::new();
+        let sink = |ev: &ProgressEvent<'_>| {
+            if ev.done >= 3 {
+                token.cancel();
+            }
+        };
+        let out = run_campaign(&points, &store, &FakeExec, &cfg_fast(1), &token, Some(&sink));
+        assert!(out.cancelled);
+        assert!(out.computed >= 3 && out.computed < 8, "computed={}", out.computed);
+        let status = campaign_status(&points, &store);
+        assert_eq!(status.present, out.computed);
+        assert_eq!(status.missing, 8 - out.computed);
+
+        // A resumed run finishes the remainder only.
+        let out2 =
+            run_campaign(&points, &store, &FakeExec, &cfg_fast(2), &CancelToken::new(), None);
+        assert!(out2.complete());
+        assert_eq!(out2.computed, 8 - out.computed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sim_executor_matches_direct_simulation_and_status_tracks_store() {
+        let (dir, store) = tmp_store("simexec");
+        let w = Arc::new(hpcdb::kangaroo(Scale::Test));
+        let p = CampaignPoint {
+            label: "kangaroo/base".into(),
+            workload: Arc::clone(&w),
+            core: CoreConfig::table1(),
+            mem: MemConfig::tiny_for_tests(),
+            ra: RunaheadConfig::none(),
+            max_insts: 2_000,
+        };
+        let before = campaign_status(std::slice::from_ref(&p), &store);
+        assert_eq!((before.present, before.missing), (0, 1));
+
+        let out = run_campaign(
+            std::slice::from_ref(&p),
+            &store,
+            &SimExecutor,
+            &cfg_fast(1),
+            &CancelToken::new(),
+            None,
+        );
+        assert!(out.complete(), "{out:?}");
+
+        // The stored record equals a direct simulation bit-for-bit.
+        let direct = SimExecutor.execute(&p, 0).expect("sim runs");
+        assert_eq!(store.load(p.key()), Some(direct));
+
+        let after = campaign_status(std::slice::from_ref(&p), &store);
+        assert_eq!((after.present, after.missing), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outcome_json_is_schema_tagged_and_exhaustive() {
+        let out = CampaignOutcome {
+            submitted: 10,
+            duplicates: 2,
+            total: 8,
+            cache_hits: 5,
+            computed: 2,
+            retries: 4,
+            failed: vec![("p7".into(), "deadlock".into())],
+            cancelled: false,
+        };
+        let j = out.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(CAMPAIGN_SCHEMA));
+        assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("cancelled"), Some(&Json::Bool(false)));
+        let failed = j.get("failed").and_then(Json::as_arr).unwrap();
+        assert_eq!(failed[0].get("label").and_then(Json::as_str), Some("p7"));
+        // Round-trips through text.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn engine_config_backoff_is_bounded() {
+        let cfg = EngineConfig {
+            threads: 1,
+            max_retries: 40,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+        };
+        assert_eq!(cfg.backoff(0), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(1), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(80));
+        assert_eq!(cfg.backoff(63), Duration::from_millis(80), "no overflow at large attempts");
+        assert_eq!(cfg.resolved_threads(100), 1);
+        assert_eq!(EngineConfig::default().resolved_threads(0), 1, "empty campaign still valid");
+    }
+}

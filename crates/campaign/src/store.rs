@@ -1,0 +1,420 @@
+//! The on-disk content-addressed result store.
+//!
+//! Layout under the store root (`--cache DIR`):
+//!
+//! ```text
+//! DIR/
+//!   records/<key-hex16>.json   one simulation result per point key
+//!   quarantine/<name>.<nanos>  records that failed validation
+//! ```
+//!
+//! **Crash consistency.** A record is written to a unique temp file in
+//! `records/` and published with [`std::fs::rename`] — atomic on every
+//! POSIX filesystem — so a reader (including a concurrent process)
+//! sees either no record or a complete one, never a torn write. A
+//! process killed mid-campaign (SIGTERM, SIGKILL, OOM) therefore
+//! leaves the store consistent: finished points are durable, the
+//! in-flight point at most leaves a `.tmp-*` file that [`ResultStore::gc`]
+//! reclaims.
+//!
+//! **Corruption policy.** Every load fully validates the record:
+//! schema tag, embedded key vs filename, code-version salt, payload
+//! checksum, and a strict field-exhaustive stats parse. Salt mismatch
+//! means *stale* (a legitimate record from an older simulator) — it is
+//! treated as a miss and left for `gc`. Everything else means
+//! *corrupt* — the record is moved into `quarantine/` (never deleted:
+//! the bytes may matter for diagnosis) and the point is recomputed.
+//! No store problem ever panics the caller; the worst case is a cache
+//! miss.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vr_core::SimStats;
+use vr_obs::{Fnv64, Json, RESULTSTORE_SCHEMA};
+
+use crate::fingerprint::{PointKey, CODE_SALT};
+use crate::serial::{stats_from_json, stats_to_json};
+
+/// Monotonic discriminator making concurrent temp-file names unique
+/// within a process (the name also carries the pid for cross-process
+/// uniqueness).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Why a load did not produce a result (beyond a simple absence).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RecordFault {
+    /// Valid record from an older code version (salt mismatch).
+    Stale,
+    /// Unparseable / checksum-mismatched / wrong-key record.
+    Corrupt,
+}
+
+/// Point-in-time snapshot of the store's session counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StoreCounters {
+    /// Loads that returned a validated record.
+    pub hits: u64,
+    /// Loads that found no record (and will trigger a computation).
+    pub misses: u64,
+    /// Loads/verifies that found a stale-salt record.
+    pub stale: u64,
+    /// Loads/verifies that quarantined a corrupt record.
+    pub quarantined: u64,
+    /// Records written (published via atomic rename).
+    pub writes: u64,
+}
+
+/// Result of a full [`ResultStore::verify`] pass.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct VerifyReport {
+    /// Records that validated end-to-end.
+    pub ok: u64,
+    /// Valid records with an old code-version salt.
+    pub stale: u64,
+    /// Corrupt records moved to quarantine by this pass.
+    pub quarantined: u64,
+    /// Orphaned temp files from an interrupted writer.
+    pub tmp_files: u64,
+    /// Files already sitting in quarantine.
+    pub quarantine_backlog: u64,
+}
+
+impl VerifyReport {
+    /// True when the store contains nothing but valid current records.
+    pub fn clean(&self) -> bool {
+        self.stale == 0 && self.quarantined == 0 && self.tmp_files == 0
+    }
+}
+
+/// Result of a [`ResultStore::gc`] pass.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct GcReport {
+    /// Stale-salt records removed.
+    pub stale_removed: u64,
+    /// Corrupt records removed (quarantined first, then reclaimed).
+    pub corrupt_removed: u64,
+    /// Orphaned temp files removed.
+    pub tmp_removed: u64,
+    /// Quarantined files removed.
+    pub quarantine_removed: u64,
+    /// Valid current records kept.
+    pub kept: u64,
+}
+
+/// The content-addressed result store. All methods take `&self`:
+/// counters are atomic and every filesystem mutation is a
+/// single-syscall atomic publish (rename) or removal, so one store
+/// handle is shared freely across sweep workers.
+#[derive(Debug)]
+pub struct ResultStore {
+    records: PathBuf,
+    quarantine: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    quarantined: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directories cannot be
+    /// created.
+    pub fn open(root: &Path) -> io::Result<ResultStore> {
+        let records = root.join("records");
+        let quarantine = root.join("quarantine");
+        fs::create_dir_all(&records)?;
+        fs::create_dir_all(&quarantine)?;
+        Ok(ResultStore {
+            records,
+            quarantine,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory holding record files.
+    pub fn records_dir(&self) -> &Path {
+        &self.records
+    }
+
+    fn record_path(&self, key: PointKey) -> PathBuf {
+        self.records.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads and fully validates the record for `key`. `None` is a
+    /// miss — absent, stale, or quarantined-just-now (see the module
+    /// docs for the policy). Never panics on store contents.
+    pub fn load(&self, key: PointKey) -> Option<SimStats> {
+        let path = self.record_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                // Unreadable is indistinguishable from corrupt.
+                self.quarantine_record(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match validate_record(&text, Some(key)) {
+            Ok(stats) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stats)
+            }
+            Err(RecordFault::Stale) => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(RecordFault::Corrupt) => {
+                self.quarantine_record(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether a record file exists for `key` (existence only — no
+    /// validation; `campaign status` uses this as a cheap census and
+    /// leaves full validation to `verify`).
+    pub fn contains(&self, key: PointKey) -> bool {
+        self.record_path(key).exists()
+    }
+
+    /// Persists `stats` for `key` via the atomic temp-file + rename
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (callers treat a failed save
+    /// as "result not cached", never as a failed computation).
+    pub fn save(&self, key: PointKey, label: &str, stats: &SimStats) -> io::Result<()> {
+        let payload = stats_to_json(stats);
+        let checksum = payload_checksum(&payload);
+        let record = Json::Obj(vec![
+            ("schema".into(), Json::from(RESULTSTORE_SCHEMA)),
+            ("key".into(), Json::from(key.hex())),
+            ("salt".into(), Json::U64(CODE_SALT)),
+            ("label".into(), Json::from(label)),
+            ("checksum".into(), Json::from(checksum)),
+            ("stats".into(), payload),
+        ]);
+        let tmp = self.records.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, record.to_pretty())?;
+        let publish = fs::rename(&tmp, self.record_path(key));
+        if publish.is_err() {
+            // Never leave the temp file behind on a failed publish.
+            let _ = fs::remove_file(&tmp);
+        }
+        publish?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Full-store validation sweep: every record is parsed and
+    /// checked; corrupt ones are quarantined as a side effect (the
+    /// maintenance counterpart of the per-load checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error only if the store directories
+    /// cannot be listed; per-record problems are counted, not raised.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut rep = VerifyReport::default();
+        for entry in sorted_entries(&self.records)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                rep.tmp_files += 1;
+                continue;
+            }
+            let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
+            let outcome = fs::read_to_string(entry.path())
+                .map_err(|_| RecordFault::Corrupt)
+                .and_then(|text| match key {
+                    Some(k) => validate_record(&text, Some(k)).map(|_| ()),
+                    // A record file not even named by a key is corrupt
+                    // by construction.
+                    None => Err(RecordFault::Corrupt),
+                });
+            match outcome {
+                Ok(()) => rep.ok += 1,
+                Err(RecordFault::Stale) => {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                    rep.stale += 1;
+                }
+                Err(RecordFault::Corrupt) => {
+                    self.quarantine_record(&entry.path());
+                    rep.quarantined += 1;
+                }
+            }
+        }
+        rep.quarantine_backlog = sorted_entries(&self.quarantine)?.len() as u64;
+        Ok(rep)
+    }
+
+    /// Reclaims everything that is not a valid current record:
+    /// stale-salt records, corrupt records, orphaned temp files and
+    /// the quarantine backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error only if the store directories
+    /// cannot be listed.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        let mut rep = GcReport::default();
+        for entry in sorted_entries(&self.records)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                if fs::remove_file(entry.path()).is_ok() {
+                    rep.tmp_removed += 1;
+                }
+                continue;
+            }
+            let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
+            let outcome = fs::read_to_string(entry.path())
+                .map_err(|_| RecordFault::Corrupt)
+                .and_then(|text| match key {
+                    Some(k) => validate_record(&text, Some(k)).map(|_| ()),
+                    None => Err(RecordFault::Corrupt),
+                });
+            match outcome {
+                Ok(()) => rep.kept += 1,
+                Err(RecordFault::Stale) => {
+                    if fs::remove_file(entry.path()).is_ok() {
+                        rep.stale_removed += 1;
+                    }
+                }
+                Err(RecordFault::Corrupt) => {
+                    if fs::remove_file(entry.path()).is_ok() {
+                        rep.corrupt_removed += 1;
+                    }
+                }
+            }
+        }
+        for entry in sorted_entries(&self.quarantine)? {
+            if fs::remove_file(entry.path()).is_ok() {
+                rep.quarantine_removed += 1;
+            }
+        }
+        Ok(rep)
+    }
+
+    /// Number of record files currently published (cheap census; does
+    /// not validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the records directory cannot be
+    /// listed.
+    pub fn len(&self) -> io::Result<usize> {
+        Ok(sorted_entries(&self.records)?
+            .iter()
+            .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count())
+    }
+
+    /// Whether the store holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the records directory cannot be
+    /// listed.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Snapshot of the session counters (hits/misses/… since `open`).
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Moves a failed record into `quarantine/` (unique suffix so
+    /// repeated corruption never collides). Best-effort: on rename
+    /// failure the record is deleted instead, and if even that fails
+    /// the store degrades to treating the key as a permanent miss.
+    fn quarantine_record(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let name = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        let nanos = std::time::UNIX_EPOCH
+            .elapsed()
+            .map_or(0, |d| d.as_nanos() as u64)
+            .wrapping_add(TMP_SEQ.fetch_add(1, Ordering::Relaxed));
+        let dest = self.quarantine.join(format!("{name}.{nanos:016x}"));
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Checksum of the serialized stats payload: FNV-1a over the
+/// *compact* rendering (whitespace-independent, so the pretty record
+/// layout may change without invalidating checksums).
+fn payload_checksum(payload: &Json) -> String {
+    let mut h = Fnv64::new();
+    h.write_bytes(payload.to_string().as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// Full record validation. `expect_key` is the key implied by the
+/// filename; `None` skips the filename cross-check (not used today,
+/// but keeps the signature honest about what is being checked).
+fn validate_record(text: &str, expect_key: Option<PointKey>) -> Result<SimStats, RecordFault> {
+    let doc = Json::parse(text).map_err(|_| RecordFault::Corrupt)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(RESULTSTORE_SCHEMA) {
+        return Err(RecordFault::Corrupt);
+    }
+    let embedded = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .and_then(PointKey::from_hex)
+        .ok_or(RecordFault::Corrupt)?;
+    if let Some(k) = expect_key {
+        if embedded != k {
+            return Err(RecordFault::Corrupt);
+        }
+    }
+    let payload = doc.get("stats").ok_or(RecordFault::Corrupt)?;
+    let checksum = doc.get("checksum").and_then(Json::as_str).ok_or(RecordFault::Corrupt)?;
+    if checksum != payload_checksum(payload) {
+        return Err(RecordFault::Corrupt);
+    }
+    let stats = stats_from_json(payload).map_err(|_| RecordFault::Corrupt)?;
+    // Salt last: a record must be *well-formed* to be merely stale —
+    // a garbled record with a garbled salt is corrupt, not stale.
+    match doc.get("salt").and_then(Json::as_u64) {
+        Some(CODE_SALT) => Ok(stats),
+        Some(_) => Err(RecordFault::Stale),
+        None => Err(RecordFault::Corrupt),
+    }
+}
+
+/// Directory entries in sorted name order (deterministic maintenance
+/// reports regardless of filesystem enumeration order).
+fn sorted_entries(dir: &Path) -> io::Result<Vec<fs::DirEntry>> {
+    let mut v: Vec<fs::DirEntry> = fs::read_dir(dir)?.filter_map(Result::ok).collect();
+    v.sort_by_key(fs::DirEntry::file_name);
+    Ok(v)
+}

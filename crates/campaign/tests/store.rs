@@ -1,0 +1,261 @@
+//! Integration tests for the result store's durability contract:
+//! crash consistency, corruption quarantine, staleness, and the
+//! `verify` / `gc` maintenance passes — everything the `--cache` flag
+//! and the CI kill-and-resume job lean on.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vr_campaign::{
+    point_key, run_campaign, CampaignPoint, CancelToken, EngineConfig, PointKey, ResultStore,
+    SimExecutor, CODE_SALT,
+};
+use vr_core::{CoreConfig, RunaheadConfig, SimStats};
+use vr_mem::MemConfig;
+use vr_workloads::{hpcdb, Scale};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "vr-store-it-{tag}-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn some_key(n: u64) -> PointKey {
+    let w = hpcdb::kangaroo(Scale::Test);
+    point_key(&w, &CoreConfig::table1(), &MemConfig::tiny_for_tests(), &RunaheadConfig::none(), n)
+}
+
+fn some_stats(n: u64) -> SimStats {
+    SimStats { cycles: 17 * n + 1, instructions: n, branches: 3, ..SimStats::default() }
+}
+
+fn record_path(store: &ResultStore, key: PointKey) -> PathBuf {
+    store.records_dir().join(format!("{}.json", key.hex()))
+}
+
+#[test]
+fn save_load_round_trips_and_counts() {
+    let dir = scratch("roundtrip");
+    let store = ResultStore::open(&dir).unwrap();
+    assert!(store.is_empty().unwrap());
+
+    let (k, s) = (some_key(1), some_stats(1));
+    assert_eq!(store.load(k), None, "empty store misses");
+    store.save(k, "p1", &s).unwrap();
+    assert_eq!(store.load(k), Some(s), "stored record reads back bit-identically");
+    assert!(store.contains(k));
+    assert_eq!(store.len().unwrap(), 1);
+
+    let c = store.counters();
+    assert_eq!((c.hits, c.misses, c.writes), (1, 1, 1));
+    assert_eq!((c.stale, c.quarantined), (0, 0));
+
+    // Overwrite with different stats: last save wins (same key should
+    // never produce different stats in production, but the store must
+    // not corrupt itself if it happens).
+    let s2 = some_stats(2);
+    store.save(k, "p1", &s2).unwrap();
+    assert_eq!(store.load(k), Some(s2));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_record_is_quarantined_and_recomputed_not_a_crash() {
+    let dir = scratch("corrupt");
+    let store = ResultStore::open(&dir).unwrap();
+    let (k, s) = (some_key(2), some_stats(2));
+    store.save(k, "p", &s).unwrap();
+
+    // Flip bytes in the middle of the record (checksum now fails).
+    let path = record_path(&store, k);
+    let mut bytes = fs::read(path.clone()).unwrap();
+    let mid = bytes.len() / 2;
+    for b in &mut bytes[mid..mid + 8] {
+        *b = b'#';
+    }
+    fs::write(&path, &bytes).unwrap();
+
+    // The load is a miss, never a panic; the record moves aside.
+    assert_eq!(store.load(k), None);
+    assert!(!path.exists(), "corrupt record removed from records/");
+    assert_eq!(store.counters().quarantined, 1);
+    let quarantined: Vec<_> = fs::read_dir(dir.join("quarantine")).unwrap().collect();
+    assert_eq!(quarantined.len(), 1, "bytes preserved for diagnosis");
+
+    // Recompute + restore works; the point becomes a hit again.
+    store.save(k, "p", &s).unwrap();
+    assert_eq!(store.load(k), Some(s));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_corruption_shape_quarantines() {
+    let dir = scratch("shapes");
+    let store = ResultStore::open(&dir).unwrap();
+    let (k, s) = (some_key(3), some_stats(3));
+    let cases: &[fn(&str) -> String] = &[
+        |_| String::new(),                                   // empty file
+        |_| "not json at all {{{".into(),                    // unparseable
+        |t| t.replace("vr-resultstore-v1", "vr-other-v9"),   // wrong schema
+        |t| t.replace("\"branches\": 3", "\"branches\": 4"), // checksum mismatch
+        |t| t.replace("\"cycles\"", "\"cyclez\""),           // field missing -> strict parse fails
+    ];
+    for (i, mutate) in cases.iter().enumerate() {
+        store.save(k, "p", &s).unwrap();
+        let path = record_path(&store, k);
+        let text = fs::read_to_string(&path).unwrap();
+        let mutated = mutate(&text);
+        assert_ne!(mutated, text, "case {i} must actually change the record");
+        fs::write(&path, mutated).unwrap();
+        assert_eq!(store.load(k), None, "case {i} must miss");
+        assert!(!path.exists(), "case {i} must quarantine");
+    }
+    assert_eq!(store.counters().quarantined, cases.len() as u64);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_key_record_is_corrupt_even_if_well_formed() {
+    let dir = scratch("wrongkey");
+    let store = ResultStore::open(&dir).unwrap();
+    let (ka, kb, s) = (some_key(4), some_key(5), some_stats(4));
+    store.save(ka, "p", &s).unwrap();
+    // Copy a's record into b's filename: embedded key mismatches.
+    fs::copy(record_path(&store, ka), record_path(&store, kb)).unwrap();
+    assert_eq!(store.load(kb), None);
+    assert_eq!(store.counters().quarantined, 1);
+    assert_eq!(store.load(ka), Some(s), "the genuine record is untouched");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_salt_is_a_miss_left_in_place_until_gc() {
+    let dir = scratch("stale");
+    let store = ResultStore::open(&dir).unwrap();
+    let (k, s) = (some_key(6), some_stats(6));
+    store.save(k, "p", &s).unwrap();
+
+    // Rewrite the record as if an older code version had produced it.
+    let path = record_path(&store, k);
+    let text = fs::read_to_string(&path).unwrap();
+    let old = text.replace(
+        &format!("\"salt\": {CODE_SALT}"),
+        &format!("\"salt\": {}", CODE_SALT + 1_000_000),
+    );
+    assert_ne!(old, text, "salt line must exist in the record");
+    fs::write(&path, old).unwrap();
+
+    assert_eq!(store.load(k), None, "stale is a miss");
+    assert!(path.exists(), "stale records are NOT quarantined");
+    let c = store.counters();
+    assert_eq!((c.stale, c.quarantined), (1, 0));
+
+    let rep = store.verify().unwrap();
+    assert_eq!((rep.ok, rep.stale, rep.quarantined), (0, 1, 0));
+    assert!(!rep.clean());
+
+    let gc = store.gc().unwrap();
+    assert_eq!(gc.stale_removed, 1);
+    assert!(!path.exists(), "gc reclaims stale records");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_writer_leaves_only_a_tmp_file_that_gc_reclaims() {
+    let dir = scratch("tornwrite");
+    let store = ResultStore::open(&dir).unwrap();
+    let (k, s) = (some_key(7), some_stats(7));
+    store.save(k, "ok", &s).unwrap();
+
+    // Simulate a writer killed between `write` and `rename`: a tmp
+    // file exists, no record was published.
+    let orphan = store.records_dir().join(".tmp-99999-0");
+    fs::write(&orphan, "{\"half\": true").unwrap();
+
+    // Readers never see the torn write.
+    assert_eq!(store.len().unwrap(), 1, "tmp files are not records");
+    assert_eq!(store.load(k), Some(s));
+
+    let rep = store.verify().unwrap();
+    assert_eq!((rep.ok, rep.tmp_files), (1, 1));
+    assert!(!rep.clean());
+
+    let gc = store.gc().unwrap();
+    assert_eq!((gc.tmp_removed, gc.kept), (1, 1));
+    assert!(!orphan.exists());
+    assert!(store.verify().unwrap().clean(), "store is pristine after gc");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_reclaims_quarantine_backlog_and_keeps_valid_records() {
+    let dir = scratch("gcall");
+    let store = ResultStore::open(&dir).unwrap();
+    for n in 0..4 {
+        store.save(some_key(10 + n), &format!("p{n}"), &some_stats(n)).unwrap();
+    }
+    // Corrupt one (quarantined on load), orphan one tmp file.
+    let victim = some_key(10);
+    fs::write(record_path(&store, victim), "garbage").unwrap();
+    assert_eq!(store.load(victim), None);
+    fs::write(store.records_dir().join(".tmp-1-1"), "x").unwrap();
+
+    let rep = store.verify().unwrap();
+    assert_eq!(rep.ok, 3);
+    assert_eq!(rep.quarantine_backlog, 1);
+    assert_eq!(rep.tmp_files, 1);
+
+    let gc = store.gc().unwrap();
+    assert_eq!(gc.kept, 3);
+    assert_eq!(gc.quarantine_removed, 1);
+    assert_eq!(gc.tmp_removed, 1);
+    assert_eq!(store.len().unwrap(), 3);
+    assert!(store.verify().unwrap().clean());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_record_is_recomputed_by_the_engine() {
+    // End-to-end acceptance shape: corrupt a record under a real
+    // campaign, re-run, and watch it recompute to the identical bytes.
+    let dir = scratch("engine-recompute");
+    let store = ResultStore::open(&dir).unwrap();
+    let p = CampaignPoint {
+        label: "kangaroo".into(),
+        workload: std::sync::Arc::new(hpcdb::kangaroo(Scale::Test)),
+        core: CoreConfig::table1(),
+        mem: MemConfig::tiny_for_tests(),
+        ra: RunaheadConfig::none(),
+        max_insts: 1_500,
+    };
+    let cfg = EngineConfig { threads: 1, ..EngineConfig::default() };
+    let out = run_campaign(
+        std::slice::from_ref(&p),
+        &store,
+        &SimExecutor,
+        &cfg,
+        &CancelToken::new(),
+        None,
+    );
+    assert!(out.complete());
+    let path = record_path(&store, p.key());
+    let pristine = fs::read(&path).unwrap();
+
+    fs::write(&path, b"}{ totally broken").unwrap();
+    let out2 = run_campaign(
+        std::slice::from_ref(&p),
+        &store,
+        &SimExecutor,
+        &cfg,
+        &CancelToken::new(),
+        None,
+    );
+    assert!(out2.complete());
+    assert_eq!(out2.computed, 1, "corrupt record recomputed, not trusted");
+    assert_eq!(fs::read(&path).unwrap(), pristine, "recomputation is byte-identical");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,6 +1,7 @@
 //! Core and runahead configuration (the paper's Table 1).
 
 use vr_isa::Reg;
+use vr_obs::Fnv64;
 
 /// Functional-unit pool: how many operations of each class may begin
 /// execution per cycle (fully pipelined except the dividers).
@@ -114,6 +115,62 @@ impl CoreConfig {
     /// paper's ROB-sensitivity sweep keeps other resources fixed).
     pub fn with_rob(rob: usize) -> CoreConfig {
         CoreConfig { rob, ..CoreConfig::table1() }
+    }
+
+    /// Result-store fingerprint hook (DESIGN.md §11): folds every
+    /// configuration field into `h` in declaration order.
+    ///
+    /// Written with *exhaustive destructuring* — no `..` rest pattern —
+    /// so adding a field to `CoreConfig` (or its sub-structs) without
+    /// deciding how it fingerprints is a compile error, never a stale
+    /// cache hit: two configs that could simulate differently must
+    /// never share a fingerprint.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        let CoreConfig {
+            width,
+            rob,
+            iq,
+            lq,
+            sq,
+            frontend_depth,
+            int_regs,
+            fp_regs,
+            fu,
+            lat,
+            store_buffer,
+            watchdog,
+        } = self;
+        h.write_str("CoreConfig");
+        h.write_u64(*width as u64);
+        h.write_u64(*rob as u64);
+        h.write_u64(*iq as u64);
+        h.write_u64(*lq as u64);
+        h.write_u64(*sq as u64);
+        h.write_u64(*frontend_depth);
+        h.write_u64(*int_regs as u64);
+        h.write_u64(*fp_regs as u64);
+        let FuPool {
+            int_alu,
+            int_mul,
+            int_div,
+            fp_add,
+            fp_mul,
+            fp_div,
+            load_ports,
+            store_ports,
+            vec_alu,
+        } = fu;
+        for v in
+            [int_alu, int_mul, int_div, fp_add, fp_mul, fp_div, load_ports, store_ports, vec_alu]
+        {
+            h.write_u64(*v as u64);
+        }
+        let Latencies { int_alu, int_mul, int_div, fp_add, fp_mul, fp_div } = lat;
+        for v in [int_alu, int_mul, int_div, fp_add, fp_mul, fp_div] {
+            h.write_u64(*v);
+        }
+        h.write_u64(*store_buffer as u64);
+        h.write_u64(*watchdog);
     }
 
     /// Table 1 scaled: ROB plus back-end queues and physical register
@@ -282,6 +339,75 @@ impl RunaheadConfig {
     pub fn vector() -> RunaheadConfig {
         RunaheadConfig::of(RunaheadKind::Vector)
     }
+
+    /// Result-store fingerprint hook (DESIGN.md §11); exhaustively
+    /// destructured like [`CoreConfig::fingerprint`] so a new knob
+    /// cannot silently alias cache entries.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        let RunaheadConfig {
+            kind,
+            vr_lanes,
+            chain_budget,
+            scan_budget,
+            eager_trigger,
+            eager_cooldown,
+            loop_bound_discovery,
+            termination_slack,
+            reconvergence,
+            vir_pipelining,
+            fault_plan,
+        } = self;
+        h.write_str("RunaheadConfig");
+        h.write_u64(match kind {
+            RunaheadKind::None => 0,
+            RunaheadKind::Classic => 1,
+            RunaheadKind::Precise => 2,
+            RunaheadKind::Vector => 3,
+        });
+        h.write_u64(*vr_lanes as u64);
+        h.write_u64(*chain_budget as u64);
+        h.write_u64(*scan_budget as u64);
+        h.write_bool(*eager_trigger);
+        h.write_u64(*eager_cooldown);
+        h.write_bool(*loop_bound_discovery);
+        match termination_slack {
+            None => h.write_bool(false),
+            Some(s) => {
+                h.write_bool(true);
+                h.write_u64(*s);
+            }
+        }
+        h.write_bool(*reconvergence);
+        h.write_bool(*vir_pipelining);
+        match fault_plan {
+            None => h.write_bool(false),
+            Some(p) => {
+                h.write_bool(true);
+                p.fingerprint(h);
+            }
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Result-store fingerprint hook: a fault plan perturbs the
+    /// microarchitectural stats, so two runs with different plans must
+    /// never share a cache entry (rates hash by exact IEEE-754 bits).
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        let FaultPlan {
+            seed,
+            abort_episode,
+            poison_lanes,
+            drop_prefetch,
+            delay_prefetch,
+            force_early_exit,
+        } = self;
+        h.write_str("FaultPlan");
+        h.write_u64(*seed);
+        for v in [abort_episode, poison_lanes, drop_prefetch, delay_prefetch, force_early_exit] {
+            h.write_f64(*v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +446,37 @@ mod tests {
         assert_eq!(c.sq, 144);
         let small = CoreConfig::with_rob_scaled(128);
         assert!(small.iq < 128 && small.iq >= 8);
+    }
+
+    #[test]
+    fn fingerprints_separate_configs_and_are_stable_in_process() {
+        let fp = |c: &CoreConfig, r: &RunaheadConfig| {
+            let mut h = Fnv64::new();
+            c.fingerprint(&mut h);
+            r.fingerprint(&mut h);
+            h.finish()
+        };
+        let base = fp(&CoreConfig::table1(), &RunaheadConfig::none());
+        assert_eq!(base, fp(&CoreConfig::table1(), &RunaheadConfig::none()), "deterministic");
+        assert_ne!(base, fp(&CoreConfig::with_rob(128), &RunaheadConfig::none()));
+        assert_ne!(base, fp(&CoreConfig::table1(), &RunaheadConfig::vector()));
+        // Every runahead knob must separate fingerprints.
+        let variants = [
+            RunaheadConfig { vr_lanes: 16, ..RunaheadConfig::vector() },
+            RunaheadConfig { eager_trigger: true, ..RunaheadConfig::vector() },
+            RunaheadConfig { loop_bound_discovery: true, ..RunaheadConfig::vector() },
+            RunaheadConfig { termination_slack: Some(64), ..RunaheadConfig::vector() },
+            RunaheadConfig { termination_slack: Some(65), ..RunaheadConfig::vector() },
+            RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() },
+            RunaheadConfig { vir_pipelining: false, ..RunaheadConfig::vector() },
+            RunaheadConfig { fault_plan: Some(FaultPlan::chaos(1)), ..RunaheadConfig::vector() },
+            RunaheadConfig { fault_plan: Some(FaultPlan::chaos(2)), ..RunaheadConfig::vector() },
+            RunaheadConfig::vector(),
+        ];
+        let mut seen: Vec<u64> = variants.iter().map(|r| fp(&CoreConfig::table1(), r)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), variants.len(), "all variants fingerprint distinctly");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Memory-system configuration.
 
+use vr_obs::Fnv64;
+
 use crate::cache::CacheConfig;
 use crate::imp::ImpConfig;
 
@@ -61,6 +63,55 @@ impl MemConfig {
         MemConfig { oracle: true, ..MemConfig::table1() }
     }
 
+    /// Result-store fingerprint hook (DESIGN.md §11): folds every
+    /// memory-system knob into `h` in declaration order.
+    ///
+    /// Written with *exhaustive destructuring* — no `..` rest pattern —
+    /// so adding a field to `MemConfig` (or `CacheConfig`/`ImpConfig`)
+    /// without deciding how it fingerprints is a compile error, never
+    /// a stale cache hit.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        fn cache(h: &mut Fnv64, c: &CacheConfig) {
+            let CacheConfig { size_bytes, assoc, line_bytes, latency } = c;
+            h.write_u64(*size_bytes);
+            h.write_u64(*assoc as u64);
+            h.write_u64(*line_bytes);
+            h.write_u64(*latency);
+        }
+        let MemConfig {
+            l1d,
+            l2,
+            l3,
+            mshrs,
+            dram_min_latency,
+            dram_cycles_per_line,
+            stride_prefetcher,
+            stride_params,
+            imp,
+            imp_config,
+            oracle,
+        } = self;
+        h.write_str("MemConfig");
+        cache(h, l1d);
+        cache(h, l2);
+        cache(h, l3);
+        h.write_u64(*mshrs as u64);
+        h.write_u64(*dram_min_latency);
+        h.write_u64(*dram_cycles_per_line);
+        h.write_bool(*stride_prefetcher);
+        let (streams, degree, distance) = stride_params;
+        h.write_u64(*streams as u64);
+        h.write_u64(*degree);
+        h.write_u64(*distance);
+        h.write_bool(*imp);
+        let ImpConfig { lookahead, degree, confidence_threshold, max_patterns } = imp_config;
+        h.write_u64(*lookahead);
+        h.write_u64(*degree);
+        h.write_u64(u64::from(*confidence_threshold));
+        h.write_u64(*max_patterns as u64);
+        h.write_bool(*oracle);
+    }
+
     /// A deliberately small hierarchy for fast unit tests: 512 B L1,
     /// 2 KB L2, 8 KB L3, 4 MSHRs.
     pub fn tiny_for_tests() -> MemConfig {
@@ -98,6 +149,29 @@ mod tests {
         assert_eq!(c.dram_cycles_per_line, 5);
         assert!(c.stride_prefetcher);
         assert!(!c.oracle);
+    }
+
+    #[test]
+    fn fingerprints_separate_memory_variants() {
+        let fp = |c: &MemConfig| {
+            let mut h = Fnv64::new();
+            c.fingerprint(&mut h);
+            h.finish()
+        };
+        let configs = [
+            MemConfig::table1(),
+            MemConfig::table1_with_imp(),
+            MemConfig::table1_oracle(),
+            MemConfig::tiny_for_tests(),
+            MemConfig { mshrs: 8, ..MemConfig::table1() },
+            MemConfig { stride_prefetcher: false, ..MemConfig::table1() },
+            MemConfig { dram_min_latency: 100, ..MemConfig::table1() },
+        ];
+        let mut digests: Vec<u64> = configs.iter().map(fp).collect();
+        assert_eq!(digests[0], fp(&MemConfig::table1()), "deterministic");
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), configs.len(), "all variants fingerprint distinctly");
     }
 
     #[test]

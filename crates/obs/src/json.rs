@@ -462,4 +462,66 @@ mod tests {
         assert_eq!(s, "\"a\\u0001b\"");
         assert_eq!(Json::parse(&s).unwrap(), Json::from("a\u{01}b"));
     }
+
+    /// The result store (`crates/campaign`) persists these documents
+    /// to disk and reads them back across processes, so pathological
+    /// strings must survive a serialize → parse round trip exactly —
+    /// in both the compact and the pretty rendering, and as object
+    /// *keys* as well as values.
+    #[test]
+    fn pathological_strings_round_trip_exactly() {
+        let cases = [
+            "quote \" backslash \\ slash /",
+            "\\\"nested \\\\ escapes\\\"",
+            "newline\ntab\tcarriage\rreturn",
+            "\u{0}\u{1}\u{8}\u{c}\u{1f}", // every escape class of control char
+            "naïve café — emoji 🦘 and CJK 漢字", // non-ASCII, multi-byte UTF-8
+            "\u{e000}\u{fffd}",           // private use + replacement char
+            "ends with backslash \\",
+            "",                                  // empty string
+            "{\"looks\": [\"like\", \"json\"]}", // JSON-shaped payload inside a string
+        ];
+        for case in cases {
+            let doc = Json::Obj(vec![
+                (case.to_string(), Json::from(case)),
+                ("arr".into(), Json::Arr(vec![Json::from(case)])),
+            ]);
+            for text in [doc.to_string(), doc.to_pretty()] {
+                let round = Json::parse(&text)
+                    .unwrap_or_else(|e| panic!("self-emitted JSON must parse ({case:?}): {e}"));
+                assert_eq!(round, doc, "round trip must be exact for {case:?}");
+            }
+        }
+    }
+
+    /// Non-finite floats have no JSON representation: the serializer
+    /// documents them as `null`. A store record must therefore never
+    /// round-trip NaN/±inf — pin that the emitted byte really is
+    /// `null` (which parses back as [`Json::Null`], *not* a number) in
+    /// every container position, so writers know they must keep
+    /// non-finite values out of persisted documents.
+    #[test]
+    fn non_finite_floats_degrade_to_null_in_containers() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![
+                ("x".into(), Json::F64(v)),
+                ("arr".into(), Json::Arr(vec![Json::F64(v), Json::U64(1)])),
+            ]);
+            for text in [doc.to_string(), doc.to_pretty()] {
+                let round = Json::parse(&text).expect("emitted document parses");
+                assert_eq!(round.get("x"), Some(&Json::Null), "in {text}");
+                assert_eq!(
+                    round.get("arr").and_then(Json::as_arr).map(|a| a[0].clone()),
+                    Some(Json::Null)
+                );
+            }
+        }
+        // Finite extremes, by contrast, survive exactly.
+        for v in [f64::MIN, f64::MAX, f64::MIN_POSITIVE, f64::EPSILON, -0.0] {
+            let text = Json::F64(v).to_string();
+            let round = Json::parse(&text).expect("parses");
+            let got = round.as_f64().expect("still a number");
+            assert_eq!(got.to_bits(), v.to_bits(), "bit-exact round trip for {v:e}");
+        }
+    }
 }

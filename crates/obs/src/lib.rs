@@ -21,11 +21,13 @@
 //! these structures when telemetry is explicitly enabled, so a
 //! disabled build path carries nothing but an `Option` check.
 
+mod fnv;
 mod hist;
 mod json;
 mod registry;
 mod ring;
 
+pub use fnv::Fnv64;
 pub use hist::Histogram;
 pub use json::Json;
 pub use registry::Registry;
@@ -35,3 +37,13 @@ pub use ring::RingLog;
 /// produced from a [`Registry`] (see DESIGN.md §10 for the policy:
 /// additive changes keep the version; renames/removals bump it).
 pub const TELEMETRY_SCHEMA: &str = "vr-telemetry-v1";
+
+/// Schema-version tag of every record in the on-disk result store
+/// (`crates/campaign`, DESIGN.md §11). Bump on breaking record-layout
+/// changes; readers must treat records with an unknown schema as
+/// corrupt, never guess.
+pub const RESULTSTORE_SCHEMA: &str = "vr-resultstore-v1";
+
+/// Schema-version tag of the campaign-engine telemetry sub-document
+/// (`experiments campaign run --json`, DESIGN.md §11).
+pub const CAMPAIGN_SCHEMA: &str = "vr-campaign-v1";
