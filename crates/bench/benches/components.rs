@@ -7,8 +7,9 @@
 //! the workspace carries no registry dependencies.
 
 use vr_bench::micro::{black_box, Runner};
+use vr_core::wakeup::{WakeupLists, NO_LINK};
 use vr_frontend::{DirectionPredictor, Tage};
-use vr_isa::{Asm, Cpu, Memory, Reg};
+use vr_isa::{Asm, Cpu, Memory, Reg, StoreOverlay};
 use vr_mem::{Access, MemConfig, MemorySystem, Requestor};
 
 fn bench_memory() {
@@ -73,9 +74,96 @@ fn bench_memory_system() {
     });
 }
 
+/// The granule [`StoreOverlay`] (DESIGN.md §12): the speculative
+/// store-forwarding table every runahead engine consults on every
+/// load and updates on every store.
+fn bench_store_overlay() {
+    let r = Runner::new("store_overlay");
+    let mut mem = Memory::new();
+    mem.write_u64_slice(0x1000, &vec![3u64; 1 << 12]);
+
+    // Steady-state writes: a working set of 256 granules, revisited —
+    // the open-addressed table stays at its warm size.
+    let mut ov = StoreOverlay::new();
+    let mut i = 0u64;
+    r.bench("store_u64_warm", || {
+        i = (i + 8) & 0x7ff;
+        ov.store(0x1000 + i, 8, i);
+    });
+    let mut j = 0u64;
+    r.bench("load_u64_hit", || {
+        j = (j + 8) & 0x7ff;
+        black_box(ov.load(&mem, 0x1000 + j, 8))
+    });
+    let mut k = 0u64;
+    r.bench("load_u64_miss", || {
+        // Addresses never stored: falls through to backing memory.
+        k = (k + 8) & 0x7ff;
+        black_box(ov.load(&mem, 0x4000 + k, 8))
+    });
+    // Episode-boundary pattern: fill a modest overlay, then the O(1)
+    // generation-bump clear (the per-episode reset path).
+    let mut ov2 = StoreOverlay::new();
+    let mut n = 0u64;
+    r.bench("store16_then_clear", || {
+        for s in 0..16u64 {
+            ov2.store(0x2000 + ((n + s * 8) & 0xfff), 8, s);
+        }
+        n += 8;
+        ov2.clear();
+    });
+}
+
+/// The intrusive [`WakeupLists`] (DESIGN.md §12): two stores per
+/// dependence-edge insert, one load per waiter on drain — the
+/// scheduler's per-dispatch and per-completion hot paths.
+fn bench_wakeup_lists() {
+    let r = Runner::new("wakeup_lists");
+    const SLOTS: usize = 512;
+    let mut w = WakeupLists::new(SLOTS);
+
+    // Dispatch-side: register a (consumer, operand) edge, then drain
+    // that producer so the structure stays empty across iterations
+    // (the insert is the measured part; the drain is O(1) here).
+    let mut c = 0usize;
+    r.bench("insert_drain1", || {
+        c = (c + 1) & (SLOTS - 1);
+        let p = (c * 7 + 1) & (SLOTS - 1);
+        w.insert(p, c, c & 1);
+        let l = w.drain_head(p);
+        black_box(l);
+    });
+
+    // Completion-side: drain a producer with an 8-deep waiter chain
+    // (a high-fanout register like a loop induction variable).
+    let mut p2 = 0usize;
+    r.bench("insert8_drain8", || {
+        p2 = (p2 + 1) & (SLOTS - 1);
+        for c in 0..8usize {
+            w.insert(p2, (p2 + c + 1) & (SLOTS - 1), c & 1);
+        }
+        let mut l = w.drain_head(p2);
+        let mut woke = 0u32;
+        while l != NO_LINK {
+            woke += 1;
+            l = w.take_next(l);
+        }
+        black_box(woke);
+    });
+
+    // Flush-side: the O(slots) head reset that runs on every pipeline
+    // flush (runahead exit), amortized over whole episodes.
+    r.bench("clear", || {
+        w.insert(3, 4, 0);
+        w.clear();
+    });
+}
+
 fn main() {
     bench_memory();
     bench_emulator();
     bench_tage();
     bench_memory_system();
+    bench_store_overlay();
+    bench_wakeup_lists();
 }

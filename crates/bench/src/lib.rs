@@ -10,6 +10,7 @@
 //! cargo run --release -p vr-bench --bin experiments -- all --insts 300000
 //! ```
 
+pub mod alloc;
 pub mod cache;
 pub mod micro;
 pub mod points;

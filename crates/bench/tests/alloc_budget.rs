@@ -1,0 +1,134 @@
+//! The allocation-budget gate (DESIGN.md §12): proves the simulator's
+//! steady-state loop performs **zero heap allocations**.
+//!
+//! Registers [`vr_bench::alloc::CountingAlloc`] as the process-wide
+//! global allocator (hence `harness = false` and the `alloc-count`
+//! feature gate), runs a mid-size Vector Runahead workload past its
+//! warmup transient — during which the engine pools, lane pools,
+//! store-overlay tables, and event/ready buffers reach their
+//! steady-state capacities — then asserts that a region of interest
+//! covering hundreds of thousands of committed instructions and many
+//! runahead episodes acquires no memory at all: no `alloc`, no
+//! `realloc`.
+//!
+//! Design notes on the workload:
+//!
+//! * `vr_isa::Memory` is sparse and first-touch: *writes* allocate
+//!   4 KiB pages on demand, *reads* of unmapped pages return zero
+//!   without allocating. Setup therefore pre-writes every table the
+//!   kernel will ever touch, and the kernel itself performs no stores
+//!   to fresh pages inside the ROI.
+//! * The kernel is the evaluation's canonical pattern — a striding
+//!   load feeding an indirect load (`T[A[i]]`) over a DRAM-resident
+//!   footprint — so the ROI exercises the full machinery: full-ROB
+//!   stalls, vectorized episode entry, gathers, episode exit flushes,
+//!   and the wakeup/flush paths of the slab scheduler.
+
+use vr_bench::alloc::CountingAlloc;
+use vr_core::{CoreConfig, RunaheadConfig, Simulator};
+use vr_isa::{Asm, Memory, Program, Reg};
+use vr_mem::MemConfig;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Committed-instruction horizon for the warmup transient. Long enough
+/// to include many runahead episodes, so every pool (engine, lanes,
+/// overlay, heap, ready lists) has grown to its steady-state size.
+const WARMUP_INSTS: u64 = 400_000;
+/// End of the measured region of interest.
+const ROI_END_INSTS: u64 = 900_000;
+
+/// `sum += T[A[i]]` over a `len`-entry index array and `len`-entry
+/// target table — both pre-written so the sparse memory never
+/// first-touches a page mid-run. `len` must be large enough that the
+/// combined footprint exceeds the LLC, or the workload turns
+/// cache-resident after one pass and the ROI stops stalling.
+fn indirect_kernel(len: u64) -> (Program, Memory) {
+    let a_base = 0x100_0000u64;
+    let t_base = 0x4000_0000u64;
+    let mut mem = Memory::new();
+    let mut x = 0x9e37_79b9u64;
+    for i in 0..len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mem.write_u64(a_base + i * 8, x % len);
+        mem.write_u64(t_base + i * 8, x);
+    }
+    let mut a = Asm::new();
+    a.li(Reg::T0, 0); // i
+    a.li(Reg::T1, len as i64);
+    a.li(Reg::S2, 0); // sum
+    let top = a.here();
+    a.slli(Reg::T2, Reg::T0, 3);
+    a.add(Reg::T2, Reg::T2, Reg::A0);
+    a.ld(Reg::T3, Reg::T2, 0); // A[i]
+    a.slli(Reg::T4, Reg::T3, 3);
+    a.add(Reg::T4, Reg::T4, Reg::A1);
+    a.ld(Reg::T5, Reg::T4, 0); // T[A[i]]
+    a.add(Reg::S2, Reg::S2, Reg::T5);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    // Wrap around forever so any instruction budget is reachable.
+    a.li(Reg::T0, 0);
+    a.j(top);
+    (a.assemble(), mem)
+}
+
+fn main() {
+    // 2^20 entries × 8 B × 2 tables = 16 MiB — several times the
+    // Table 1 LLC, so the indirect loads keep missing to DRAM across
+    // the whole run and runahead episodes never dry up.
+    let (prog, mem) = indirect_kernel(1 << 20);
+    let mut sim = Simulator::new(
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        RunaheadConfig::vector(),
+        prog,
+        mem,
+        &[(Reg::A0, 0x100_0000), (Reg::A1, 0x4000_0000)],
+    );
+
+    // Warmup: grow every pool and buffer to steady-state capacity.
+    let warm = sim.try_run(WARMUP_INSTS).expect("warmup run");
+    assert!(
+        warm.runahead_entries > 10,
+        "warmup must include runahead episodes (got {}) or the gate proves nothing",
+        warm.runahead_entries
+    );
+
+    // Region of interest: not one byte may be acquired from the heap.
+    let ops_before = ALLOC.heap_ops();
+    let bytes_before = ALLOC.bytes_allocated();
+    let stats = sim.try_run(ROI_END_INSTS).expect("ROI run");
+    let ops = ALLOC.heap_ops() - ops_before;
+    let bytes = ALLOC.bytes_allocated() - bytes_before;
+
+    // The ROI itself must have been substantial and episodic — an
+    // idle ROI would make a zero-alloc result vacuous.
+    assert!(stats.instructions >= ROI_END_INSTS, "ROI committed {}", stats.instructions);
+    assert!(
+        stats.runahead_entries > warm.runahead_entries + 10,
+        "ROI must include fresh runahead episodes ({} -> {})",
+        warm.runahead_entries,
+        stats.runahead_entries
+    );
+    assert_eq!(
+        ops,
+        0,
+        "steady-state loop performed {ops} heap acquisitions ({bytes} bytes) across \
+         {} committed instructions — the allocation budget is zero",
+        ROI_END_INSTS - WARMUP_INSTS
+    );
+
+    println!(
+        "alloc budget OK: 0 heap ops across {} insts, {} episodes in ROI \
+         (process totals: {} allocs, {} reallocs, {} frees)",
+        ROI_END_INSTS - WARMUP_INSTS,
+        stats.runahead_entries - warm.runahead_entries,
+        ALLOC.allocations(),
+        ALLOC.reallocations(),
+        ALLOC.frees(),
+    );
+}

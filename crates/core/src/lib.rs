@@ -45,6 +45,7 @@ mod stats;
 mod telemetry;
 mod trace;
 mod vector;
+pub mod wakeup;
 
 pub use config::{CoreConfig, FaultPlan, FuPool, Latencies, RunaheadConfig, RunaheadKind};
 pub use error::{DeadlockDump, EpisodeStatus, OldestSlot, SimError};
@@ -54,3 +55,4 @@ pub use stats::{harmonic_mean, SimStats};
 pub use telemetry::{EpisodeExit, EpisodeKind, EpisodeRecord, Telemetry};
 pub use trace::{PipelineTrace, TraceRecord};
 pub use vector::{hardware_overhead_bits, hardware_overhead_bytes, VectorRunahead, VrStatus};
+pub use wakeup::WakeupLists;

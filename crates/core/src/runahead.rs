@@ -55,6 +55,22 @@ impl ScalarRunahead {
         }
     }
 
+    /// Re-arms a pooled engine for a fresh episode without giving up
+    /// any of the capacity its [`StoreOverlay`] has grown (DESIGN.md
+    /// §12): behaviourally identical to `*self = ScalarRunahead::new(
+    /// cpu, blocked_dst, width)` but allocation-free.
+    pub fn reset(&mut self, cpu: Cpu, blocked_dst: Option<RegRef>, width: usize) {
+        self.cursor = cpu;
+        self.overlay.clear();
+        self.inv = [false; RegRef::FLAT_COUNT];
+        if let Some(d) = blocked_dst {
+            self.inv[d.flat_index()] = true;
+        }
+        self.insts = 0;
+        self.dead = false;
+        self.width = width;
+    }
+
     /// Instructions pre-executed so far.
     pub fn insts(&self) -> u64 {
         self.insts

@@ -1,10 +1,10 @@
 //! The out-of-order core timing model and runahead orchestration.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use vr_frontend::{Btb, DirectionPredictor, Ras, TageScL};
-use vr_isa::{Cpu, Memory, OpClass, Program, Reg, RegRef, SplitMix64, Step};
+use vr_isa::{Cpu, Inst, Memory, OpClass, Program, Reg, RegRef, SplitMix64, Step};
 use vr_mem::{Access, HitLevel, MemConfig, MemorySystem};
 
 use crate::config::{CoreConfig, RunaheadConfig, RunaheadKind};
@@ -14,6 +14,7 @@ use crate::stats::SimStats;
 use crate::telemetry::{EpisodeExit, EpisodeKind, Telemetry};
 use crate::trace::{PipelineTrace, TraceRecord};
 use crate::vector::{VectorRunahead, VrStatus};
+use crate::wakeup::{WakeupLists, NO_LINK};
 
 /// Cycles a decoupled (eager-trigger extension) vector-runahead
 /// episode runs before yielding.
@@ -25,8 +26,20 @@ fn fetch_q_cap(cfg: &CoreConfig) -> usize {
     cfg.width * cfg.frontend_depth as usize + cfg.width
 }
 
-/// One in-flight dynamic instruction.
-#[derive(Clone, Debug)]
+/// Slot-slab size (DESIGN.md §12): the in-flight window never exceeds
+/// `rob + fetch_q_cap` (fetch gates on the fetch-queue cap and a flush
+/// only shrinks the ROB side of the window), plus `2 × width` slack so
+/// a seq that commits in the same cycle its completion event pops
+/// (commit is phase 2, the pop phase 5, fetch phase 7) is never
+/// aliased by a same-cycle fetch. Power of two for mask indexing.
+fn slab_slots(cfg: &CoreConfig) -> usize {
+    (cfg.rob + fetch_q_cap(cfg) + 2 * cfg.width).next_power_of_two()
+}
+
+/// One in-flight dynamic instruction, resident in the slot slab.
+/// `Copy` so commit can lift the head out of the slab without any heap
+/// traffic.
+#[derive(Clone, Copy, Debug)]
 struct Slot {
     seq: u64,
     step: Step,
@@ -45,6 +58,32 @@ struct Slot {
 }
 
 impl Slot {
+    /// Placeholder for never-yet-fetched slab slots.
+    fn empty() -> Slot {
+        Slot {
+            seq: u64::MAX,
+            step: Step {
+                pc: 0,
+                inst: Inst::NOP,
+                mem: None,
+                taken: None,
+                write: None,
+                next_pc: 0,
+                halted: false,
+            },
+            fetch_at: 0,
+            dispatched: false,
+            dispatch_at: 0,
+            issued: false,
+            issue_at: 0,
+            done_at: None,
+            mispredicted: false,
+            src_seqs: [None, None],
+            hit: None,
+            pending: 0,
+        }
+    }
+
     fn is_load(&self) -> bool {
         self.step.inst.is_load()
     }
@@ -104,22 +143,40 @@ pub struct Simulator {
     fetch_done: bool,
     committed: Cpu,
 
-    fetch_q: VecDeque<Slot>,
-    rob: VecDeque<Slot>,
+    /// The in-flight instruction window, stored as a slab addressed by
+    /// `seq & slab_mask` (DESIGN.md §12): the ROB is the seq range
+    /// `[rob_head_seq, rob_end_seq)` and the fetch queue (fetched, not
+    /// yet dispatched) is `[rob_end_seq, next_seq)`. Commit, dispatch
+    /// and flush are pure index arithmetic — no slot ever moves and
+    /// nothing allocates after construction.
+    slab: Box<[Slot]>,
+    slab_mask: u64,
+    /// Oldest in-flight (un-committed) seq.
+    rob_head_seq: u64,
+    /// One past the youngest dispatched seq (== `rob_head_seq` when
+    /// the ROB is empty).
+    rob_end_seq: u64,
+    /// Next seq to fetch (== `rob_end_seq` when the fetch queue is
+    /// empty).
     next_seq: u64,
     /// Youngest in-flight writer of each architectural register
     /// (indexed by [`RegRef::flat_index`]; flat array — the rename
     /// table is on the per-instruction hot path).
     last_writer: [Option<u64>; RegRef::FLAT_COUNT],
     /// Completion events `(done_at, producer seq)` — the event-driven
-    /// wakeup queue. Stale entries (squashed and re-issued seqs) are
-    /// filtered on pop by revalidating against the ROB slot.
+    /// wakeup queue. The flush path purges events for squashed seqs
+    /// (see [`Self::purge_stale_wake_events`]), so every event in the
+    /// heap is valid when it pops.
     wake_events: BinaryHeap<Reverse<(u64, u64)>>,
-    /// producer seq → consumer seqs registered at dispatch time.
-    waiters: HashMap<u64, Vec<u64>>,
+    /// Intrusive per-producer waiter chains over the slab, replacing
+    /// the PR 2 `HashMap<u64, Vec<u64>>` (see [`crate::wakeup`]).
+    wakeup: WakeupLists,
     /// Dispatched, unissued slots with no outstanding producers,
     /// sorted by seq (program order — the issue priority).
     ready: Vec<u64>,
+    /// Spare buffer the issue stage ping-pongs with `ready` so the
+    /// kept-for-next-cycle list never re-allocates.
+    ready_scratch: Vec<u64>,
     free_int: isize,
     free_fp: isize,
     iq_used: usize,
@@ -131,6 +188,10 @@ pub struct Simulator {
     fdiv_busy_until: u64,
 
     runahead: Option<RunaheadEpisode>,
+    /// Parked engines from finished episodes, re-armed in place by the
+    /// next trigger so steady-state episodes allocate nothing.
+    scalar_pool: Option<Box<ScalarRunahead>>,
+    vector_pool: Option<Box<VectorRunahead>>,
     /// Seeded fault schedule when a [`crate::FaultPlan`] is configured.
     fault_rng: Option<SplitMix64>,
     eager_last: u64,
@@ -177,6 +238,7 @@ impl Simulator {
             }
             SplitMix64::new(plan.seed)
         });
+        let n_slots = slab_slots(&cfg);
         Simulator {
             ms,
             bp: TageScL::default_8kb(),
@@ -185,23 +247,30 @@ impl Simulator {
             fetch_cpu: cpu,
             fetch_done: false,
             committed: cpu,
-            fetch_q: VecDeque::new(),
-            rob: VecDeque::new(),
+            slab: vec![Slot::empty(); n_slots].into_boxed_slice(),
+            slab_mask: n_slots as u64 - 1,
+            rob_head_seq: 0,
+            rob_end_seq: 0,
             next_seq: 0,
             last_writer: [None; RegRef::FLAT_COUNT],
-            wake_events: BinaryHeap::new(),
-            waiters: HashMap::new(),
-            ready: Vec::new(),
+            // One live completion event per issued in-flight slot, so
+            // the heap never outgrows the slab (checked invariant).
+            wake_events: BinaryHeap::with_capacity(n_slots),
+            wakeup: WakeupLists::new(n_slots),
+            ready: Vec::with_capacity(n_slots),
+            ready_scratch: Vec::with_capacity(n_slots),
             free_int,
             free_fp,
             iq_used: 0,
             lq_used: 0,
             sq_used: 0,
-            store_buffer: VecDeque::new(),
+            store_buffer: VecDeque::with_capacity(cfg.store_buffer),
             pending_branch: None,
             div_busy_until: 0,
             fdiv_busy_until: 0,
             runahead: None,
+            scalar_pool: None,
+            vector_pool: None,
             fault_rng,
             eager_last: 0,
             backend_stalled: false,
@@ -217,6 +286,33 @@ impl Simulator {
             prog,
             mem,
         }
+    }
+
+    // ---- slab window accessors -------------------------------------
+
+    #[inline]
+    fn slot(&self, seq: u64) -> &Slot {
+        &self.slab[(seq & self.slab_mask) as usize]
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, seq: u64) -> &mut Slot {
+        &mut self.slab[(seq & self.slab_mask) as usize]
+    }
+
+    #[inline]
+    fn rob_len(&self) -> usize {
+        (self.rob_end_seq - self.rob_head_seq) as usize
+    }
+
+    #[inline]
+    fn fetch_q_len(&self) -> usize {
+        (self.next_seq - self.rob_end_seq) as usize
+    }
+
+    #[inline]
+    fn rob_front(&self) -> Option<&Slot> {
+        (self.rob_head_seq != self.rob_end_seq).then(|| self.slot(self.rob_head_seq))
     }
 
     /// Runs until `halt` commits or `max_insts` instructions commit;
@@ -341,7 +437,7 @@ impl Simulator {
     /// Snapshot of every occupancy counter the scheduler depends on —
     /// the payload of [`SimError::Deadlock`].
     fn deadlock_dump(&mut self) -> DeadlockDump {
-        let oldest = self.rob.front().map(|s| OldestSlot {
+        let oldest = self.rob_front().map(|s| OldestSlot {
             seq: s.seq,
             pc: s.step.pc,
             inst: format!("{:?}", s.step.inst),
@@ -364,7 +460,7 @@ impl Simulator {
             watchdog: self.cfg.watchdog,
             committed_insts: self.committed_insts,
             pc: self.fetch_cpu.pc(),
-            rob_len: self.rob.len(),
+            rob_len: self.rob_len(),
             rob_cap: self.cfg.rob,
             iq_used: self.iq_used,
             iq_cap: self.cfg.iq,
@@ -372,7 +468,7 @@ impl Simulator {
             lq_cap: self.cfg.lq,
             sq_used: self.sq_used,
             sq_cap: self.cfg.sq,
-            fetch_q_len: self.fetch_q.len(),
+            fetch_q_len: self.fetch_q_len(),
             store_buffer_len: self.store_buffer.len(),
             free_int: self.free_int.max(0) as usize,
             free_fp: self.free_fp.max(0) as usize,
@@ -429,6 +525,16 @@ impl Simulator {
         &self.committed
     }
 
+    /// Number of pending completion events in the event-driven wakeup
+    /// queue. Diagnostic: thanks to the flush-time purge of squashed
+    /// producers' events ([`Self::purge_stale_wake_events`]) this is
+    /// bounded by the slot-slab size on any workload, however
+    /// flush-heavy — a property the `checked` feature asserts every
+    /// cycle and a regression test pins.
+    pub fn wake_events_len(&self) -> usize {
+        self.wake_events.len()
+    }
+
     fn try_tick(&mut self) -> Result<(), SimError> {
         let c = self.cycle;
 
@@ -467,7 +573,7 @@ impl Simulator {
         // 8. Stats.
         if committed == 0 && !self.halted {
             self.stats.commit_stall_cycles += 1;
-            if self.rob.len() >= self.cfg.rob || self.backend_stalled {
+            if self.rob_len() >= self.cfg.rob || self.backend_stalled {
                 self.stats.full_rob_stall_cycles += 1;
             }
         }
@@ -517,7 +623,7 @@ impl Simulator {
 
         // Commit and trigger must be frozen.
         let mut head_blocked_dram = false;
-        if let Some(head) = self.rob.front() {
+        if let Some(head) = self.rob_front() {
             if head.done_by(c) {
                 return; // commit acts this cycle
             }
@@ -531,17 +637,15 @@ impl Simulator {
 
         // Fetch must be frozen.
         if let Some(bseq) = self.pending_branch {
-            let resolved = match self.rob.front() {
-                None => true,
-                Some(head) if bseq < head.seq => true,
-                Some(head) => {
-                    self.rob.get((bseq - head.seq) as usize).is_some_and(|s| s.done_by(c))
-                }
+            let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq {
+                true
+            } else {
+                bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
             };
             if resolved {
                 return; // fetch clears the redirect this cycle
             }
-        } else if !self.fetch_done && self.fetch_q.len() < fetch_q_cap(&self.cfg) {
+        } else if !self.fetch_done && self.fetch_q_len() < fetch_q_cap(&self.cfg) {
             return; // fetch has work
         }
 
@@ -550,13 +654,14 @@ impl Simulator {
         // skipped dispatch phases would have recomputed each cycle.
         let mut dispatch_gate = None;
         let mut stalled = false;
-        if let Some(front) = self.fetch_q.front() {
+        if self.rob_end_seq != self.next_seq {
+            let front = self.slot(self.rob_end_seq);
             let eligible_at = front.fetch_at + self.cfg.frontend_depth;
             if eligible_at > c {
                 dispatch_gate = Some(eligible_at);
             } else {
                 let inst = front.step.inst;
-                let blocked = self.rob.len() >= self.cfg.rob
+                let blocked = self.rob_len() >= self.cfg.rob
                     || self.iq_used >= self.cfg.iq
                     || (inst.is_load() && self.lq_used >= self.cfg.lq)
                     || (inst.is_store() && self.sq_used >= self.cfg.sq)
@@ -591,7 +696,7 @@ impl Simulator {
         let delta = target - c;
         self.cycle = target;
         self.stats.commit_stall_cycles += delta;
-        if self.rob.len() >= self.cfg.rob || stalled {
+        if self.rob_len() >= self.cfg.rob || stalled {
             self.stats.full_rob_stall_cycles += delta;
         }
         self.backend_stalled = stalled;
@@ -607,22 +712,35 @@ impl Simulator {
             let cycle = self.cycle;
             let err = |what: String| SimError::Invariant { cycle, what };
 
-            inv::check_rob_order(self.rob.iter().map(|s| s.seq)).map_err(&err)?;
+            inv::check_rob_order((self.rob_head_seq..self.rob_end_seq).map(|q| self.slot(q).seq))
+                .map_err(&err)?;
+            // Slab addressing: every in-flight window position must
+            // hold the slot fetched for exactly that seq.
+            for q in self.rob_head_seq..self.next_seq {
+                let held = self.slot(q).seq;
+                if held != q {
+                    return Err(err(format!("slab slot for seq {q} holds seq {held}")));
+                }
+            }
             // The fetch unit stops at `fetch_q_cap`, but an
             // invalidation-style runahead exit re-queues up to a whole
             // ROB of squashed slots for re-fetch, so the hard bound is
             // the sum of both.
             inv::check_occupancy(
                 "fetch_q",
-                self.fetch_q.len(),
+                self.fetch_q_len(),
                 fetch_q_cap(&self.cfg) + self.cfg.rob,
             )
             .map_err(&err)?;
-            inv::check_occupancy("rob", self.rob.len(), self.cfg.rob).map_err(&err)?;
+            inv::check_occupancy("rob", self.rob_len(), self.cfg.rob).map_err(&err)?;
             inv::check_occupancy("iq", self.iq_used, self.cfg.iq).map_err(&err)?;
             inv::check_occupancy("lq", self.lq_used, self.cfg.lq).map_err(&err)?;
             inv::check_occupancy("sq", self.sq_used, self.cfg.sq).map_err(&err)?;
             inv::check_occupancy("store_buffer", self.store_buffer.len(), self.cfg.store_buffer)
+                .map_err(&err)?;
+            // The flush-time purge keeps the completion-event heap
+            // bounded by the slab even on flush-heavy workloads.
+            inv::check_occupancy("wake_events", self.wake_events.len(), self.slab.len())
                 .map_err(&err)?;
 
             if self.free_int < 0 || self.free_fp < 0 {
@@ -642,20 +760,17 @@ impl Simulator {
 
             // Counter-drift recounts against the ROB contents (every
             // ROB entry is dispatched by construction).
-            inv::check_recount("iq", self.iq_used, self.rob.iter().filter(|s| !s.issued).count())
+            let rob = || (self.rob_head_seq..self.rob_end_seq).map(|q| self.slot(q));
+            inv::check_recount("iq", self.iq_used, rob().filter(|s| !s.issued).count())
                 .map_err(&err)?;
-            inv::check_recount("lq", self.lq_used, self.rob.iter().filter(|s| s.is_load()).count())
+            inv::check_recount("lq", self.lq_used, rob().filter(|s| s.is_load()).count())
                 .map_err(&err)?;
-            inv::check_recount(
-                "sq",
-                self.sq_used,
-                self.rob.iter().filter(|s| s.is_store()).count(),
-            )
-            .map_err(&err)?;
+            inv::check_recount("sq", self.sq_used, rob().filter(|s| s.is_store()).count())
+                .map_err(&err)?;
 
             // Dependence sanity: a producer recorded at dispatch is
             // always older than its consumer.
-            for (i, s) in self.rob.iter().enumerate() {
+            for (i, s) in rob().enumerate() {
                 for src in s.src_seqs.iter().flatten() {
                     if *src >= s.seq {
                         return Err(err(format!(
@@ -673,19 +788,17 @@ impl Simulator {
             if !self.ready.windows(2).all(|w| w[0] < w[1]) {
                 return Err(err(format!("ready list out of order: {:?}", self.ready)));
             }
-            if let Some(head) = self.rob.front() {
-                let h = head.seq;
+            if self.rob_head_seq != self.rob_end_seq {
                 for &seq in &self.ready {
-                    let ok = seq >= h
-                        && self
-                            .rob
-                            .get((seq - h) as usize)
-                            .is_some_and(|s| s.dispatched && !s.issued);
+                    let ok = seq >= self.rob_head_seq && seq < self.rob_end_seq && {
+                        let s = self.slot(seq);
+                        s.dispatched && !s.issued
+                    };
                     if !ok {
                         return Err(err(format!("ready seq {seq} is not a live unissued slot")));
                     }
                 }
-                for s in &self.rob {
+                for s in rob() {
                     if s.dispatched && !s.issued {
                         let in_ready = self.ready.binary_search(&s.seq).is_ok();
                         if in_ready != (s.pending == 0) {
@@ -742,6 +855,7 @@ impl Simulator {
             if flush {
                 self.flush_after_head(c);
             }
+            self.release_engine(ep.engine);
         }
     }
 
@@ -770,6 +884,45 @@ impl Simulator {
         }
     }
 
+    /// Parks a finished episode's engine for reuse by the next trigger
+    /// — the steady-state trigger path allocates nothing (DESIGN.md
+    /// §12).
+    fn release_engine(&mut self, engine: Engine) {
+        match engine {
+            Engine::Scalar(eng) => self.scalar_pool = Some(eng),
+            Engine::Vector(eng) => self.vector_pool = Some(eng),
+        }
+    }
+
+    /// Takes the pooled scalar engine (or builds the first one),
+    /// re-armed for a fresh episode.
+    fn checkout_scalar(&mut self, cpu: Cpu, blocked_dst: Option<RegRef>) -> Box<ScalarRunahead> {
+        match self.scalar_pool.take() {
+            Some(mut eng) => {
+                eng.reset(cpu, blocked_dst, self.cfg.width);
+                eng
+            }
+            None => Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)),
+        }
+    }
+
+    /// Takes the pooled vector engine (or builds the first one),
+    /// re-armed for a fresh episode.
+    fn checkout_vector(&mut self, cpu: Cpu) -> Box<VectorRunahead> {
+        match self.vector_pool.take() {
+            Some(mut eng) => {
+                eng.reset(cpu, &self.ra_cfg, self.cfg.width, self.cfg.fu.vec_alu);
+                eng
+            }
+            None => Box::new(VectorRunahead::new(
+                cpu,
+                &self.ra_cfg,
+                self.cfg.width,
+                self.cfg.fu.vec_alu,
+            )),
+        }
+    }
+
     /// Aborts the in-flight runahead episode mid-flight: all
     /// speculative engine state is discarded and the baseline
     /// out-of-order pipeline resumes next cycle. Because runahead
@@ -791,6 +944,7 @@ impl Simulator {
         if flush {
             self.flush_after_head(c);
         }
+        self.release_engine(ep.engine);
     }
 
     /// Applies the configured [`crate::FaultPlan`] for this cycle.
@@ -838,8 +992,8 @@ impl Simulator {
         // Canonical trigger: back-end full (ROB or an equivalent
         // resource), head is an LLC-missing load whose data has not
         // returned.
-        let Some(head) = self.rob.front() else { return };
-        let full = self.rob.len() >= self.cfg.rob || self.backend_stalled;
+        let Some(head) = self.rob_front() else { return };
+        let full = self.rob_len() >= self.cfg.rob || self.backend_stalled;
         let blocked =
             head.is_load() && head.issued && !head.done_by(c) && head.hit == Some(HitLevel::Dram);
         if !(full && blocked) {
@@ -847,25 +1001,16 @@ impl Simulator {
         }
         let end_at = head.done_at.expect("issued load has a completion time");
         let trigger_pc = head.step.pc;
+        let blocked_dst = head.step.inst.dst();
         let mut cpu = self.committed;
         cpu.set_pc(trigger_pc);
-        let blocked_dst = head.step.inst.dst();
         let engine = match self.ra_cfg.kind {
-            RunaheadKind::Classic => {
-                Engine::Scalar(Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)))
-            }
+            RunaheadKind::Classic => Engine::Scalar(self.checkout_scalar(cpu, blocked_dst)),
             // PRE's slice filtering focuses the same front-end
             // bandwidth on load slices; modelled at core width with no
             // exit flush (DESIGN.md §4).
-            RunaheadKind::Precise => {
-                Engine::Scalar(Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)))
-            }
-            RunaheadKind::Vector => Engine::Vector(Box::new(VectorRunahead::new(
-                cpu,
-                &self.ra_cfg,
-                self.cfg.width,
-                self.cfg.fu.vec_alu,
-            ))),
+            RunaheadKind::Precise => Engine::Scalar(self.checkout_scalar(cpu, blocked_dst)),
+            RunaheadKind::Vector => Engine::Vector(self.checkout_vector(cpu)),
             RunaheadKind::None => unreachable!(),
         };
         if let Some(t) = &mut self.telemetry {
@@ -896,7 +1041,7 @@ impl Simulator {
         let last_addr = entry.last_addr;
         let mut cpu = self.committed;
         cpu.set_pc(load_pc);
-        let mut eng = VectorRunahead::new(cpu, &self.ra_cfg, self.cfg.width, self.cfg.fu.vec_alu);
+        let mut eng = self.checkout_vector(cpu);
         eng.seed_base(load_pc, last_addr);
         // Clamp the episode against the watchdog budget so a decoupled
         // episode can never outlive the deadlock detector, and saturate
@@ -907,7 +1052,7 @@ impl Simulator {
             t.on_enter(load_pc, EpisodeKind::Vector, true, c);
         }
         self.runahead = Some(RunaheadEpisode {
-            engine: Engine::Vector(Box::new(eng)),
+            engine: Engine::Vector(eng),
             end_at: c.saturating_add(interval),
             decoupled: true,
         });
@@ -917,32 +1062,55 @@ impl Simulator {
 
     /// Invalidation-style runahead exit: everything younger than the
     /// ROB head is squashed and re-fetched (its *timing* is reset; the
-    /// functional record is reused — see DESIGN.md §4).
+    /// functional record is reused — see DESIGN.md §4). On the slab
+    /// this is pure index arithmetic: the squashed seqs stay in place
+    /// and simply become the front of the fetch queue again.
     fn flush_after_head(&mut self, c: u64) {
-        if self.rob.len() <= 1 {
-            self.recompute_resources();
-            return;
-        }
-        let tail: Vec<Slot> = self.rob.drain(1..).collect();
-        let width = self.cfg.width as u64;
-        for (i, mut s) in tail.into_iter().enumerate().rev() {
-            s.fetch_at = c + i as u64 / width;
-            s.dispatched = false;
-            s.issued = false;
-            s.done_at = None;
-            s.hit = None;
-            s.src_seqs = [None, None];
-            s.pending = 0;
-            self.fetch_q.push_front(s);
+        if self.rob_len() > 1 {
+            let width = self.cfg.width as u64;
+            let resume = self.rob_head_seq + 1;
+            for q in resume..self.rob_end_seq {
+                let i = q - resume;
+                let s = self.slot_mut(q);
+                s.fetch_at = c + i / width;
+                s.dispatched = false;
+                s.issued = false;
+                s.done_at = None;
+                s.hit = None;
+                s.src_seqs = [None, None];
+                s.pending = 0;
+            }
+            self.rob_end_seq = resume;
+            self.purge_stale_wake_events();
         }
         self.recompute_resources();
     }
 
+    /// Drops completion events whose producer was just squashed, so a
+    /// stale event can never alias a recycled slab slot and the heap
+    /// stays bounded by the slab on flush-heavy workloads.
+    ///
+    /// Run at flush time (pipeline phases 0–1), every surviving heap
+    /// event names a seq `>= rob_head_seq`: an event for a committed
+    /// producer pops in the *same* cycle the producer commits (commit
+    /// is phase 2, the pop phase 5), so none can still be queued by
+    /// the next cycle's flush. Retaining `seq < rob_end_seq` therefore
+    /// keeps exactly the head's own completion event — the blocked
+    /// load whose return ends the episode — and drops exactly the
+    /// events the old pop-time revalidation would have filtered.
+    fn purge_stale_wake_events(&mut self) {
+        // Allocation-free: round-trip the heap through its own buffer.
+        let mut events = std::mem::take(&mut self.wake_events).into_vec();
+        let live_end = self.rob_end_seq;
+        events.retain(|&Reverse((_, seq))| seq < live_end);
+        self.wake_events = BinaryHeap::from(events);
+    }
+
     fn recompute_resources(&mut self) {
         self.last_writer = [None; RegRef::FLAT_COUNT];
-        // Wakeup state is rebuilt wholesale: consumers re-register at
-        // re-dispatch, and stale heap events are filtered on pop.
-        self.waiters.clear();
+        // Wakeup chains are reset wholesale: consumers re-register at
+        // re-dispatch (see crate::wakeup's staleness invariant).
+        self.wakeup.clear();
         self.ready.clear();
         self.iq_used = 0;
         self.lq_used = 0;
@@ -952,21 +1120,27 @@ impl Simulator {
         // Both call paths leave at most the ROB head behind, so a
         // surviving unissued slot has no in-flight producers and goes
         // straight to the ready list.
-        debug_assert!(self.rob.len() <= 1, "flush leaves at most the head");
-        for s in &mut self.rob {
-            if !s.issued {
-                self.iq_used += 1;
+        debug_assert!(self.rob_len() <= 1, "flush leaves at most the head");
+        for q in self.rob_head_seq..self.rob_end_seq {
+            let s = self.slot_mut(q);
+            let unissued = !s.issued;
+            if unissued {
                 s.pending = 0;
-                self.ready.push(s.seq);
             }
-            if s.is_load() {
+            let (is_load, is_store, dst, seq) =
+                (s.is_load(), s.is_store(), s.step.inst.dst(), s.seq);
+            if unissued {
+                self.iq_used += 1;
+                self.ready.push(seq);
+            }
+            if is_load {
                 self.lq_used += 1;
             }
-            if s.is_store() {
+            if is_store {
                 self.sq_used += 1;
             }
-            if let Some(d) = s.step.inst.dst() {
-                self.last_writer[d.flat_index()] = Some(s.seq);
+            if let Some(d) = dst {
+                self.last_writer[d.flat_index()] = Some(seq);
                 match d {
                     RegRef::Int(_) => int_alloc += 1,
                     RegRef::Fp(_) => fp_alloc += 1,
@@ -987,14 +1161,15 @@ impl Simulator {
         }
         let mut n = 0;
         while n < self.cfg.width {
-            let Some(head) = self.rob.front() else { break };
+            let Some(head) = self.rob_front() else { break };
             if !head.dispatched || !head.done_by(c) {
                 break;
             }
             if head.is_store() && self.store_buffer.len() >= self.cfg.store_buffer {
                 break;
             }
-            let slot = self.rob.pop_front().expect("head exists");
+            let slot = *head;
+            self.rob_head_seq += 1;
             // Architectural state.
             if let Some(w) = slot.step.write {
                 self.committed.apply(w);
@@ -1085,51 +1260,47 @@ impl Simulator {
     }
 
     /// Drains completion events up to cycle `c` and wakes the waiters
-    /// of each completing producer. An event is *stale* when its seq
-    /// was squashed and re-issued with a different completion time (or
-    /// not re-issued at all); staleness is detected by revalidating
-    /// against the live ROB slot, exploiting seq-contiguity. Events
-    /// for already-committed producers are trivially valid: a slot
-    /// only commits once done, and its waiters were woken then.
+    /// of each completing producer by walking its intrusive chain over
+    /// the slab.
+    ///
+    /// Every popped event is valid by construction: events pop in the
+    /// exact cycle they are scheduled for (issue runs every tick and
+    /// the fast-forward horizon is bounded by the earliest event), and
+    /// the only way an event could go stale — its producer being
+    /// squashed by a flush — purges it from the heap at flush time
+    /// ([`Self::purge_stale_wake_events`]). An event for a producer
+    /// that committed *this* cycle (commit is phase 2, this is phase
+    /// 5) still finds the producer's slab slot intact, because fetch
+    /// (phase 7) has not yet recycled it.
     ///
     /// Equivalence with the old per-cycle O(ROB × srcs) scan: a
     /// consumer used to become issuable at the first cycle `c` with
     /// `producer.done_at <= c` — exactly the cycle this event pops.
     fn process_wake_events(&mut self, c: u64) {
-        let head_seq = self.rob.front().map(|s| s.seq);
         let mut woke = false;
         while let Some(&Reverse((t, seq))) = self.wake_events.peek() {
             if t > c {
                 break;
             }
             self.wake_events.pop();
-            let valid = match head_seq {
-                None => true,               // producer committed (ROB drained)
-                Some(h) if seq < h => true, // producer committed
-                Some(h) => match self.rob.get((seq - h) as usize) {
-                    // Squashed and re-fetched, not re-issued (or
-                    // re-issued with a different completion time):
-                    // stale — the re-issue pushed its own event.
-                    Some(s) => s.issued && s.done_at == Some(t),
-                    None => false, // squashed, still in the fetch queue
-                },
-            };
-            if !valid {
-                continue;
-            }
-            let Some(consumers) = self.waiters.remove(&seq) else { continue };
-            for wseq in consumers {
-                let Some(h) = head_seq else { continue };
-                if wseq < h {
-                    continue;
-                }
-                let Some(s) = self.rob.get_mut((wseq - h) as usize) else { continue };
+            let pidx = (seq & self.slab_mask) as usize;
+            debug_assert_eq!(self.slab[pidx].seq, seq, "wake event names a recycled slab slot");
+            debug_assert!(
+                seq < self.rob_head_seq
+                    || (self.slab[pidx].issued && self.slab[pidx].done_at == Some(t)),
+                "stale wake event survived the flush purge"
+            );
+            let mut link = self.wakeup.drain_head(pidx);
+            while link != NO_LINK {
+                let next = self.wakeup.take_next(link);
+                let s = &mut self.slab[(link >> 1) as usize];
                 debug_assert!(s.pending > 0, "woken consumer must be pending");
                 s.pending -= 1;
                 if s.pending == 0 && !s.issued {
-                    self.ready.push(wseq);
+                    self.ready.push(s.seq);
                     woke = true;
                 }
+                link = next;
             }
         }
         if woke {
@@ -1146,27 +1317,30 @@ impl Simulator {
             return;
         }
         let mut budget = self.new_budget();
-        let head_seq = self.rob.front().expect("ready implies non-empty ROB").seq;
+        debug_assert!(self.rob_head_seq != self.rob_end_seq, "ready implies non-empty ROB");
+        let head_seq = self.rob_head_seq;
         let mut load_retry_blocked = false;
 
         // Walk the ready list in program order, issuing what the FU
-        // budget allows and keeping the rest for next cycle.
-        let ready = std::mem::take(&mut self.ready);
-        let mut kept: Vec<u64> = Vec::with_capacity(ready.len());
+        // budget allows and keeping the rest for next cycle. The two
+        // ready buffers ping-pong between cycles so neither ever
+        // re-allocates in steady state (DESIGN.md §12).
+        let mut ready = std::mem::take(&mut self.ready);
+        let mut kept = std::mem::take(&mut self.ready_scratch);
+        kept.clear();
         for (pos, &seq) in ready.iter().enumerate() {
             if budget.total == 0 {
                 kept.extend_from_slice(&ready[pos..]);
                 break;
             }
             debug_assert!(seq >= head_seq, "ready entries are in flight");
-            let i = (seq - head_seq) as usize;
-            let class = self.rob[i].step.inst.class();
+            let class = self.slot(seq).step.inst.class();
 
             // Functional-unit availability.
             let lat = match class {
                 OpClass::None => {
                     // nop/halt: complete immediately, no FU.
-                    let s = &mut self.rob[i];
+                    let s = self.slot_mut(seq);
                     s.issued = true;
                     s.issue_at = c;
                     s.done_at = Some(c + 1);
@@ -1241,7 +1415,7 @@ impl Simulator {
             };
 
             if class == OpClass::Load {
-                match self.issue_load(i, c) {
+                match self.issue_load(seq, c) {
                     Ok(()) => {}
                     Err(()) => {
                         // MSHR full: retry next cycle; keep program
@@ -1252,7 +1426,7 @@ impl Simulator {
                     }
                 }
             } else {
-                let s = &mut self.rob[i];
+                let s = self.slot_mut(seq);
                 s.issued = true;
                 s.issue_at = c;
                 s.done_at = Some(c + lat);
@@ -1261,19 +1435,22 @@ impl Simulator {
             self.iq_used -= 1;
             budget.total -= 1;
         }
+        ready.clear();
+        self.ready_scratch = ready;
         self.ready = kept;
     }
 
-    fn issue_load(&mut self, i: usize, c: u64) -> Result<(), ()> {
+    fn issue_load(&mut self, seq: u64, c: u64) -> Result<(), ()> {
         let (addr, width, pc, value) = {
-            let me = self.rob[i].step.mem.expect("load has a memory effect");
-            (me.addr, me.width.bytes(), self.rob[i].step.pc, me.value)
+            let s = self.slot(seq);
+            let me = s.step.mem.expect("load has a memory effect");
+            (me.addr, me.width.bytes(), s.step.pc, me.value)
         };
         // Store-to-load forwarding from an older in-flight store that
         // fully covers this load.
         let mut forwarded = false;
-        for j in (0..i).rev() {
-            let s = &self.rob[j];
+        for q in (self.rob_head_seq..seq).rev() {
+            let s = self.slot(q);
             if !s.is_store() {
                 continue;
             }
@@ -1287,23 +1464,23 @@ impl Simulator {
         }
         if forwarded {
             let done = c + self.ms.config().l1d.latency;
-            let s = &mut self.rob[i];
+            let s = self.slot_mut(seq);
             s.issued = true;
             s.issue_at = c;
             s.done_at = Some(done);
             s.hit = Some(HitLevel::L1);
-            self.wake_events.push(Reverse((done, s.seq)));
+            self.wake_events.push(Reverse((done, seq)));
             return Ok(());
         }
 
         match self.ms.access(addr, Access::Load, vr_mem::Requestor::Main, pc, c) {
             Ok(out) => {
-                let s = &mut self.rob[i];
+                let s = self.slot_mut(seq);
                 s.issued = true;
                 s.issue_at = c;
                 s.done_at = Some(out.ready_at);
                 s.hit = Some(out.hit);
-                self.wake_events.push(Reverse((out.ready_at, s.seq)));
+                self.wake_events.push(Reverse((out.ready_at, seq)));
                 let _ = value;
                 Ok(())
             }
@@ -1316,12 +1493,16 @@ impl Simulator {
     fn dispatch(&mut self, c: u64) {
         self.backend_stalled = false;
         for _ in 0..self.cfg.width {
-            let Some(front) = self.fetch_q.front() else { break };
+            if self.rob_end_seq == self.next_seq {
+                break; // fetch queue empty
+            }
+            let seq = self.rob_end_seq;
+            let front = self.slot(seq);
             if front.fetch_at + self.cfg.frontend_depth > c {
                 break;
             }
             let inst = front.step.inst;
-            let blocked = self.rob.len() >= self.cfg.rob
+            let blocked = self.rob_len() >= self.cfg.rob
                 || self.iq_used >= self.cfg.iq
                 || (inst.is_load() && self.lq_used >= self.cfg.lq)
                 || (inst.is_store() && self.sq_used >= self.cfg.sq)
@@ -1334,34 +1515,36 @@ impl Simulator {
                 self.backend_stalled = true;
                 break;
             }
-            let mut slot = self.fetch_q.pop_front().expect("front exists");
-            slot.dispatched = true;
-            slot.dispatch_at = c;
             // Resolve dependences against in-flight producers and
-            // register on their wakeup lists. `last_writer` only maps
-            // in-flight (ROB-resident) producers, so a hit implies a
-            // non-empty ROB.
+            // register on their intrusive wakeup chains. `last_writer`
+            // only maps in-flight (ROB-resident) producers, so a hit
+            // names a live slab slot.
+            let cidx = (seq & self.slab_mask) as usize;
             let mut srcs = [None, None];
             let mut pending = 0u8;
             for (k, src) in inst.srcs().enumerate() {
                 if let Some(pseq) = self.last_writer[src.flat_index()] {
                     srcs[k] = Some(pseq);
-                    let h = self.rob.front().expect("producer in flight").seq;
-                    let p = &self.rob[(pseq - h) as usize];
+                    let p = self.slot(pseq);
                     if !(p.issued && p.done_by(c)) {
                         pending += 1;
-                        self.waiters.entry(pseq).or_default().push(slot.seq);
+                        self.wakeup.insert((pseq & self.slab_mask) as usize, cidx, k);
                     }
                 }
             }
-            slot.src_seqs = srcs;
-            slot.pending = pending;
+            {
+                let s = &mut self.slab[cidx];
+                s.dispatched = true;
+                s.dispatch_at = c;
+                s.src_seqs = srcs;
+                s.pending = pending;
+            }
             if pending == 0 {
                 // New seqs are maximal, so the ready list stays sorted.
-                self.ready.push(slot.seq);
+                self.ready.push(seq);
             }
             if let Some(d) = inst.dst() {
-                self.last_writer[d.flat_index()] = Some(slot.seq);
+                self.last_writer[d.flat_index()] = Some(seq);
                 match d {
                     RegRef::Int(_) => self.free_int -= 1,
                     RegRef::Fp(_) => self.free_fp -= 1,
@@ -1374,7 +1557,9 @@ impl Simulator {
             if inst.is_store() {
                 self.sq_used += 1;
             }
-            self.rob.push_back(slot);
+            // The slot joins the ROB in place: dispatch is just the
+            // window boundary moving past it.
+            self.rob_end_seq += 1;
         }
     }
 
@@ -1388,14 +1573,12 @@ impl Simulator {
         // Misprediction: fetch resumes the cycle after the branch
         // resolves.
         if let Some(bseq) = self.pending_branch {
-            // Seq-contiguous ROB: the branch (if still in flight) lives
-            // at index bseq - head.seq — no scan needed.
-            let resolved = match self.rob.front() {
-                None => true,
-                Some(head) if bseq < head.seq => true,
-                Some(head) => {
-                    self.rob.get((bseq - head.seq) as usize).is_some_and(|s| s.done_by(c))
-                }
+            // Seq-addressed slab: the branch (if still in flight)
+            // lives at `slot(bseq)` — no scan needed.
+            let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq {
+                true
+            } else {
+                bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
             };
             if resolved {
                 self.pending_branch = None;
@@ -1406,7 +1589,7 @@ impl Simulator {
             return Ok(());
         }
         for _ in 0..self.cfg.width {
-            if self.fetch_q.len() >= fetch_q_cap(&self.cfg) {
+            if self.fetch_q_len() >= fetch_q_cap(&self.cfg) {
                 break;
             }
             let step = match self.fetch_cpu.step(&self.prog, &mut self.mem) {
@@ -1424,25 +1607,12 @@ impl Simulator {
             };
             let seq = self.next_seq;
             self.next_seq += 1;
-            let mut slot = Slot {
-                seq,
-                step,
-                fetch_at: c,
-                dispatched: false,
-                dispatch_at: 0,
-                issued: false,
-                issue_at: 0,
-                done_at: None,
-                mispredicted: false,
-                src_seqs: [None, None],
-                hit: None,
-                pending: 0,
-            };
+            let mut mispredicted = false;
             let mut stop = false;
             if let Some(taken) = step.taken {
                 let pred = self.bp.predict_and_train(step.pc, taken);
                 if pred != taken {
-                    slot.mispredicted = true;
+                    mispredicted = true;
                     self.pending_branch = Some(seq);
                     stop = true;
                 }
@@ -1458,7 +1628,7 @@ impl Simulator {
                     self.btb.lookup(step.pc).map(|e| e.target)
                 };
                 if predicted != Some(step.next_pc) {
-                    slot.mispredicted = true;
+                    mispredicted = true;
                     self.pending_branch = Some(seq);
                     stop = true;
                 }
@@ -1475,7 +1645,27 @@ impl Simulator {
                 stop = true;
             }
             let redirected = step.redirected();
-            self.fetch_q.push_back(slot);
+            // Window bound (DESIGN.md §12): fetch gates on the
+            // fetch-queue cap, so the in-flight window never reaches
+            // the slab size and this write cannot alias a live slot.
+            debug_assert!(
+                self.next_seq - self.rob_head_seq <= self.slab.len() as u64,
+                "in-flight window exceeds the slot slab"
+            );
+            self.slab[(seq & self.slab_mask) as usize] = Slot {
+                seq,
+                step,
+                fetch_at: c,
+                dispatched: false,
+                dispatch_at: 0,
+                issued: false,
+                issue_at: 0,
+                done_at: None,
+                mispredicted,
+                src_seqs: [None, None],
+                hit: None,
+                pending: 0,
+            };
             if stop || redirected {
                 break; // one taken branch per fetch group
             }
@@ -1489,7 +1679,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("cycle", &self.cycle)
             .field("committed_insts", &self.committed_insts)
-            .field("rob", &self.rob.len())
+            .field("rob", &self.rob_len())
             .field("runahead", &self.runahead.is_some())
             .finish_non_exhaustive()
     }
@@ -1527,6 +1717,14 @@ mod tests {
         assert_eq!(stats.instructions, 201);
     }
 
+    #[test]
+    fn slab_covers_window_plus_same_cycle_slack() {
+        let cfg = CoreConfig::table1();
+        let n = slab_slots(&cfg);
+        assert!(n.is_power_of_two());
+        assert!(n >= cfg.rob + fetch_q_cap(&cfg) + 2 * cfg.width);
+    }
+
     #[cfg(feature = "checked")]
     #[test]
     fn corrupted_iq_counter_surfaces_as_invariant_error() {
@@ -1546,12 +1744,11 @@ mod tests {
     fn corrupted_rob_order_surfaces_as_invariant_error() {
         let mut sim = straight_line_sim(500);
         sim.try_run(5).expect("partial run is clean");
-        assert!(sim.rob.len() >= 2, "expected in-flight instructions");
+        assert!(sim.rob_len() >= 2, "expected in-flight instructions");
         // Swap two sequence numbers: program order is lost.
-        let a = sim.rob[0].seq;
-        let b = sim.rob[1].seq;
-        sim.rob[0].seq = b;
-        sim.rob[1].seq = a;
+        let h = sim.rob_head_seq;
+        sim.slot_mut(h).seq = h + 1;
+        sim.slot_mut(h + 1).seq = h;
         let err = sim.try_run(u64::MAX).unwrap_err();
         assert!(
             matches!(&err, SimError::Invariant { what, .. } if what.contains("order")

@@ -18,6 +18,16 @@
 //! lane 0 returns to the striding load, the batch is complete; if the
 //! blocking load has meanwhile returned, the engine still finishes the
 //! in-flight batch first (*delayed termination*), stalling commit.
+//!
+//! # Hot-path memory discipline (DESIGN.md §12)
+//!
+//! The engine is pooled by the simulator and reused across episodes
+//! via [`VectorRunahead::reset`]. Scan and batch state are persistent
+//! sub-structs selected by a [`PhaseKind`] discriminant (no per-phase
+//! boxes), lanes live in a grow-only pool of which the first
+//! `batch.k` are live, per-tick worklists are reusable scratch
+//! buffers, and overlays propagate via `StoreOverlay::copy_from`
+//! instead of `clone`. In steady state a batch allocates nothing.
 
 use vr_isa::{Cpu, Op, Reg, RegRef, StoreOverlay};
 
@@ -52,10 +62,25 @@ struct Lane {
     done: bool,
 }
 
+impl Lane {
+    fn fresh() -> Lane {
+        Lane {
+            cpu: Cpu::new(),
+            overlay: StoreOverlay::new(),
+            active: false,
+            parked: false,
+            done: false,
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Batch {
     stride_pc: u64,
+    /// Grow-only lane pool; only `lanes[..k]` are live this batch.
     lanes: Vec<Lane>,
+    /// Live lane count of the current batch.
+    k: usize,
     taint: [bool; RegRef::FLAT_COUNT],
     /// Cycle at which each architectural register's *data* is
     /// available to the chain. Gathers set their destination's entry
@@ -67,8 +92,11 @@ struct Batch {
     reg_ready: [u64; RegRef::FLAT_COUNT],
     /// Structural barrier: no chain progress before this cycle.
     wait_until: u64,
-    /// Gather sub-accesses not yet accepted by the memory system.
+    /// Gather sub-accesses of the in-flight level; entries before
+    /// `gather_cursor` have been accepted by the memory system
+    /// (cursor-consumed so the buffer never shifts or reallocates).
     pending_gather: Vec<(usize, u64)>,
+    gather_cursor: usize,
     /// Destination register of the in-flight gather.
     gather_dst: Option<usize>,
     gather_ready_max: u64,
@@ -79,11 +107,41 @@ struct Batch {
     issued_in_level: usize,
     chain_insts: usize,
     /// Parked divergent lane groups awaiting execution (reconvergence
-    /// extension); each entry is the lane set of one divergent path.
-    reconv_stack: Vec<Vec<usize>>,
+    /// extension), flattened: `reconv_group_starts` marks where each
+    /// group begins inside `reconv_lanes`; popping a group truncates.
+    reconv_lanes: Vec<usize>,
+    reconv_group_starts: Vec<usize>,
     /// Loop-bound discovery saw the loop end inside this batch: no
     /// further batches of this stride exist.
     last_batch: bool,
+}
+
+impl Batch {
+    fn idle() -> Batch {
+        Batch {
+            stride_pc: 0,
+            lanes: Vec::new(),
+            k: 0,
+            taint: [false; RegRef::FLAT_COUNT],
+            reg_ready: [0; RegRef::FLAT_COUNT],
+            wait_until: 0,
+            pending_gather: Vec::new(),
+            gather_cursor: 0,
+            gather_dst: None,
+            gather_ready_max: 0,
+            first_copy_ready: 0,
+            issued_in_level: 0,
+            chain_insts: 0,
+            reconv_lanes: Vec::new(),
+            reconv_group_starts: Vec::new(),
+            last_batch: false,
+        }
+    }
+
+    /// Gather sub-accesses not yet accepted by the memory system.
+    fn gather_outstanding(&self) -> bool {
+        self.gather_cursor < self.pending_gather.len()
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -94,15 +152,16 @@ struct Scan {
     dead: bool,
 }
 
-#[derive(Clone, Debug)]
-enum Phase {
-    Scan(Box<Scan>),
-    Batch(Box<Batch>),
+/// Which persistent phase sub-struct is live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PhaseKind {
+    Scan,
+    Batch,
 }
 
-/// The Vector Runahead engine for one runahead interval (re-created at
-/// each trigger).
-#[derive(Clone, Debug)]
+/// The Vector Runahead engine for one runahead interval (pooled by the
+/// simulator and re-armed at each trigger via [`Self::reset`]).
+#[derive(Debug)]
 pub struct VectorRunahead {
     lanes: usize,
     chain_budget: usize,
@@ -112,12 +171,22 @@ pub struct VectorRunahead {
     vir_pipelining: bool,
     vec_alu: usize,
     width: usize,
-    phase: Phase,
+    phase: PhaseKind,
+    scan: Scan,
+    batch: Batch,
     /// Continuation point for repeated batches of the same striding
     /// load: real VR refills the vector issue register from the stride
     /// detector, so batch *n* starts K strides past batch *n−1*
     /// regardless of the (scalar, non-vectorized) induction registers.
     next_base: Option<(u64, u64)>,
+    /// Reusable throw-away overlay for loop-bound discovery probes.
+    probe_overlay: StoreOverlay,
+    /// Per-tick scratch (DESIGN.md §12): lane worklists reused across
+    /// ticks and episodes.
+    scratch_active: Vec<usize>,
+    scratch_stepped: Vec<(usize, u64)>,
+    scratch_div_pcs: Vec<u64>,
+    scratch_div_lanes: Vec<(u64, usize)>,
     /// Whether any striding load was vectorized this interval.
     pub found_stride: bool,
     /// Batches completed or started.
@@ -146,13 +215,20 @@ impl VectorRunahead {
             vir_pipelining: cfg.vir_pipelining,
             vec_alu: vec_alu.max(1),
             width,
-            phase: Phase::Scan(Box::new(Scan {
+            phase: PhaseKind::Scan,
+            scan: Scan {
                 cursor: cpu,
                 overlay: StoreOverlay::new(),
                 remaining: cfg.scan_budget,
                 dead: false,
-            })),
+            },
+            batch: Batch::idle(),
             next_base: None,
+            probe_overlay: StoreOverlay::new(),
+            scratch_active: Vec::new(),
+            scratch_stepped: Vec::new(),
+            scratch_div_pcs: Vec::new(),
+            scratch_div_lanes: Vec::new(),
             found_stride: false,
             batches: 0,
             batches_aborted: 0,
@@ -162,46 +238,73 @@ impl VectorRunahead {
         }
     }
 
+    /// Re-arms a pooled engine for a new interval without giving back
+    /// any capacity (lane pool, overlays, scratch buffers all survive;
+    /// see DESIGN.md §12). State-identical to a fresh [`Self::new`].
+    pub fn reset(&mut self, cpu: Cpu, cfg: &RunaheadConfig, width: usize, vec_alu: usize) {
+        self.lanes = cfg.vr_lanes;
+        self.chain_budget = cfg.chain_budget;
+        self.discovery = cfg.loop_bound_discovery;
+        self.termination_slack = cfg.termination_slack;
+        self.reconvergence = cfg.reconvergence;
+        self.vir_pipelining = cfg.vir_pipelining;
+        self.vec_alu = vec_alu.max(1);
+        self.width = width;
+        self.phase = PhaseKind::Scan;
+        self.scan.cursor = cpu;
+        self.scan.overlay.clear();
+        self.scan.remaining = cfg.scan_budget;
+        self.scan.dead = false;
+        self.next_base = None;
+        self.found_stride = false;
+        self.batches = 0;
+        self.batches_aborted = 0;
+        self.lanes_spawned = 0;
+        self.lanes_invalidated = 0;
+        self.lanes_reconverged = 0;
+        // Batch state is fully re-initialized by `start_batch`; nothing
+        // reads it while the phase is Scan.
+    }
+
     /// Runs one cycle; `interval_over` is true once the blocking load
     /// has returned (the engine then finishes the current batch and
     /// reports [`VrStatus::Finished`] — delayed termination).
     pub(crate) fn step_cycle(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
-        match &mut self.phase {
-            Phase::Scan(_) => self.step_scan(ctx, interval_over),
-            Phase::Batch(_) => self.step_batch(ctx, interval_over),
+        match self.phase {
+            PhaseKind::Scan => self.step_scan(ctx, interval_over),
+            PhaseKind::Batch => self.step_batch(ctx, interval_over),
         }
     }
 
     // ---- scan phase -------------------------------------------------
 
     fn step_scan(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
-        let Phase::Scan(scan) = &mut self.phase else { unreachable!() };
-        let Scan { cursor, overlay, remaining, dead } = &mut **scan;
         if interval_over {
             return VrStatus::Finished;
         }
-        if *dead || *remaining == 0 {
+        if self.scan.dead || self.scan.remaining == 0 {
             return VrStatus::Working; // idle until the interval ends
         }
         for _ in 0..self.width {
-            if *remaining == 0 {
+            if self.scan.remaining == 0 {
                 break;
             }
-            *remaining -= 1;
-            let Some(inst) = ctx.prog.fetch(cursor.pc()) else {
-                *dead = true;
+            self.scan.remaining -= 1;
+            let Some(inst) = ctx.prog.fetch(self.scan.cursor.pc()) else {
+                self.scan.dead = true;
                 break;
             };
             let inst = *inst;
             // A striding load? Vectorize from here.
             if matches!(inst.op, Op::Ld(_) | Op::Fld) {
-                if let Some(stride) = ctx.ms.stride_detector().confident_stride(cursor.pc()) {
-                    let cursor = *cursor;
-                    let overlay = overlay.clone();
-                    self.start_batch(ctx, cursor, overlay, inst, stride);
+                if let Some(stride) =
+                    ctx.ms.stride_detector().confident_stride(self.scan.cursor.pc())
+                {
+                    self.start_batch(ctx, inst, stride);
                     return VrStatus::Working;
                 }
             }
+            let Scan { cursor, overlay, dead, .. } = &mut self.scan;
             match cursor.step_spec(ctx.prog, ctx.mem, overlay) {
                 Ok(step) => {
                     if step.halted {
@@ -220,31 +323,31 @@ impl VectorRunahead {
 
     /// Observes the future trip count of the loop around `stride_pc`
     /// by running a throw-away cursor forward (the loop-bound
-    /// discovery extension).
+    /// discovery extension). The probe overlay is a reusable scratch
+    /// copy of the scan overlay.
     /// Returns `Some(trips)` when the probe *observed the loop end*
     /// within its budget (the cap applies), or `None` when it ran out
     /// of budget with the loop still going (no evidence of a bound —
     /// vectorize fully).
     fn discover_trip_count(
-        &self,
         ctx: &RaCtx<'_>,
         cursor: &Cpu,
-        overlay: &StoreOverlay,
+        ov: &mut StoreOverlay,
         stride_pc: u64,
+        lanes: usize,
     ) -> Option<usize> {
         let mut probe = *cursor;
-        let mut ov = overlay.clone();
         let mut count = 0usize;
         // Step past the striding load first so re-encounters count.
-        for step_no in 0..self.lanes * 64 {
-            match probe.step_spec(ctx.prog, ctx.mem, &mut ov) {
+        for step_no in 0..lanes * 64 {
+            match probe.step_spec(ctx.prog, ctx.mem, ov) {
                 Ok(s) => {
                     if s.halted {
                         return Some(count.max(1)); // loop (and program) ended
                     }
                     if step_no > 0 && probe.pc() == stride_pc {
                         count += 1;
-                        if count >= self.lanes {
+                        if count >= lanes {
                             return None; // enough iterations exist
                         }
                     }
@@ -265,14 +368,10 @@ impl VectorRunahead {
         }
     }
 
-    fn start_batch(
-        &mut self,
-        ctx: &mut RaCtx<'_>,
-        cursor: Cpu,
-        overlay: StoreOverlay,
-        inst: vr_isa::Inst,
-        stride: i64,
-    ) {
+    /// Forks `k` lanes off the scan state (the scan cursor sits at the
+    /// striding load). Reuses the pooled batch/lane storage.
+    fn start_batch(&mut self, ctx: &mut RaCtx<'_>, inst: vr_isa::Inst, stride: i64) {
+        let cursor = self.scan.cursor;
         let stride_pc = cursor.pc();
         let reg_base = cursor.x(Reg::new(inst.rs1)).wrapping_add(inst.imm as u64);
         let base_addr = match self.next_base {
@@ -285,7 +384,14 @@ impl VectorRunahead {
         let mut setup_cost = 1;
         let mut last_batch = false;
         if self.discovery {
-            if let Some(trips) = self.discover_trip_count(ctx, &cursor, &overlay, stride_pc) {
+            self.probe_overlay.copy_from(&self.scan.overlay);
+            if let Some(trips) = Self::discover_trip_count(
+                ctx,
+                &cursor,
+                &mut self.probe_overlay,
+                stride_pc,
+                self.lanes,
+            ) {
                 if trips < k {
                     k = trips;
                     last_batch = true;
@@ -300,15 +406,21 @@ impl VectorRunahead {
         self.next_base =
             Some((stride_pc, base_addr.wrapping_add((stride as u64).wrapping_mul(k as u64))));
 
-        let mut taint = [false; RegRef::FLAT_COUNT];
+        let batch = &mut self.batch;
+        batch.stride_pc = stride_pc;
+        batch.k = k;
+        batch.taint = [false; RegRef::FLAT_COUNT];
         let dst = inst.dst();
         if let Some(d) = dst {
-            taint[d.flat_index()] = true;
+            batch.taint[d.flat_index()] = true;
         }
 
-        let mut lanes = Vec::with_capacity(k);
-        let mut pending = Vec::with_capacity(k);
-        for l in 0..k {
+        while batch.lanes.len() < k {
+            batch.lanes.push(Lane::fresh());
+        }
+        batch.pending_gather.clear();
+        batch.gather_cursor = 0;
+        for (l, lane) in batch.lanes.iter_mut().enumerate().take(k) {
             let mut cpu = cursor;
             let addr = base_addr.wrapping_add((stride as u64).wrapping_mul(l as u64 + 1));
             // Execute the striding load manually for this lane's
@@ -320,44 +432,37 @@ impl VectorRunahead {
                 None => {}
             }
             cpu.set_pc(stride_pc + 1);
-            lanes.push(Lane {
-                cpu,
-                overlay: overlay.clone(),
-                active: true,
-                parked: false,
-                done: false,
-            });
-            pending.push((l, addr));
+            lane.cpu = cpu;
+            lane.overlay.copy_from(&self.scan.overlay);
+            lane.active = true;
+            lane.parked = false;
+            lane.done = false;
+            batch.pending_gather.push((l, addr));
         }
 
-        let mut reg_ready = [0u64; RegRef::FLAT_COUNT];
+        batch.reg_ready = [0u64; RegRef::FLAT_COUNT];
         // Until the striding gather completes, its destination's data
         // is unavailable; the entry is finalized when the last
         // sub-access issues.
         if let Some(d) = dst {
-            reg_ready[d.flat_index()] = u64::MAX;
+            batch.reg_ready[d.flat_index()] = u64::MAX;
         }
-        self.phase = Phase::Batch(Box::new(Batch {
-            stride_pc,
-            lanes,
-            taint,
-            reg_ready,
-            wait_until: ctx.now + setup_cost,
-            pending_gather: pending,
-            gather_dst: dst.map(RegRef::flat_index),
-            gather_ready_max: 0,
-            first_copy_ready: 0,
-            issued_in_level: 0,
-            chain_insts: 0,
-            reconv_stack: Vec::new(),
-            last_batch,
-        }));
+        batch.wait_until = ctx.now + setup_cost;
+        batch.gather_dst = dst.map(RegRef::flat_index);
+        batch.gather_ready_max = 0;
+        batch.first_copy_ready = 0;
+        batch.issued_in_level = 0;
+        batch.chain_insts = 0;
+        batch.reconv_lanes.clear();
+        batch.reconv_group_starts.clear();
+        batch.last_batch = last_batch;
+        self.phase = PhaseKind::Batch;
     }
 
     // ---- batch phase ------------------------------------------------
 
     fn step_batch(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
-        let Phase::Batch(batch) = &mut self.phase else { unreachable!() };
+        let batch = &mut self.batch;
 
         if ctx.now < batch.wait_until {
             // Bounded delayed termination (extension, off by default):
@@ -366,17 +471,19 @@ impl VectorRunahead {
             if let Some(slack) = self.termination_slack {
                 if interval_over && batch.wait_until - ctx.now > slack {
                     self.batches_aborted += 1;
-                    return self.finish_batch(ctx, interval_over);
+                    return self.finish_batch(interval_over);
                 }
             }
             return VrStatus::Working;
         }
 
         // 1. Drain any pending gather sub-accesses, MSHR-limited.
-        if !batch.pending_gather.is_empty() {
+        if batch.gather_outstanding() {
             let mut issued = 0;
             while issued < GATHER_ISSUE_PER_CYCLE {
-                let Some(&(lane, addr)) = batch.pending_gather.first() else { break };
+                let Some(&(lane, addr)) = batch.pending_gather.get(batch.gather_cursor) else {
+                    break;
+                };
                 match ctx.ms.access(
                     addr,
                     Access::Load,
@@ -390,14 +497,14 @@ impl VectorRunahead {
                             batch.first_copy_ready = batch.first_copy_ready.max(out.ready_at);
                         }
                         batch.issued_in_level += 1;
-                        batch.pending_gather.remove(0);
+                        batch.gather_cursor += 1;
                         issued += 1;
                         let _ = lane;
                     }
                     Err(_) => break, // MSHRs full: retry next cycle
                 }
             }
-            if batch.pending_gather.is_empty() {
+            if !batch.gather_outstanding() {
                 // Data-ready time of the gather's destination: the
                 // slowest lane of the *first vector copy*. The VIR
                 // overlaps the 16 vector copies of each chain level
@@ -413,12 +520,14 @@ impl VectorRunahead {
                 }
                 batch.gather_ready_max = 0;
                 batch.first_copy_ready = 0;
+                batch.pending_gather.clear();
+                batch.gather_cursor = 0;
             }
             return VrStatus::Working;
         }
 
         // 2. Batch boundary?
-        let lane0_pc = match batch.lanes.iter().find(|l| l.active) {
+        let lane0_pc = match batch.lanes[..batch.k].iter().find(|l| l.active) {
             Some(l) => l.cpu.pc(),
             None => {
                 // The current group died: resume a parked divergent
@@ -426,7 +535,7 @@ impl VectorRunahead {
                 if self.pop_reconvergence_group() {
                     return VrStatus::Working;
                 }
-                return self.finish_batch(ctx, interval_over);
+                return self.finish_batch(interval_over);
             }
         };
         let group_terminated = lane0_pc == batch.stride_pc
@@ -435,14 +544,14 @@ impl VectorRunahead {
         if group_terminated {
             // The active group reached the reconvergence point (the
             // vector-runahead termination point).
-            for lane in batch.lanes.iter_mut().filter(|l| l.active) {
+            for lane in batch.lanes[..batch.k].iter_mut().filter(|l| l.active) {
                 lane.active = false;
                 lane.done = true;
             }
             if self.pop_reconvergence_group() {
                 return VrStatus::Working;
             }
-            return self.finish_batch(ctx, interval_over);
+            return self.finish_batch(interval_over);
         }
         let inst = *ctx.prog.fetch(lane0_pc).expect("checked above");
 
@@ -464,53 +573,70 @@ impl VectorRunahead {
             return VrStatus::Working; // retry next cycle
         }
 
-        let mut active: Vec<usize> =
-            (0..batch.lanes.len()).filter(|&i| batch.lanes[i].active).collect();
-        let mut gather_addrs: Vec<(usize, u64)> = Vec::new();
         let mut scalar_load_ready: Option<u64> = None;
+        {
+            // Split borrows: the lane loop walks pooled scratch lists
+            // while mutating lanes and fault counters.
+            let VectorRunahead {
+                batch, scratch_active, scratch_stepped, lanes_invalidated, ..
+            } = self;
+            scratch_active.clear();
+            scratch_active.extend((0..batch.k).filter(|&i| batch.lanes[i].active));
 
-        let mut stepped: Vec<(usize, u64)> = Vec::with_capacity(active.len());
-        for &i in &active {
-            let lane = &mut batch.lanes[i];
-            let step = match lane.cpu.step_spec(ctx.prog, ctx.mem, &mut lane.overlay) {
-                Ok(s) => s,
-                Err(_) => {
+            scratch_stepped.clear();
+            for &i in scratch_active.iter() {
+                let lane = &mut batch.lanes[i];
+                let step = match lane.cpu.step_spec(ctx.prog, ctx.mem, &mut lane.overlay) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        lane.active = false;
+                        *lanes_invalidated += 1;
+                        continue;
+                    }
+                };
+                if step.halted {
                     lane.active = false;
-                    self.lanes_invalidated += 1;
+                    *lanes_invalidated += 1;
                     continue;
                 }
-            };
-            if step.halted {
-                lane.active = false;
-                self.lanes_invalidated += 1;
-                continue;
-            }
-            if let Some(me) = step.mem {
-                if !me.is_store {
-                    if is_gather_load {
-                        gather_addrs.push((i, me.addr));
-                    } else if is_scalar_load && scalar_load_ready.is_none() {
-                        // One shared access for the whole vector.
-                        if let Ok(out) = ctx.ms.access(
-                            me.addr,
-                            Access::Load,
-                            Requestor::Runahead,
-                            step.pc,
-                            ctx.now,
-                        ) {
-                            scalar_load_ready = Some(out.ready_at);
+                if let Some(me) = step.mem {
+                    if !me.is_store {
+                        if is_gather_load {
+                            // The gather buffer was fully consumed and
+                            // cleared when the previous level drained.
+                            batch.pending_gather.push((i, me.addr));
+                        } else if is_scalar_load && scalar_load_ready.is_none() {
+                            // One shared access for the whole vector.
+                            if let Ok(out) = ctx.ms.access(
+                                me.addr,
+                                Access::Load,
+                                Requestor::Runahead,
+                                step.pc,
+                                ctx.now,
+                            ) {
+                                scalar_load_ready = Some(out.ready_at);
+                            }
                         }
                     }
                 }
+                scratch_stepped.push((i, lane.cpu.pc()));
             }
-            stepped.push((i, lane.cpu.pc()));
         }
         // Divergence: follow the first live lane's control flow.
         // Deviating lanes are invalidated (ISCA'21 baseline) or parked
         // on the reconvergence stack (extension).
-        if let Some(&(_, pc0)) = stepped.first() {
-            let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
-            for &(i, pc) in &stepped[1..] {
+        if let Some(&(_, pc0)) = self.scratch_stepped.first() {
+            let VectorRunahead {
+                batch,
+                scratch_stepped,
+                scratch_div_pcs,
+                scratch_div_lanes,
+                lanes_invalidated,
+                ..
+            } = self;
+            scratch_div_pcs.clear();
+            scratch_div_lanes.clear();
+            for &(i, pc) in &scratch_stepped[1..] {
                 if pc == pc0 {
                     continue;
                 }
@@ -518,19 +644,28 @@ impl VectorRunahead {
                     let lane = &mut batch.lanes[i];
                     lane.active = false;
                     lane.parked = true;
-                    match groups.iter_mut().find(|(gpc, _)| *gpc == pc) {
-                        Some((_, g)) => g.push(i),
-                        None => groups.push((pc, vec![i])),
+                    if !scratch_div_pcs.contains(&pc) {
+                        scratch_div_pcs.push(pc);
                     }
+                    scratch_div_lanes.push((pc, i));
                 } else {
                     batch.lanes[i].active = false;
-                    self.lanes_invalidated += 1;
+                    *lanes_invalidated += 1;
                 }
             }
-            for (_, g) in groups {
-                batch.reconv_stack.push(g);
+            // Flush the per-PC groups onto the flattened reconvergence
+            // stack in first-seen order (the order the old per-group
+            // Vec-of-Vecs was pushed in).
+            for &pc in scratch_div_pcs.iter() {
+                batch.reconv_group_starts.push(batch.reconv_lanes.len());
+                for &(gpc, i) in scratch_div_lanes.iter() {
+                    if gpc == pc {
+                        batch.reconv_lanes.push(i);
+                    }
+                }
             }
         }
+        let batch = &mut self.batch;
         batch.chain_insts += 1;
 
         // 4. Taint propagation (shared across lanes — lockstep).
@@ -540,8 +675,8 @@ impl VectorRunahead {
 
         // 5. Charge the cost of this chain instruction and record the
         // destination's data-ready time.
-        active.retain(|&i| batch.lanes[i].active);
-        let k_active = active.len().max(1);
+        self.scratch_active.retain(|&i| batch.lanes[i].active);
+        let k_active = self.scratch_active.len().max(1);
         let mut next_free = ctx.now + 1;
         if tainted {
             let vec_uops = k_active.div_ceil(8);
@@ -549,7 +684,7 @@ impl VectorRunahead {
         }
         let dst_idx = inst.dst().map(RegRef::flat_index);
         if is_gather_load {
-            batch.pending_gather = gather_addrs;
+            // `pending_gather` was filled during the lane loop.
             batch.gather_dst = dst_idx;
             batch.gather_ready_max = 0;
             batch.first_copy_ready = 0;
@@ -574,9 +709,12 @@ impl VectorRunahead {
     /// (reconvergence-stack extension). Returns whether a group was
     /// resumed.
     fn pop_reconvergence_group(&mut self) -> bool {
-        let Phase::Batch(batch) = &mut self.phase else { return false };
-        let Some(group) = batch.reconv_stack.pop() else { return false };
-        for i in group {
+        if self.phase != PhaseKind::Batch {
+            return false;
+        }
+        let batch = &mut self.batch;
+        let Some(start) = batch.reconv_group_starts.pop() else { return false };
+        for &i in &batch.reconv_lanes[start..] {
             let lane = &mut batch.lanes[i];
             if lane.parked {
                 lane.parked = false;
@@ -584,44 +722,36 @@ impl VectorRunahead {
                 self.lanes_reconverged += 1;
             }
         }
+        batch.reconv_lanes.truncate(start);
         true
     }
 
-    fn finish_batch(&mut self, ctx: &mut RaCtx<'_>, interval_over: bool) -> VrStatus {
-        let Phase::Batch(batch) = &mut self.phase else { unreachable!() };
+    fn finish_batch(&mut self, interval_over: bool) -> VrStatus {
+        let VectorRunahead { batch, scan, .. } = self;
         // Continue scanning from the most advanced surviving lane (it
         // sits at the striding load of a further future iteration), so
         // the next batch covers the iterations after this one.
-        let next_cursor = if batch.last_batch {
+        let survivor = if batch.last_batch {
             None // discovery saw the loop end: nothing left to vectorize
         } else {
-            batch
-                .lanes
-                .iter()
-                .rev()
-                .find(|l| l.active || l.done)
-                .map(|l| (l.cpu, l.overlay.clone()))
+            batch.lanes[..batch.k].iter().rev().find(|l| l.active || l.done)
         };
-        let _ = ctx;
-        match next_cursor {
-            Some((cpu, overlay)) => {
-                self.phase = Phase::Scan(Box::new(Scan {
-                    cursor: cpu,
-                    overlay,
-                    remaining: self.width * 4,
-                    dead: false,
-                }));
+        match survivor {
+            Some(lane) => {
+                scan.cursor = lane.cpu;
+                scan.overlay.copy_from(&lane.overlay);
+                scan.remaining = self.width * 4;
+                scan.dead = false;
             }
             None => {
                 // No survivors: go idle for the rest of the interval.
-                self.phase = Phase::Scan(Box::new(Scan {
-                    cursor: Cpu::new(),
-                    overlay: StoreOverlay::new(),
-                    remaining: 0,
-                    dead: true,
-                }));
+                scan.cursor = Cpu::new();
+                scan.overlay.clear();
+                scan.remaining = 0;
+                scan.dead = true;
             }
         }
+        self.phase = PhaseKind::Scan;
         if interval_over {
             VrStatus::Finished
         } else {
@@ -632,7 +762,7 @@ impl VectorRunahead {
     /// Whether the engine is mid-batch (used to account delayed
     /// termination).
     pub fn in_batch(&self) -> bool {
-        matches!(self.phase, Phase::Batch(_))
+        self.phase == PhaseKind::Batch
     }
 
     /// Seeds the first batch's base address for `stride_pc` from the
@@ -650,9 +780,12 @@ impl VectorRunahead {
     /// prefetches, poisoning them is architecturally invisible — the
     /// differential oracle checks exactly that.
     pub(crate) fn poison_lanes(&mut self, rng: &mut vr_isa::SplitMix64, frac: f64) -> u64 {
-        let Phase::Batch(batch) = &mut self.phase else { return 0 };
+        if self.phase != PhaseKind::Batch {
+            return 0;
+        }
+        let batch = &mut self.batch;
         let mut n = 0;
-        for lane in batch.lanes.iter_mut() {
+        for lane in batch.lanes[..batch.k].iter_mut() {
             if lane.active && !lane.done && rng.chance(frac) {
                 lane.active = false;
                 n += 1;
@@ -772,6 +905,34 @@ mod tests {
             })
             .count();
         assert!(covered >= 12, "only {covered}/16 dependent lines prefetched");
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_engine() {
+        // A pooled engine reset for a new interval must behave exactly
+        // like a newly constructed one (DESIGN.md §12).
+        let (prog, mem, mut ms, cpu, _) = indirect_setup();
+        let cfg = RunaheadConfig { vr_lanes: 16, ..RunaheadConfig::vector() };
+
+        let mut fresh = VectorRunahead::new(cpu, &cfg, 5, 3);
+        run_engine(&mut fresh, &prog, &mem, &mut ms, 2000);
+
+        // Dirty an engine on a first interval, then reset and replay
+        // the same interval against an identically warmed hierarchy.
+        let (_, _, mut ms2, _, stride_pc) = indirect_setup();
+        let mut pooled = VectorRunahead::new(cpu, &cfg, 5, 3);
+        run_engine(&mut pooled, &prog, &mem, &mut ms2, 500);
+        let (_, _, mut ms3, _, _) = indirect_setup();
+        let _ = stride_pc;
+        pooled.reset(cpu, &cfg, 5, 3);
+        run_engine(&mut pooled, &prog, &mem, &mut ms3, 2000);
+
+        assert_eq!(pooled.found_stride, fresh.found_stride);
+        assert_eq!(pooled.batches, fresh.batches);
+        assert_eq!(pooled.lanes_spawned, fresh.lanes_spawned);
+        assert_eq!(pooled.lanes_invalidated, fresh.lanes_invalidated);
+        assert_eq!(pooled.lanes_reconverged, fresh.lanes_reconverged);
+        assert_eq!(pooled.batches_aborted, fresh.batches_aborted);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Intrusive singly-linked wakeup lists over a slab of ROB slots.
+//!
+//! The event-driven scheduler (DESIGN.md §9) must answer "who waits on
+//! producer P?" once per completion event and register "consumer C's
+//! operand k waits on P" up to twice per dispatched instruction. PR 2
+//! used `HashMap<u64, Vec<u64>>` — one hash probe plus a potential
+//! `Vec` growth per dependence edge, every instruction, forever.
+//!
+//! This structure stores the same relation *intrusively* over the slot
+//! slab (DESIGN.md §12): per producer slot a head link, per (consumer
+//! slot, source operand) a next link, both plain `u32`s in two flat
+//! arrays allocated once at simulator construction. Insertion is two
+//! stores; draining a producer's list walks the chain with one load
+//! per waiter. Nothing ever allocates after construction.
+//!
+//! A *link* names one dependence edge and is encoded as
+//! `consumer_slot_index * 2 + operand_index`; [`NO_LINK`] terminates a
+//! chain. Because each in-flight (consumer, operand) pair waits on at
+//! most one producer at a time — dispatch registers it exactly once,
+//! and a squashed consumer only re-registers after a flush has reset
+//! every chain via [`WakeupLists::clear`] — a link can sit on at most
+//! one chain, which is what makes the intrusive encoding sound.
+//!
+//! Invariants (checked in debug builds and exercised by the `checked`
+//! feature's scheduler invariants at the [`crate::Simulator`] level):
+//!
+//! 1. every chain is `NO_LINK`-terminated and cycle-free (a link is
+//!    pushed at most once between clears);
+//! 2. [`WakeupLists::insert`] writes `next[link]` before linking it as
+//!    the head, so a stale `next` value left by an earlier generation
+//!    is never observed;
+//! 3. [`WakeupLists::drain_head`]/[`WakeupLists::take_next`] unlink as
+//!    they walk, so a drained chain is immediately reusable.
+
+/// Terminates a chain (also the "no waiters" head value).
+pub const NO_LINK: u32 = u32::MAX;
+
+/// Intrusive wakeup lists for `n_slots` slab slots. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct WakeupLists {
+    /// Per producer slot: first link of its waiter chain.
+    head: Box<[u32]>,
+    /// Per link (`consumer_slot * 2 + operand`): the next link.
+    next: Box<[u32]>,
+}
+
+impl WakeupLists {
+    /// Creates empty lists for a slab of `n_slots` slots. This is the
+    /// only allocation the structure ever performs.
+    pub fn new(n_slots: usize) -> WakeupLists {
+        WakeupLists {
+            head: vec![NO_LINK; n_slots].into_boxed_slice(),
+            next: vec![NO_LINK; 2 * n_slots].into_boxed_slice(),
+        }
+    }
+
+    /// Registers "consumer slot `consumer`'s operand `operand` waits
+    /// on producer slot `producer`" — O(1), two stores.
+    #[inline]
+    pub fn insert(&mut self, producer: usize, consumer: usize, operand: usize) {
+        debug_assert!(operand < 2, "two source operands per instruction");
+        let link = (consumer * 2 + operand) as u32;
+        // Order matters (invariant 2): point the link at the current
+        // chain before publishing it as the head.
+        self.next[link as usize] = self.head[producer];
+        self.head[producer] = link;
+    }
+
+    /// Detaches and returns the first link of `producer`'s chain, or
+    /// [`NO_LINK`] if it has no waiters. Walk the rest of the chain
+    /// with [`Self::take_next`].
+    #[inline]
+    pub fn drain_head(&mut self, producer: usize) -> u32 {
+        std::mem::replace(&mut self.head[producer], NO_LINK)
+    }
+
+    /// Unlinks `link` from its chain and returns its successor. The
+    /// consumer slot the link belongs to is `link >> 1`, the operand
+    /// `link & 1`.
+    #[inline]
+    pub fn take_next(&mut self, link: u32) -> u32 {
+        std::mem::replace(&mut self.next[link as usize], NO_LINK)
+    }
+
+    /// Resets every chain — the flush/recovery path. O(n_slots) but
+    /// runs only on pipeline flushes (runahead exits), never per
+    /// instruction; consumers re-register when they re-dispatch.
+    pub fn clear(&mut self) {
+        self.head.fill(NO_LINK);
+        // `next` entries need no reset: they are unreachable once the
+        // heads are gone, and insert() rewrites a link's `next` before
+        // re-publishing it (invariant 2).
+    }
+
+    /// Number of slab slots covered.
+    pub fn slots(&self) -> usize {
+        self.head.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains `producer` into a Vec of (consumer, operand) pairs.
+    fn drain_all(w: &mut WakeupLists, producer: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut l = w.drain_head(producer);
+        while l != NO_LINK {
+            out.push(((l >> 1) as usize, (l & 1) as usize));
+            l = w.take_next(l);
+        }
+        out
+    }
+
+    #[test]
+    fn insert_then_drain_is_lifo_and_leaves_empty() {
+        let mut w = WakeupLists::new(8);
+        w.insert(3, 5, 0);
+        w.insert(3, 6, 1);
+        w.insert(3, 7, 0);
+        assert_eq!(drain_all(&mut w, 3), vec![(7, 0), (6, 1), (5, 0)]);
+        assert_eq!(w.drain_head(3), NO_LINK, "drain leaves the chain empty");
+    }
+
+    #[test]
+    fn chains_are_independent() {
+        let mut w = WakeupLists::new(8);
+        w.insert(0, 2, 0);
+        w.insert(1, 2, 1); // same consumer, other operand, other producer
+        w.insert(0, 3, 0);
+        assert_eq!(drain_all(&mut w, 0), vec![(3, 0), (2, 0)]);
+        assert_eq!(drain_all(&mut w, 1), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn both_operands_on_one_producer() {
+        // addi-style `op c, p, p`: both sources name the same producer.
+        let mut w = WakeupLists::new(4);
+        w.insert(1, 2, 0);
+        w.insert(1, 2, 1);
+        assert_eq!(drain_all(&mut w, 1), vec![(2, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn clear_resets_heads_and_links_are_reusable() {
+        let mut w = WakeupLists::new(4);
+        w.insert(0, 1, 0);
+        w.insert(0, 2, 0);
+        w.clear();
+        assert_eq!(w.drain_head(0), NO_LINK);
+        // Re-register the same links on a different producer: the
+        // stale `next` values from before the clear must not leak in.
+        w.insert(3, 1, 0);
+        assert_eq!(drain_all(&mut w, 3), vec![(1, 0)]);
+        assert_eq!(w.drain_head(0), NO_LINK);
+    }
+}

@@ -83,6 +83,13 @@ struct TageEntry {
     valid: bool,
 }
 
+/// Upper bound on the number of tagged tables, so per-prediction
+/// index/tag scratch can live in fixed stack arrays instead of heap
+/// vectors (the predictor runs once per fetched conditional branch —
+/// squarely on the simulator hot path, DESIGN.md §12). Seznec's
+/// largest published TAGE-SC-L uses 12 tagged tables; 16 is generous.
+pub const MAX_TAGGED_TABLES: usize = 16;
+
 /// The TAGE predictor.
 #[derive(Clone, Debug)]
 pub struct Tage {
@@ -105,11 +112,15 @@ impl Tage {
     ///
     /// # Panics
     ///
-    /// Panics if `hist_lengths` and `tag_bits` lengths differ or are
-    /// empty.
+    /// Panics if `hist_lengths` and `tag_bits` lengths differ, are
+    /// empty, or exceed [`MAX_TAGGED_TABLES`].
     pub fn new(cfg: TageConfig) -> Tage {
         assert_eq!(cfg.hist_lengths.len(), cfg.tag_bits.len(), "table parameter mismatch");
         assert!(!cfg.hist_lengths.is_empty(), "need at least one tagged table");
+        assert!(
+            cfg.hist_lengths.len() <= MAX_TAGGED_TABLES,
+            "at most {MAX_TAGGED_TABLES} tagged tables supported"
+        );
         let max_hist = *cfg.hist_lengths.last().unwrap() as usize + 1;
         let tables = vec![vec![TageEntry::default(); 1 << cfg.table_log]; cfg.hist_lengths.len()];
         let folded_idx = cfg.hist_lengths.iter().map(|&l| Folded::new(l, cfg.table_log)).collect();
@@ -196,8 +207,10 @@ impl DirectionPredictor for Tage {
         // --- prediction: find provider (longest history hit) and alt.
         let mut provider: Option<usize> = None;
         let mut alt: Option<usize> = None;
-        let mut idx = vec![0usize; n_tables];
-        let mut tag = vec![0u16; n_tables];
+        // Fixed stack scratch (no per-prediction heap allocation):
+        // `new()` guarantees n_tables <= MAX_TAGGED_TABLES.
+        let mut idx = [0usize; MAX_TAGGED_TABLES];
+        let mut tag = [0u16; MAX_TAGGED_TABLES];
         for t in (0..n_tables).rev() {
             idx[t] = self.index(pc, t);
             tag[t] = self.tag(pc, t);

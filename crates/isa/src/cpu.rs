@@ -1,9 +1,8 @@
 //! Functional (untimed) interpreter.
 
-use std::collections::HashMap;
-
 use crate::inst::{Inst, Op, Width};
 use crate::mem::Memory;
+use crate::overlay::StoreOverlay;
 use crate::program::Program;
 use crate::reg::{FReg, Reg, RegRef};
 
@@ -93,55 +92,6 @@ impl std::fmt::Display for StepError {
 }
 
 impl std::error::Error for StepError {}
-
-/// Byte-granular store buffer used by speculative stepping: runahead
-/// stores land here instead of in [`Memory`], and later speculative
-/// loads observe them (store-to-load forwarding inside the runahead
-/// interval).
-#[derive(Clone, Default, Debug)]
-pub struct StoreOverlay {
-    bytes: HashMap<u64, u8>,
-}
-
-impl StoreOverlay {
-    /// Creates an empty overlay.
-    pub fn new() -> StoreOverlay {
-        StoreOverlay::default()
-    }
-
-    /// Number of overlaid bytes.
-    pub fn len(&self) -> usize {
-        self.bytes.len()
-    }
-
-    /// Whether the overlay is empty.
-    pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
-    }
-
-    /// Discards all overlaid bytes.
-    pub fn clear(&mut self) {
-        self.bytes.clear();
-    }
-
-    fn store(&mut self, addr: u64, size: u64, value: u64) {
-        for (i, b) in value.to_le_bytes().iter().enumerate().take(size as usize) {
-            self.bytes.insert(addr.wrapping_add(i as u64), *b);
-        }
-    }
-
-    fn load(&self, mem: &Memory, addr: u64, size: u64) -> u64 {
-        let mut out = [0u8; 8];
-        for (i, slot) in out.iter_mut().enumerate().take(size as usize) {
-            let a = addr.wrapping_add(i as u64);
-            *slot = match self.bytes.get(&a) {
-                Some(b) => *b,
-                None => (mem.read(a, 1) & 0xff) as u8,
-            };
-        }
-        u64::from_le_bytes(out)
-    }
-}
 
 /// Internal memory-port abstraction shared by the two stepping modes.
 trait Port {

@@ -46,17 +46,19 @@ mod cpu;
 mod encode;
 mod inst;
 mod mem;
+mod overlay;
 pub mod prng;
 mod program;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use cpu::{Cpu, MemEffect, RegWrite, Step, StepError, StoreOverlay};
+pub use cpu::{Cpu, MemEffect, RegWrite, Step, StepError};
 pub use encode::{
     decode_inst, decode_program, encode_inst, encode_program, DecodeError, INST_BYTES,
 };
 pub use inst::{Inst, Op, OpClass, SrcIter, Width};
 pub use mem::Memory;
+pub use overlay::StoreOverlay;
 pub use prng::SplitMix64;
 pub use program::Program;
 pub use reg::{FReg, Reg, RegRef};

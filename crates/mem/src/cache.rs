@@ -58,11 +58,18 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Creates an empty cache.
+    /// Creates an empty cache. Every set's way storage is allocated
+    /// here, up front: `vec![Vec::with_capacity(..); n]` would clone
+    /// an *empty* vector (capacity is not preserved by `Clone`), so a
+    /// set first touched late in a run would still grow on the hot
+    /// path — violating the allocation-free steady state (DESIGN.md
+    /// §12).
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.sets();
+        let mut storage = Vec::with_capacity(sets);
+        storage.resize_with(sets, || Vec::with_capacity(cfg.assoc));
         Cache {
-            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            sets: storage,
             set_mask: sets as u64 - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
             cfg,

@@ -43,7 +43,7 @@ pub use hierarchy::{Access, AccessOutcome, HitLevel, MemorySystem, MshrFull};
 pub use imp::{Imp, ImpConfig, ImpPrefetch};
 pub use mshr::MshrFile;
 pub use stats::{MemStats, TimelinessLevel};
-pub use stride::{StrideDetector, StrideEntry, StridePrefetcher};
+pub use stride::{PrefetchAddrs, StrideDetector, StrideEntry, StridePrefetcher};
 pub use telemetry::{PfEvent, PfOutcome, PfTelemetry};
 
 /// Who issued a memory request; used for traffic attribution

@@ -51,11 +51,12 @@ impl StrideDetector {
         assert!(entries.is_power_of_two(), "entry count must be a power of two");
         assert!(entries >= Self::WAYS, "need at least one full set");
         let sets = entries / Self::WAYS;
-        StrideDetector {
-            sets: vec![Vec::with_capacity(Self::WAYS); sets],
-            mask: sets as u64 - 1,
-            entry_count: entries,
-        }
+        // Allocate every set's way storage up front: cloning an empty
+        // `Vec::with_capacity(..)` drops the capacity, which would
+        // leave cold sets growing on the hot path (DESIGN.md §12).
+        let mut storage = Vec::with_capacity(sets);
+        storage.resize_with(sets, || Vec::with_capacity(Self::WAYS));
+        StrideDetector { sets: storage, mask: sets as u64 - 1, entry_count: entries }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -135,14 +136,18 @@ impl StridePrefetcher {
 
     /// Trains on a demand load and returns the byte addresses to
     /// prefetch (empty while confidence is still building).
-    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    ///
+    /// The addresses come back as a [`PrefetchAddrs`] value iterator —
+    /// a `Copy` struct, not a `Vec` — because this runs once per
+    /// committed load on the simulator hot path and must not allocate
+    /// (DESIGN.md §12). Address order is unchanged: `distance`,
+    /// `distance+1`, …, `distance+degree-1` strides ahead.
+    pub fn train(&mut self, pc: u64, addr: u64) -> PrefetchAddrs {
         let e = self.detector.train(pc, addr);
         if e.confidence < StrideDetector::CONFIDENT_THRESHOLD || e.stride == 0 {
-            return Vec::new();
+            return PrefetchAddrs { addr, stride: 0, k: 0, end: 0 };
         }
-        (self.distance..self.distance + self.degree)
-            .map(|k| addr.wrapping_add((e.stride as u64).wrapping_mul(k)))
-            .collect()
+        PrefetchAddrs { addr, stride: e.stride, k: self.distance, end: self.distance + self.degree }
     }
 
     /// The underlying stride detector.
@@ -150,6 +155,46 @@ impl StridePrefetcher {
         &self.detector
     }
 }
+
+/// Allocation-free value iterator over the prefetch addresses produced
+/// by one [`StridePrefetcher::train`] call: `addr + stride·k` for
+/// `k ∈ [distance, distance+degree)`. Wrapping arithmetic matches the
+/// historical `Vec`-collecting implementation exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchAddrs {
+    addr: u64,
+    stride: i64,
+    k: u64,
+    end: u64,
+}
+
+impl PrefetchAddrs {
+    /// Whether no prefetches will be issued (confidence still
+    /// building, or zero stride).
+    pub fn is_empty(&self) -> bool {
+        self.k >= self.end
+    }
+}
+
+impl Iterator for PrefetchAddrs {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.k >= self.end {
+            return None;
+        }
+        let a = self.addr.wrapping_add((self.stride as u64).wrapping_mul(self.k));
+        self.k += 1;
+        Some(a)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.k) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PrefetchAddrs {}
 
 #[cfg(test)]
 mod tests {
@@ -236,7 +281,7 @@ mod tests {
         let mut p = StridePrefetcher::new(16, 4, 4);
         let mut out = Vec::new();
         for i in 0..6u64 {
-            out = p.train(0x10, 0x1000 + i * 64);
+            out = p.train(0x10, 0x1000 + i * 64).collect();
         }
         // Last access at 0x1000 + 5·64 = 0x1140; distance 4, degree 4.
         assert_eq!(out, vec![0x1140 + 4 * 64, 0x1140 + 5 * 64, 0x1140 + 6 * 64, 0x1140 + 7 * 64]);
