@@ -21,7 +21,8 @@ use std::path::PathBuf;
 
 use vr_bench::report::{write_exports, Report, RunMeta};
 use vr_bench::{
-    parallel_map, pct, ratio, run_custom, run_technique, workload_set, BarChart, Table, Technique,
+    holey, is_hole, parallel_map, pct, ratio, run_custom, run_technique, workload_set, BarChart,
+    Table, Technique,
 };
 use vr_core::{harmonic_mean, CoreConfig, RunaheadConfig, Simulator};
 use vr_mem::{HitLevel, MemConfig, Requestor};
@@ -40,6 +41,16 @@ struct Opts {
     /// `--cancel-after-ms N`: graceful-cancellation testing aid for
     /// `campaign run`.
     cancel_after_ms: Option<u64>,
+    /// `--fail-point SUBSTR`: fault-injection testing aid for
+    /// `campaign run` — points whose label contains the substring fail
+    /// deterministically (exercises the poison-point path end to end).
+    fail_point: Option<String>,
+    /// `--point-deadline-ms N`: per-point wall-clock deadline for
+    /// `campaign run` (the supervisor stops a point that exceeds it).
+    point_deadline_ms: Option<u64>,
+    /// `--tmp-age-ms N`: minimum tmp-file age for `campaign gc`
+    /// reclamation (default: the store's 60 s grace period).
+    tmp_age_ms: Option<u64>,
 }
 
 /// One dispatchable subcommand: the id `main` matches on, the help
@@ -110,6 +121,9 @@ fn usage() -> String {
          \x20 --csv PATH    export every table as CSV\n\
          \x20 --figure ID   restrict `campaign` to one figure's points (default: all)\n\
          \x20 --cancel-after-ms N  cancel a `campaign run` after N ms (testing aid)\n\
+         \x20 --fail-point S       fail points whose label contains S (testing aid)\n\
+         \x20 --point-deadline-ms N  per-point wall-clock deadline for `campaign run`\n\
+         \x20 --tmp-age-ms N       min tmp-file age for `campaign gc` (default 60000)\n\
          \nthe `trace` id takes a positional workload name (see its error text \
          for the available names); `campaign` takes a positional action \
          (run, status, verify, gc) and requires --cache DIR.\n",
@@ -138,6 +152,9 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut figure: Option<String> = None;
     let mut cancel_after_ms: Option<u64> = None;
+    let mut fail_point: Option<String> = None;
+    let mut point_deadline_ms: Option<u64> = None;
+    let mut tmp_age_ms: Option<u64> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -188,6 +205,33 @@ fn main() {
                     }
                 };
             }
+            "--fail-point" => {
+                fail_point = match it.next() {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        eprintln!("error: --fail-point requires a label substring");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--point-deadline-ms" => {
+                point_deadline_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("error: --point-deadline-ms requires an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--tmp-age-ms" => {
+                tmp_age_ms = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("error: --tmp-age-ms requires an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--all-inputs" => presets = GraphPreset::ALL.to_vec(),
             "--quick" => {
                 scale = Scale::Test;
@@ -224,7 +268,18 @@ fn main() {
             }
         }
     }
-    let opts = Opts { insts, presets, scale, threads, workload, figure, cancel_after_ms };
+    let opts = Opts {
+        insts,
+        presets,
+        scale,
+        threads,
+        workload,
+        figure,
+        cancel_after_ms,
+        fail_point,
+        point_deadline_ms,
+        tmp_age_ms,
+    };
 
     if let Some(dir) = &cache_dir {
         if let Err(e) = vr_bench::cache::enable(dir) {
@@ -261,6 +316,18 @@ fn main() {
             "cache: {} hits, {} misses, {} writes, {} stale, {} quarantined",
             c.hits, c.misses, c.writes, c.stale, c.quarantined
         );
+    }
+    // Degradation summary: poisoned points rendered as HOLE cells are
+    // loud on stderr but never fatal — a partial figure beats no
+    // figure, and the poison record says exactly what to retry.
+    let holes = vr_bench::cache::holes();
+    if !holes.is_empty() {
+        eprintln!(
+            "degraded: {} poisoned point(s) rendered as HOLE: {}",
+            holes.len(),
+            holes.join(", ")
+        );
+        eprintln!("  (`experiments campaign gc --cache DIR` clears poison so a re-run retries)");
     }
     if reports.iter().any(|r| r.failed) {
         eprintln!("error: {id} reported a failure (see the tables above)");
@@ -302,6 +369,13 @@ fn sweep_set(opts: &Opts) -> Vec<Workload> {
 
 // ---------------------------------------------------------------- campaign
 
+/// First line of a (possibly multi-line) error for table cells —
+/// deadline errors carry a full scheduler dump that would wreck the
+/// column layout; the complete text lives in the poison record.
+fn first_line(err: &str) -> String {
+    err.lines().next().unwrap_or("").to_string()
+}
+
 /// `experiments campaign <run|status|verify|gc> --cache DIR`: drives
 /// the figure simulation points through the result store (DESIGN.md
 /// §11). `run` computes only the missing points — resumable across
@@ -311,9 +385,30 @@ fn sweep_set(opts: &Opts) -> Vec<Workload> {
 /// files.
 fn campaign_cmd(opts: &Opts) -> Vec<Report> {
     use vr_campaign::{
-        campaign_status, run_campaign, CancelToken, EngineConfig, ProgressEvent, ProgressKind,
-        SimExecutor,
+        campaign_status, run_campaign, CampaignPoint, CancelToken, EngineConfig, ExecCtx, Executor,
+        ProgressEvent, ProgressKind, SimExecutor,
     };
+
+    /// `--fail-point SUBSTR`: points whose label contains the
+    /// substring fail deterministically; everything else runs the real
+    /// simulation. The CLI's lever for exercising the poison path end
+    /// to end (run → poison record → `status --json` → HOLE cells).
+    struct FailPointExec(String);
+
+    impl Executor for FailPointExec {
+        fn execute(
+            &self,
+            p: &CampaignPoint,
+            ctx: &ExecCtx,
+        ) -> Result<vr_core::SimStats, vr_core::SimError> {
+            if p.label.contains(&self.0) {
+                return Err(vr_core::SimError::BadConfig {
+                    what: format!("injected by --fail-point {:?}", self.0),
+                });
+            }
+            SimExecutor.execute(p, ctx)
+        }
+    }
     let Some(store) = vr_bench::cache::active() else {
         eprintln!("error: campaign requires --cache DIR (the store to run against)");
         std::process::exit(2);
@@ -349,17 +444,33 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                     timer_token.cancel();
                 });
             }
-            let cfg = EngineConfig { threads: opts.threads, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                threads: opts.threads,
+                point_deadline: opts.point_deadline_ms.map(std::time::Duration::from_millis),
+                ..EngineConfig::default()
+            };
             let sink = |ev: &ProgressEvent<'_>| {
                 let what = match ev.kind {
                     ProgressKind::CacheHit => "hit".to_string(),
                     ProgressKind::Computed => "computed".to_string(),
                     ProgressKind::Retried { attempt } => format!("retry (attempt {attempt})"),
                     ProgressKind::Failed => "FAILED".to_string(),
+                    ProgressKind::Poisoned => "POISONED".to_string(),
+                    ProgressKind::SkippedPoisoned => "skipped (poisoned)".to_string(),
                 };
                 eprintln!("  [{}/{}] {} {}", ev.done, ev.total, ev.label, what);
             };
-            let out = run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink));
+            let out = match &opts.fail_point {
+                Some(s) => run_campaign(
+                    &points,
+                    store,
+                    &FailPointExec(s.clone()),
+                    &cfg,
+                    &cancel,
+                    Some(&sink),
+                ),
+                None => run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink)),
+            };
             let mut t = Table::new(&["metric", "value"]);
             t.row(vec!["submitted".into(), out.submitted.to_string()]);
             t.row(vec!["duplicates".into(), out.duplicates.to_string()]);
@@ -368,6 +479,8 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             t.row(vec!["computed".into(), out.computed.to_string()]);
             t.row(vec!["retries".into(), out.retries.to_string()]);
             t.row(vec!["failed".into(), out.failed.len().to_string()]);
+            t.row(vec!["poisoned".into(), out.poisoned.len().to_string()]);
+            t.row(vec!["skipped (poisoned)".into(), out.skipped_poisoned.to_string()]);
             t.row(vec!["cancelled".into(), out.cancelled.to_string()]);
             r.push_table("run", t);
             if !out.failed.is_empty() {
@@ -378,10 +491,24 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                 r.push_table("failures", ft);
                 r.failed = true;
             }
+            // Poisoned points are deliberate degradation, not failure:
+            // the campaign finished everything it could, the figure
+            // layer renders HOLEs, and `gc` un-poisons for a retry. So
+            // they get their own table but do NOT set `r.failed`.
+            if !out.poisoned.is_empty() {
+                let mut pt = Table::new(&["point", "error"]);
+                for (label, err) in &out.poisoned {
+                    pt.row(vec![label.clone(), first_line(err)]);
+                }
+                r.push_table("poisoned", pt);
+            }
             r.push_note(if out.cancelled {
                 "cancelled: run again to finish the remaining points"
             } else if out.complete() {
                 "campaign complete: every point has a stored result"
+            } else if out.degraded_complete() {
+                "campaign degraded-complete: every point is terminal but some are \
+                 poisoned (figures render HOLE cells; `campaign gc` clears poison to retry)"
             } else {
                 "campaign incomplete (see failures above)"
             });
@@ -391,15 +518,35 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             let points = enumerate();
             let st = campaign_status(&points, store);
             let mut t = Table::new(&["metric", "value"]);
+            // Built from the same `st` fields `to_json` serializes, so
+            // the printed census always equals the exported one.
             t.row(vec!["submitted".into(), st.submitted.to_string()]);
             t.row(vec!["unique points".into(), st.total.to_string()]);
             t.row(vec!["present".into(), st.present.to_string()]);
             t.row(vec!["missing".into(), st.missing.to_string()]);
+            t.row(vec!["poisoned".into(), st.poisoned.to_string()]);
+            t.row(vec![
+                "quarantine backlog".into(),
+                store.quarantine_backlog().map_or_else(|e| format!("? ({e})"), |n| n.to_string()),
+            ]);
             t.row(vec![
                 "store records".into(),
                 store.len().map_or_else(|e| format!("? ({e})"), |n| n.to_string()),
             ]);
             r.push_table("status", t);
+            if st.poisoned > 0 {
+                let mut pt = Table::new(&["point", "error", "attempts", "deadline trips"]);
+                for rec in store.poison_list().unwrap_or_default() {
+                    pt.row(vec![
+                        rec.label,
+                        first_line(&rec.error),
+                        rec.attempts.to_string(),
+                        rec.deadline_trips.to_string(),
+                    ]);
+                }
+                r.push_table("poison", pt);
+            }
+            r.attach("status", st.to_json());
         }
         "verify" => match store.verify() {
             Ok(rep) => {
@@ -407,6 +554,7 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                 t.row(vec!["ok".into(), rep.ok.to_string()]);
                 t.row(vec!["stale".into(), rep.stale.to_string()]);
                 t.row(vec!["quarantined".into(), rep.quarantined.to_string()]);
+                t.row(vec!["poisoned".into(), rep.poisoned.to_string()]);
                 t.row(vec!["tmp files".into(), rep.tmp_files.to_string()]);
                 t.row(vec!["quarantine backlog".into(), rep.quarantine_backlog.to_string()]);
                 r.push_table("verify", t);
@@ -422,21 +570,29 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                 std::process::exit(1);
             }
         },
-        "gc" => match store.gc() {
-            Ok(rep) => {
-                let mut t = Table::new(&["metric", "value"]);
-                t.row(vec!["kept".into(), rep.kept.to_string()]);
-                t.row(vec!["stale removed".into(), rep.stale_removed.to_string()]);
-                t.row(vec!["corrupt removed".into(), rep.corrupt_removed.to_string()]);
-                t.row(vec!["tmp removed".into(), rep.tmp_removed.to_string()]);
-                t.row(vec!["quarantine removed".into(), rep.quarantine_removed.to_string()]);
-                r.push_table("gc", t);
+        "gc" => {
+            let result = match opts.tmp_age_ms {
+                Some(ms) => store.gc_with_tmp_age(std::time::Duration::from_millis(ms)),
+                None => store.gc(),
+            };
+            match result {
+                Ok(rep) => {
+                    let mut t = Table::new(&["metric", "value"]);
+                    t.row(vec!["kept".into(), rep.kept.to_string()]);
+                    t.row(vec!["stale removed".into(), rep.stale_removed.to_string()]);
+                    t.row(vec!["corrupt removed".into(), rep.corrupt_removed.to_string()]);
+                    t.row(vec!["tmp removed".into(), rep.tmp_removed.to_string()]);
+                    t.row(vec!["tmp kept (young)".into(), rep.tmp_kept.to_string()]);
+                    t.row(vec!["poison removed".into(), rep.poison_removed.to_string()]);
+                    t.row(vec!["quarantine removed".into(), rep.quarantine_removed.to_string()]);
+                    r.push_table("gc", t);
+                }
+                Err(e) => {
+                    eprintln!("error: gc: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("error: gc: {e}");
-                std::process::exit(1);
-            }
-        },
+        }
         other => {
             eprintln!("error: unknown campaign action {other:?}\navailable: run status verify gc");
             std::process::exit(2);
@@ -556,26 +712,39 @@ fn fig_perf(opts: &Opts) -> Vec<Report> {
     let mut vr_chart = BarChart::new("VR speedup over the baseline OoO");
     const TECHS: [Technique; 4] =
         [Technique::Pre, Technique::Imp, Technique::Vr, Technique::Oracle];
+    let mut tainted: Vec<&str> = Vec::new();
     let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         let base = run_technique(w, CoreConfig::table1(), Technique::Baseline, opts.insts);
-        TECHS.map(|tech| {
-            run_technique(w, CoreConfig::table1(), tech, opts.insts).speedup_over(&base)
-        })
+        let techs = TECHS.map(|tech| run_technique(w, CoreConfig::table1(), tech, opts.insts));
+        (base, techs)
     });
-    for (w, sps) in set.iter().zip(&results) {
+    for (w, (base, techs)) in set.iter().zip(&results) {
         let mut cells = vec![w.name.clone()];
-        for (tech, &sp) in TECHS.iter().zip(sps) {
-            speedups.entry(tech.label()).or_default().push(sp);
+        for (tech, s) in TECHS.iter().zip(techs) {
+            let sp = s.speedup_over(base);
+            // A poisoned point degrades to an explicit HOLE cell and
+            // taints the technique's aggregate instead of aborting.
+            if is_hole(base) || is_hole(s) {
+                if !tainted.contains(&tech.label()) {
+                    tainted.push(tech.label());
+                }
+            } else {
+                speedups.entry(tech.label()).or_default().push(sp);
+            }
             if *tech == Technique::Vr {
                 vr_chart.bar(&w.name, sp);
             }
-            cells.push(ratio(sp));
+            cells.push(holey(&[base, s], ratio(sp)));
         }
         t.row(cells);
     }
     let mut hmean = vec!["h-mean".to_string()];
     for tech in ["PRE", "IMP", "VR", "Oracle"] {
+        if tainted.contains(&tech) {
+            hmean.push("HOLE".to_string());
+            continue;
+        }
         let hm = harmonic_mean(&speedups[tech]);
         r.metric(&format!("hmean_{tech}"), hm);
         hmean.push(ratio(hm));
@@ -903,6 +1072,7 @@ fn fig_mshr(opts: &Opts) -> Vec<Report> {
     let counts = [8usize, 16, 24, 48];
     let mut t = Table::new(&["benchmark", "8", "16", "24", "48"]);
     let mut agg = vec![Vec::new(); counts.len()];
+    let mut holed = vec![false; counts.len()];
     let results = parallel_map(&set, opts.threads, |w| {
         eprintln!("  [run] {} …", w.name);
         counts.map(|m| {
@@ -916,20 +1086,26 @@ fn fig_mshr(opts: &Opts) -> Vec<Report> {
             );
             let vr =
                 run_custom(w, CoreConfig::table1(), mem_cfg, RunaheadConfig::vector(), opts.insts);
-            vr.speedup_over(&base)
+            (base, vr)
         })
     });
-    for (w, sps) in set.iter().zip(&results) {
+    for (w, row) in set.iter().zip(&results) {
         let mut cells = vec![w.name.clone()];
-        for (i, &sp) in sps.iter().enumerate() {
-            agg[i].push(sp);
-            cells.push(ratio(sp));
+        for (i, (base, vr)) in row.iter().enumerate() {
+            // A poisoned point degrades to an explicit HOLE cell (and
+            // taints the column aggregate) instead of aborting.
+            if is_hole(base) || is_hole(vr) {
+                holed[i] = true;
+            } else {
+                agg[i].push(vr.speedup_over(base));
+            }
+            cells.push(holey(&[base, vr], ratio(vr.speedup_over(base))));
         }
         t.row(cells);
     }
     let mut hm = vec!["h-mean".to_string()];
-    for a in &agg {
-        hm.push(ratio(harmonic_mean(a)));
+    for (a, &tainted) in agg.iter().zip(&holed) {
+        hm.push(if tainted { "HOLE".to_string() } else { ratio(harmonic_mean(a)) });
     }
     t.row(hm);
     r.push_table("speedup", t);
@@ -1160,6 +1336,9 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
             workload: None,
             figure: None,
             cancel_after_ms: None,
+            fail_point: None,
+            point_deadline_ms: None,
+            tmp_age_ms: None,
         };
         let t0 = Instant::now();
         for r in f(&serial) {

@@ -17,11 +17,32 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use vr_campaign::{ResultStore, StoreCounters};
 
 static STORE: OnceLock<ResultStore> = OnceLock::new();
+
+/// Labels of points that degraded to HOLE cells this process (see
+/// [`crate::hole_stats`]): poisoned points skipped at lookup time and
+/// fresh simulation failures recorded while a store was active. The
+/// CLI prints these on stderr after rendering so a degraded figure is
+/// loud without being fatal.
+static HOLES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Records that `label`'s point rendered as a HOLE (deduplicated —
+/// sweeps hit the same workload under many configurations).
+pub fn note_hole(label: &str) {
+    let mut holes = HOLES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !holes.iter().any(|l| l == label) {
+        holes.push(label.to_string());
+    }
+}
+
+/// The labels that degraded to HOLEs so far, in first-seen order.
+pub fn holes() -> Vec<String> {
+    HOLES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
 
 /// Opens the store rooted at `dir` and routes every subsequent
 /// [`crate::run_custom`] through it. First call wins; a second call
@@ -66,5 +87,19 @@ mod tests {
     fn cache_is_inactive_by_default() {
         assert!(active().is_none());
         assert!(counters().is_none());
+    }
+
+    #[test]
+    fn holes_deduplicate_and_preserve_first_seen_order() {
+        // The registry is process-global like the store, but unlike
+        // `enable` it is append-only bookkeeping — other tests in this
+        // binary never read it, so exercising it here is safe.
+        note_hole("zz-test-hole-b");
+        note_hole("zz-test-hole-a");
+        note_hole("zz-test-hole-b");
+        let h = holes();
+        let pos = |l: &str| h.iter().position(|x| x == l).unwrap();
+        assert!(pos("zz-test-hole-b") < pos("zz-test-hole-a"));
+        assert_eq!(h.iter().filter(|l| *l == "zz-test-hole-b").count(), 1);
     }
 }

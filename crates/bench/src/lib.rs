@@ -150,6 +150,13 @@ pub fn run_technique(w: &Workload, core: CoreConfig, tech: Technique, max_insts:
 /// simulation is skipped on a hit. Stored stats round-trip
 /// bit-identically, so cached and uncached figure output are
 /// byte-identical.
+/// Runs `workload` with explicit configurations, degrading instead of
+/// aborting when a store is active: a point the campaign has poisoned
+/// is skipped (its label is noted in [`cache::holes`] and the figure
+/// renders a `HOLE` cell via [`holey`]), and a fresh simulation
+/// failure is poisoned in the store and degraded the same way. With
+/// no store there is nowhere to record the failure, so a simulation
+/// error still panics — exactly the pre-store behaviour.
 pub fn run_custom(
     w: &Workload,
     core: CoreConfig,
@@ -158,28 +165,71 @@ pub fn run_custom(
     max_insts: u64,
 ) -> SimStats {
     let Some(store) = cache::active() else {
-        return simulate(w, core, mem_cfg, ra_cfg, max_insts);
+        return try_simulate(w, core, mem_cfg, ra_cfg, max_insts).unwrap_or_else(|e| panic!("{e}"));
     };
     let key = vr_campaign::point_key(w, &core, &mem_cfg, &ra_cfg, max_insts);
     if let Some(stats) = store.load(key) {
         return stats;
     }
-    let stats = simulate(w, core, mem_cfg, ra_cfg, max_insts);
-    // A failed save degrades to "not cached", never to a failed run.
-    let _ = store.save(key, &w.name, &stats);
-    stats
+    if store.is_poisoned(key) {
+        cache::note_hole(&w.name);
+        return hole_stats();
+    }
+    match try_simulate(w, core, mem_cfg, ra_cfg, max_insts) {
+        Ok(stats) => {
+            // A failed save degrades to "not cached", never to a
+            // failed run.
+            let _ = store.save(key, &w.name, &stats);
+            stats
+        }
+        Err(e) => {
+            let _ = store.poison(&vr_campaign::PoisonRecord {
+                key,
+                label: w.name.clone(),
+                error: e.to_string(),
+                attempts: 1,
+                deadline_trips: 0,
+            });
+            cache::note_hole(&w.name);
+            hole_stats()
+        }
+    }
 }
 
-fn simulate(
+fn try_simulate(
     w: &Workload,
     core: CoreConfig,
     mem_cfg: MemConfig,
     ra_cfg: RunaheadConfig,
     max_insts: u64,
-) -> SimStats {
+) -> Result<SimStats, vr_core::SimError> {
     let mut sim =
         Simulator::new(core, mem_cfg, ra_cfg, w.program.clone(), w.memory.clone(), &w.init_regs);
-    sim.run(max_insts)
+    sim.try_run(max_insts)
+}
+
+/// The sentinel stats a poisoned (HOLE) point yields: all zeros. A
+/// real run can never finish with zero cycles, so [`is_hole`] is
+/// unambiguous, and every derived rate (IPC, speedup, MPKI) collapses
+/// to zero instead of dividing by garbage.
+pub fn hole_stats() -> SimStats {
+    SimStats::default()
+}
+
+/// Whether `stats` is the [`hole_stats`] sentinel.
+pub fn is_hole(stats: &SimStats) -> bool {
+    stats.cycles == 0
+}
+
+/// Renders `rendered` unless any of `deps` is a HOLE, in which case
+/// the cell reads `HOLE` — a value derived from a poisoned point is
+/// garbage and must not masquerade as data.
+pub fn holey(deps: &[&SimStats], rendered: String) -> String {
+    if deps.iter().any(|s| is_hole(s)) {
+        "HOLE".to_string()
+    } else {
+        rendered
+    }
 }
 
 /// The evaluation workload set: GAP kernels over the selected graph
@@ -455,6 +505,25 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(pct(0.071), "7.1%");
+    }
+
+    #[test]
+    fn hole_sentinel_is_unambiguous_and_masks_derived_cells() {
+        let hole = hole_stats();
+        assert!(is_hole(&hole));
+        let real = run_technique(
+            &quick_workload_set()[7],
+            CoreConfig::table1(),
+            Technique::Baseline,
+            5_000,
+        );
+        assert!(!is_hole(&real), "a finished run always has cycles");
+        assert_eq!(holey(&[&real, &real], ratio(1.5)), "1.50x");
+        assert_eq!(holey(&[&real, &hole], ratio(1.5)), "HOLE");
+        assert_eq!(holey(&[], "ok".into()), "ok", "no deps, nothing to mask");
+        // The derived rates a figure would compute from a hole are
+        // zeros, not NaN/inf garbage.
+        assert_eq!(hole.speedup_over(&real), 0.0);
     }
 
     #[test]

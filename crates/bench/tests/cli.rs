@@ -25,6 +25,16 @@ fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("vr-cli-{}-{name}", std::process::id()))
 }
 
+/// The value cell of a two-column metric table row, found by its
+/// metric label — robust to the column widths shifting as metrics are
+/// added.
+fn cell(out: &str, metric: &str) -> Option<String> {
+    out.lines().find_map(|l| {
+        let rest = l.strip_prefix(metric)?;
+        rest.starts_with(' ').then(|| rest.trim().to_string())
+    })
+}
+
 #[test]
 fn no_arguments_prints_generated_usage_and_exits_nonzero() {
     let o = experiments(&[]);
@@ -221,7 +231,7 @@ fn warmed_cache_makes_the_figure_pure_hits_and_byte_identical() {
         store.to_str().unwrap(),
     ]);
     assert!(o.status.success());
-    assert!(stdout(&o).contains("missing            0"), "{}", stdout(&o));
+    assert_eq!(cell(&stdout(&o), "missing").as_deref(), Some("0"), "{}", stdout(&o));
     let o = experiments(&["campaign", "verify", "--cache", store.to_str().unwrap()]);
     assert!(o.status.success(), "verify not clean: {}", stdout(&o));
     assert!(stdout(&o).contains("store clean"), "{}", stdout(&o));
@@ -254,16 +264,116 @@ fn cancelled_campaign_resumes_without_recomputation() {
     };
     let o = run(&["--cancel-after-ms", "0"]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
-    assert!(stdout(&o).contains("cancelled       true"), "{}", stdout(&o));
+    assert_eq!(cell(&stdout(&o), "cancelled").as_deref(), Some("true"), "{}", stdout(&o));
 
     let o = run(&[]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
     let out = stdout(&o);
-    assert!(out.contains("cancelled      false"), "{out}");
+    assert_eq!(cell(&out, "cancelled").as_deref(), Some("false"), "{out}");
     assert!(out.contains("campaign complete"), "{out}");
 
     let o = run(&[]);
-    assert!(stdout(&o).contains("computed           0"), "{}", stdout(&o));
+    assert_eq!(cell(&stdout(&o), "computed").as_deref(), Some("0"), "{}", stdout(&o));
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// The degradation acceptance path: a campaign with one permanently
+/// failing workload (`--fail-point`) completes with the points
+/// poisoned instead of fatal, `status --json` reports the same census
+/// it prints, the affected figure renders explicit `HOLE` cells and
+/// still exits 0, and `gc` un-poisons so a clean re-run converges.
+#[test]
+fn fail_point_poisons_degrade_figures_to_holes_and_status_json_matches() {
+    let store = tmp("campaign-poison");
+    std::fs::remove_dir_all(&store).ok();
+    let common = ["--quick", "--insts", "2000", "--figure", "fig-mshr"];
+
+    // 1. Poisoned campaign: exit 0, degraded-complete, the injected
+    //    error is visible in the poisoned table.
+    let mut args = vec![
+        "campaign",
+        "run",
+        "--threads",
+        "2",
+        "--fail-point",
+        "Kangaroo",
+        "--cache",
+        store.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    let o = experiments(&args);
+    assert!(o.status.success(), "poisoned campaign must exit 0: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("campaign degraded-complete"), "{out}");
+    let poisoned: u64 = cell(&out, "poisoned").unwrap().parse().unwrap();
+    assert!(poisoned > 0, "{out}");
+    assert!(out.contains("injected by --fail-point"), "{out}");
+
+    // 2. `status --json`: the printed census equals the exported one
+    //    field by field (both render the same StatusReport).
+    let jpath = tmp("poison-status.json");
+    let mut args = vec![
+        "campaign",
+        "status",
+        "--cache",
+        store.to_str().unwrap(),
+        "--json",
+        jpath.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    let o = experiments(&args);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    let doc = Json::parse(&std::fs::read_to_string(&jpath).expect("json written")).unwrap();
+    std::fs::remove_file(&jpath).ok();
+    let st = doc.get("reports").and_then(Json::as_arr).expect("reports")[0]
+        .get("status")
+        .expect("status attachment");
+    assert_eq!(st.get("schema").and_then(Json::as_str), Some("vr-campaign-v1"));
+    for (row, field) in [
+        ("submitted", "submitted"),
+        ("unique points", "total"),
+        ("present", "present"),
+        ("missing", "missing"),
+        ("poisoned", "poisoned"),
+    ] {
+        let printed: u64 = cell(&out, row).unwrap().parse().unwrap();
+        assert_eq!(
+            Some(printed),
+            st.get(field).and_then(Json::as_u64),
+            "printed {row} drifted from exported {field}: {out}"
+        );
+    }
+    assert!(cell(&out, "poisoned").unwrap().parse::<u64>().unwrap() > 0, "{out}");
+    assert!(out.contains("injected by --fail-point"), "poison detail table missing: {out}");
+
+    // 3. The affected figure: explicit HOLE cells, loud stderr, exit 0.
+    let o = experiments(&[
+        "fig-mshr",
+        "--quick",
+        "--insts",
+        "2000",
+        "--threads",
+        "2",
+        "--cache",
+        store.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "degraded figure must exit 0: {}", stderr(&o));
+    assert!(stdout(&o).contains("HOLE"), "{}", stdout(&o));
+    let err = stderr(&o);
+    assert!(err.contains("degraded:"), "{err}");
+    assert!(err.contains("Kangaroo"), "{err}");
+
+    // 4. `gc` clears the poison and a clean re-run (no injection)
+    //    completes the campaign for real.
+    let o = experiments(&["campaign", "gc", "--cache", store.to_str().unwrap()]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(cell(&stdout(&o), "poison removed").unwrap().parse::<u64>().unwrap() > 0);
+    let mut args = vec!["campaign", "run", "--threads", "2", "--cache", store.to_str().unwrap()];
+    args.extend_from_slice(&common);
+    let o = experiments(&args);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("campaign complete"), "{}", stdout(&o));
     std::fs::remove_dir_all(&store).ok();
 }
 

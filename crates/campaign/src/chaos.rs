@@ -1,0 +1,405 @@
+//! Deterministic fault injection behind the result store's I/O
+//! (compiled only with the `chaos` cargo feature).
+//!
+//! The store's durability claims — atomic publish, quarantine-never-
+//! crash validation, resumability from any kill point — were only
+//! exercised by hand-built corruption shapes until this module. A
+//! [`FaultFs`] sits behind every filesystem operation the store
+//! performs and injects, from one seeded [`SplitMix64`] stream
+//! (the same zero-dependency generator the simulator's `FaultPlan`
+//! uses), the faults a long campaign actually meets:
+//!
+//! * **torn writes** — a prefix of the bytes lands on disk and the
+//!   write reports failure (power loss / partial flush mid-`write`);
+//! * **rename failures** — the atomic publish itself fails, leaving
+//!   the temp file behind;
+//! * **crash before / after a mutating op** — at a scheduled op index
+//!   the "process dies": with `crash_before` the op never happens,
+//!   without it the op completes but the caller never learns; every
+//!   subsequent operation fails (the process is dead). Scheduling the
+//!   crash on a rename models the two interesting kill points of the
+//!   publish protocol exactly;
+//! * **bit flips on read** — silent media/transfer corruption: the
+//!   on-disk file is intact but the bytes the reader sees are not;
+//! * **ENOSPC** — the write fails up front with
+//!   [`io::ErrorKind::StorageFull`], nothing lands on disk.
+//!
+//! Determinism contract: one `FaultFs` with one seed produces one
+//! fault schedule, provided the operation order is deterministic —
+//! chaos tests therefore drive the campaign single-threaded.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vr_isa::SplitMix64;
+
+/// Fault probabilities and the crash schedule for one [`FaultFs`].
+/// Probabilities are per-operation Bernoulli draws from the seeded
+/// stream; the crash is a deterministic op index.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the fault stream (equal seeds, equal schedules).
+    pub seed: u64,
+    /// Probability a write lands only a prefix and reports failure.
+    pub torn_write: f64,
+    /// Probability a rename (the atomic publish) fails.
+    pub rename_fail: f64,
+    /// Probability a read returns the file's bytes with one bit
+    /// flipped.
+    pub bitflip_read: f64,
+    /// Probability a write fails up front with `StorageFull`.
+    pub enospc: f64,
+    /// Mutating-op index (0-based: writes, renames, removes) at which
+    /// the simulated process dies. `None` never crashes.
+    pub crash_at_op: Option<u64>,
+    /// Die *before* the crash op takes effect (true) or just after it
+    /// completed (false). On a rename op these are exactly
+    /// crash-before-publish and crash-after-publish.
+    pub crash_before: bool,
+}
+
+impl ChaosConfig {
+    /// No faults at all — useful to count a schedule's mutating ops.
+    pub fn quiet() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            torn_write: 0.0,
+            rename_fail: 0.0,
+            bitflip_read: 0.0,
+            enospc: 0.0,
+            crash_at_op: None,
+            crash_before: false,
+        }
+    }
+
+    /// A mixed-fault schedule derived entirely from `seed`: every
+    /// fault kind gets a nonzero rate and the crash point is drawn
+    /// from the stream (bounded by `op_bound` so it can actually land
+    /// within the run).
+    pub fn storm(seed: u64, op_bound: u64) -> ChaosConfig {
+        let mut rng = SplitMix64::new(seed);
+        ChaosConfig {
+            seed: rng.next_u64(),
+            torn_write: 0.05 + 0.20 * rng.f64_unit(),
+            rename_fail: 0.05 + 0.15 * rng.f64_unit(),
+            bitflip_read: 0.02 + 0.10 * rng.f64_unit(),
+            enospc: 0.02 + 0.10 * rng.f64_unit(),
+            crash_at_op: Some(rng.below(op_bound.max(1))),
+            crash_before: rng.flip(),
+        }
+    }
+
+    /// Only a crash at `op` (before/after), no probabilistic faults —
+    /// the exhaustive-interleaving test walks every op index with
+    /// this.
+    pub fn crash_only(op: u64, before: bool) -> ChaosConfig {
+        ChaosConfig { crash_at_op: Some(op), crash_before: before, ..ChaosConfig::quiet() }
+    }
+}
+
+/// Snapshot of what a [`FaultFs`] actually injected.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ChaosCounters {
+    /// Mutating operations observed (writes, renames, removes).
+    pub mutating_ops: u64,
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Rename failures injected.
+    pub rename_fails: u64,
+    /// Read bit flips injected.
+    pub bitflips: u64,
+    /// ENOSPC failures injected.
+    pub enospc: u64,
+    /// Whether the simulated process death happened.
+    pub crashed: bool,
+}
+
+/// Whether a mutating op is the scheduled crash point.
+enum CrashWhen {
+    No,
+    After,
+}
+
+/// The injection seam. One instance guards one store; all methods are
+/// `&self` (the store is shared across workers) with the RNG behind a
+/// mutex — fault draws are serialized, which is exactly the
+/// determinism the tests need.
+#[derive(Debug)]
+pub struct FaultFs {
+    cfg: ChaosConfig,
+    rng: Mutex<SplitMix64>,
+    ops: AtomicU64,
+    torn_writes: AtomicU64,
+    rename_fails: AtomicU64,
+    bitflips: AtomicU64,
+    enospc: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultFs {
+    /// Builds the seam from a fault plan.
+    pub fn new(cfg: ChaosConfig) -> FaultFs {
+        FaultFs {
+            rng: Mutex::new(SplitMix64::new(cfg.seed)),
+            cfg,
+            ops: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            rename_fails: AtomicU64::new(0),
+            bitflips: AtomicU64::new(0),
+            enospc: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            mutating_ops: self.ops.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            rename_fails: self.rename_fails.load(Ordering::Relaxed),
+            bitflips: self.bitflips.load(Ordering::Relaxed),
+            enospc: self.enospc.load(Ordering::Relaxed),
+            crashed: self.crashed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the simulated process death has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn dead() -> io::Error {
+        io::Error::other("chaos: process crashed (injected)")
+    }
+
+    /// Accounts one mutating op; errors if the process is already
+    /// dead, kills it here if this op is a crash-before point.
+    fn begin_mutation(&self) -> io::Result<CrashWhen> {
+        if self.crashed() {
+            return Err(Self::dead());
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.crash_at_op == Some(op) {
+            if self.cfg.crash_before {
+                self.crashed.store(true, Ordering::Release);
+                return Err(Self::dead());
+            }
+            return Ok(CrashWhen::After);
+        }
+        Ok(CrashWhen::No)
+    }
+
+    /// Applies a crash-after: the op's effect stands, but the caller
+    /// learns nothing (the process died before observing the result).
+    fn end_mutation(&self, when: CrashWhen, result: io::Result<()>) -> io::Result<()> {
+        if matches!(when, CrashWhen::After) {
+            self.crashed.store(true, Ordering::Release);
+            result?;
+            return Err(Self::dead());
+        }
+        result
+    }
+
+    /// `fs::write` behind the seam: may fail with ENOSPC (nothing
+    /// written), land a torn prefix, or be a crash point.
+    pub fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let when = self.begin_mutation()?;
+        let fault = {
+            let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if rng.chance(self.cfg.enospc) {
+                Some(Err(io::Error::new(io::ErrorKind::StorageFull, "chaos: disk full (injected)")))
+            } else if rng.chance(self.cfg.torn_write) {
+                Some(Ok(rng.below(bytes.len() as u64) as usize))
+            } else {
+                None
+            }
+        };
+        let result = match fault {
+            Some(Err(e)) => {
+                self.enospc.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Some(Ok(keep)) => {
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                // The prefix really lands on disk; the caller sees a
+                // failure, exactly like a power cut mid-flush.
+                fs::write(path, &bytes[..keep])?;
+                Err(io::Error::new(io::ErrorKind::WriteZero, "chaos: torn write (injected)"))
+            }
+            None => fs::write(path, bytes),
+        };
+        self.end_mutation(when, result)
+    }
+
+    /// `fs::rename` behind the seam: may fail outright (temp file left
+    /// behind) or be a crash point — before (publish never happens) or
+    /// after (record durable, writer dead).
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let when = self.begin_mutation()?;
+        let fail = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .chance(self.cfg.rename_fail);
+        let result = if fail {
+            self.rename_fails.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::other("chaos: rename failed (injected)"))
+        } else {
+            fs::rename(from, to)
+        };
+        self.end_mutation(when, result)
+    }
+
+    /// `fs::remove_file` behind the seam (crash gating only).
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let when = self.begin_mutation()?;
+        let result = fs::remove_file(path);
+        self.end_mutation(when, result)
+    }
+
+    /// `fs::read_to_string` behind the seam: non-mutating (no op
+    /// accounting), but a dead process reads nothing and a live one
+    /// may see a single flipped bit. The file itself is untouched.
+    pub fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        if self.crashed() {
+            return Err(Self::dead());
+        }
+        let text = fs::read_to_string(path)?;
+        let flip = {
+            let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            (!text.is_empty() && rng.chance(self.cfg.bitflip_read))
+                .then(|| (rng.below(text.len() as u64) as usize, rng.below(8) as u32))
+        };
+        let Some((byte, bit)) = flip else { return Ok(text) };
+        self.bitflips.fetch_add(1, Ordering::Relaxed);
+        let mut bytes = text.into_bytes();
+        bytes[byte] ^= 1 << bit;
+        // A flip can break UTF-8; the reader cannot tell that apart
+        // from any other unreadable file, so surface it as an error
+        // (the store treats both as corrupt).
+        String::from_utf8(bytes)
+            .map_err(|_| io::Error::other("chaos: bit flip produced invalid utf-8 (injected)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vr-chaos-unit-{tag}-{}-{}",
+            std::process::id(),
+            crate::test_nonce()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn equal_seeds_inject_identical_schedules() {
+        let run = || {
+            let dir = scratch("det");
+            let f = FaultFs::new(ChaosConfig { crash_at_op: None, ..ChaosConfig::storm(77, 64) });
+            let mut outcomes = Vec::new();
+            for i in 0..40 {
+                let p = dir.join(format!("f{i}"));
+                outcomes.push(f.write(&p, b"0123456789abcdef").is_ok());
+                outcomes.push(f.read_to_string(&p).map(|t| t.len()).is_ok());
+                let q = dir.join(format!("g{i}"));
+                outcomes.push(f.rename(&p, &q).is_ok());
+            }
+            fs::remove_dir_all(&dir).ok();
+            (outcomes, f.counters())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b, "fault schedule must be a pure function of the seed");
+        assert_eq!(ca, cb);
+        assert!(
+            ca.torn_writes + ca.rename_fails + ca.bitflips + ca.enospc > 0,
+            "storm injected nothing: {ca:?}"
+        );
+    }
+
+    #[test]
+    fn crash_before_skips_the_op_and_kills_everything_after() {
+        let dir = scratch("crash-before");
+        let f = FaultFs::new(ChaosConfig::crash_only(1, true));
+        let a = dir.join("a");
+        let b = dir.join("b");
+        assert!(f.write(&a, b"one").is_ok(), "op 0 runs normally");
+        assert!(f.rename(&a, &b).is_err(), "op 1 is the crash point");
+        assert!(!b.exists(), "crash-before: the rename never happened");
+        assert!(a.exists());
+        assert!(f.write(&a, b"x").is_err(), "the process is dead");
+        assert!(f.read_to_string(&a).is_err(), "dead processes do not read");
+        assert!(f.counters().crashed);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_after_applies_the_op_but_reports_failure() {
+        let dir = scratch("crash-after");
+        let f = FaultFs::new(ChaosConfig::crash_only(1, false));
+        let a = dir.join("a");
+        let b = dir.join("b");
+        assert!(f.write(&a, b"one").is_ok());
+        assert!(f.rename(&a, &b).is_err(), "caller sees a failure...");
+        assert!(b.exists(), "...but crash-after means the publish is durable");
+        assert!(!a.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_lands_a_strict_prefix() {
+        let dir = scratch("torn");
+        let f = FaultFs::new(ChaosConfig { torn_write: 1.0, ..ChaosConfig::quiet() });
+        let p = dir.join("t");
+        let payload = b"0123456789abcdef0123456789abcdef";
+        assert!(f.write(&p, payload).is_err());
+        let on_disk = fs::read(&p).unwrap();
+        assert!(on_disk.len() < payload.len());
+        assert_eq!(&payload[..on_disk.len()], &on_disk[..]);
+        assert_eq!(f.counters().torn_writes, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_writes_nothing() {
+        let dir = scratch("enospc");
+        let f = FaultFs::new(ChaosConfig { enospc: 1.0, ..ChaosConfig::quiet() });
+        let p = dir.join("t");
+        let err = f.write(&p, b"payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!p.exists(), "ENOSPC must not leave a partial file");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit_and_leaves_the_file_alone() {
+        let dir = scratch("flip");
+        let f = FaultFs::new(ChaosConfig { bitflip_read: 1.0, seed: 3, ..ChaosConfig::quiet() });
+        let p = dir.join("t");
+        fs::write(&p, "aaaaaaaaaaaaaaaa").unwrap();
+        // Some flips land outside ASCII and surface as utf-8 errors;
+        // either way the on-disk bytes never change.
+        match f.read_to_string(&p) {
+            Ok(seen) => {
+                let diff: u32 = seen
+                    .bytes()
+                    .zip("aaaaaaaaaaaaaaaa".bytes())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(diff, 1, "exactly one flipped bit");
+            }
+            Err(e) => assert!(e.to_string().contains("bit flip")),
+        }
+        assert_eq!(fs::read_to_string(&p).unwrap(), "aaaaaaaaaaaaaaaa");
+        assert_eq!(f.counters().bitflips, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

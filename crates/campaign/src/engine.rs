@@ -18,20 +18,40 @@
 //!   (*resumability*);
 //! * an in-process [`CancelToken`] provides the graceful counterpart:
 //!   workers stop taking new points, finish the one in hand, and the
-//!   outcome reports `cancelled`.
+//!   outcome reports `cancelled`;
+//! * with [`EngineConfig::point_deadline`] set, a **supervisor** on the
+//!   driving thread watches every in-flight attempt and trips its
+//!   [`StopFlag`] when the wall clock runs out — the simulator stops
+//!   cooperatively and returns [`SimError::Deadline`] with the same
+//!   diagnostic snapshot the deadlock watchdog takes;
+//! * a point that exhausts its retries, or trips the deadline
+//!   [`POISON_DEADLINE_TRIPS`] times, is **poisoned**: a structured
+//!   failure record lands in the store (`poison/`), re-runs skip the
+//!   point, and the campaign *continues* — one permanently sick point
+//!   degrades its figure cells, never the whole campaign
+//!   (`store gc` clears poison and makes the points runnable again);
+//! * retry backoff is jittered ±25% by a [`SplitMix64`] stream seeded
+//!   purely from `(jitter_seed, point key, attempt)`, so sleeps are
+//!   decorrelated across points yet bit-reproducible run to run.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use vr_core::{CoreConfig, RunaheadConfig, SimError, SimStats, Simulator};
+use vr_core::{CoreConfig, RunaheadConfig, SimError, SimStats, Simulator, StopFlag};
+use vr_isa::SplitMix64;
 use vr_mem::MemConfig;
 use vr_obs::{Json, CAMPAIGN_SCHEMA};
 use vr_workloads::Workload;
 
 use crate::fingerprint::{point_key, PointKey};
-use crate::store::ResultStore;
+use crate::store::{PoisonRecord, ResultStore};
+
+/// Deadline expiries a point is allowed before it is poisoned. Two,
+/// not one: a single trip can be an unlucky machine stall (CI noise,
+/// page cache cold); the second on the very same point is a verdict.
+pub const POISON_DEADLINE_TRIPS: u32 = 2;
 
 /// One simulation point of a campaign: a workload plus the full
 /// configuration and budget that determine its statistics.
@@ -63,27 +83,40 @@ impl CampaignPoint {
     }
 }
 
+/// Per-attempt context handed to an [`Executor`]: which attempt this
+/// is and the supervisor's stop handle for it.
+#[derive(Clone, Debug)]
+pub struct ExecCtx {
+    /// 0 on the first try, incremented on each retry.
+    pub attempt: u32,
+    /// Tripped by the supervisor when [`EngineConfig::point_deadline`]
+    /// expires; a cooperative executor stops promptly and returns
+    /// [`SimError::Deadline`].
+    pub stop: StopFlag,
+}
+
 /// How a campaign point is computed. The indirection exists so tests
 /// can inject flaky or instant executors: the real simulator is
 /// deterministic, so a genuine [`SimError`] would recur on every
 /// retry, making retry/backoff untestable against [`SimExecutor`].
 pub trait Executor: Sync {
-    /// Computes the statistics for `p`. `attempt` is 0 on the first
-    /// try and increments on each retry.
+    /// Computes the statistics for `p`.
     ///
     /// # Errors
     ///
     /// Returns the simulation error; the engine retries up to
     /// [`EngineConfig::max_retries`] times before recording a failure.
-    fn execute(&self, p: &CampaignPoint, attempt: u32) -> Result<SimStats, SimError>;
+    fn execute(&self, p: &CampaignPoint, ctx: &ExecCtx) -> Result<SimStats, SimError>;
 }
 
-/// The production executor: one fresh [`Simulator`] per call.
+/// The production executor: one fresh [`Simulator`] per call, with the
+/// attempt's [`StopFlag`] installed so the supervisor's deadline can
+/// stop it mid-run.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct SimExecutor;
 
 impl Executor for SimExecutor {
-    fn execute(&self, p: &CampaignPoint, _attempt: u32) -> Result<SimStats, SimError> {
+    fn execute(&self, p: &CampaignPoint, ctx: &ExecCtx) -> Result<SimStats, SimError> {
         let mut sim = Simulator::new(
             p.core.clone(),
             p.mem.clone(),
@@ -92,6 +125,7 @@ impl Executor for SimExecutor {
             p.workload.memory.clone(),
             &p.workload.init_regs,
         );
+        sim.set_stop_flag(ctx.stop.clone());
         sim.try_run(p.max_insts)
     }
 }
@@ -129,10 +163,19 @@ pub struct EngineConfig {
     /// at most `max_retries + 1` times).
     pub max_retries: u32,
     /// Backoff before retry `n` is `min(backoff_base << n,
-    /// backoff_cap)`.
+    /// backoff_cap)`, then jittered ±25% (still capped).
     pub backoff_base: Duration,
-    /// Upper bound on a single backoff sleep.
+    /// Upper bound on a single backoff sleep, jitter included.
     pub backoff_cap: Duration,
+    /// Seed for the backoff jitter stream. The sleep before a given
+    /// `(point, attempt)` is a pure function of this seed, so two runs
+    /// with equal configs back off identically no matter how the
+    /// workers interleave.
+    pub jitter_seed: u64,
+    /// Wall-clock budget per execution attempt. When set, a supervisor
+    /// watches every in-flight attempt and trips its [`StopFlag`] at
+    /// the deadline; `None` lets attempts run unbounded.
+    pub point_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -142,6 +185,8 @@ impl Default for EngineConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(200),
+            jitter_seed: 0,
+            point_deadline: None,
         }
     }
 }
@@ -163,6 +208,21 @@ impl EngineConfig {
             self.backoff_base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
         shifted.min(self.backoff_cap)
     }
+
+    /// [`EngineConfig::backoff`] with deterministic ±25% jitter. The
+    /// stream is seeded from `(jitter_seed, key, attempt)` alone —
+    /// never from shared mutable state — so thread interleaving cannot
+    /// change any draw. The result stays within `backoff_cap`.
+    fn jittered_backoff(&self, key: PointKey, attempt: u32) -> Duration {
+        let base = self.backoff(attempt);
+        if base.is_zero() {
+            return base;
+        }
+        let mut rng =
+            SplitMix64::new(self.jitter_seed ^ key.0.rotate_left(17) ^ u64::from(attempt));
+        let factor = 0.75 + 0.5 * rng.f64_unit(); // [0.75, 1.25)
+        Duration::from_secs_f64(base.as_secs_f64() * factor).min(self.backoff_cap)
+    }
 }
 
 /// What happened to one point, reported through the progress callback.
@@ -177,7 +237,15 @@ pub enum ProgressKind {
         /// The 0-based attempt that failed.
         attempt: u32,
     },
-    /// All attempts exhausted; the point is recorded as failed.
+    /// The point was declared unrunnable and a poison record was
+    /// published; the campaign continues without it.
+    Poisoned,
+    /// The point already had a poison record from an earlier run and
+    /// was skipped without executing.
+    SkippedPoisoned,
+    /// All attempts exhausted (and no poison record could be written,
+    /// or the run was cancelled mid-retry); the point is recorded as
+    /// failed.
     Failed,
 }
 
@@ -216,7 +284,14 @@ pub struct CampaignOutcome {
     pub computed: u64,
     /// Failed attempts that were retried.
     pub retries: u64,
-    /// `(label, error)` for points that exhausted their retries.
+    /// `(label, error)` for points poisoned *this run* (retries
+    /// exhausted or repeated deadline trips; a poison record was
+    /// published for each).
+    pub poisoned: Vec<(String, String)>,
+    /// Points skipped because an earlier run already poisoned them.
+    pub skipped_poisoned: u64,
+    /// `(label, error)` for points that failed without a poison record
+    /// (cancelled mid-retry, or the poison write itself failed).
     pub failed: Vec<(String, String)>,
     /// Whether the run stopped early on a [`CancelToken`].
     pub cancelled: bool,
@@ -225,7 +300,22 @@ pub struct CampaignOutcome {
 impl CampaignOutcome {
     /// True when every unique point reached a stored result.
     pub fn complete(&self) -> bool {
-        !self.cancelled && self.failed.is_empty() && self.cache_hits + self.computed == self.total
+        !self.cancelled
+            && self.failed.is_empty()
+            && self.poisoned.is_empty()
+            && self.skipped_poisoned == 0
+            && self.cache_hits + self.computed == self.total
+    }
+
+    /// True when the campaign finished *degraded*: every point reached
+    /// a terminal state and the only shortfall is poisoned points
+    /// (figures render HOLE cells for those). [`CampaignOutcome::complete`]
+    /// implies this.
+    pub fn degraded_complete(&self) -> bool {
+        !self.cancelled
+            && self.failed.is_empty()
+            && self.cache_hits + self.computed + self.poisoned.len() as u64 + self.skipped_poisoned
+                == self.total
     }
 
     /// Machine-readable rendering under [`CAMPAIGN_SCHEMA`].
@@ -239,20 +329,24 @@ impl CampaignOutcome {
             cache_hits,
             computed,
             retries,
+            poisoned,
+            skipped_poisoned,
             failed,
             cancelled,
         } = self;
-        let failed_arr = Json::Arr(
-            failed
-                .iter()
-                .map(|(label, error)| {
-                    Json::Obj(vec![
-                        ("label".into(), Json::from(label.as_str())),
-                        ("error".into(), Json::from(error.as_str())),
-                    ])
-                })
-                .collect(),
-        );
+        let label_error_arr = |items: &[(String, String)]| {
+            Json::Arr(
+                items
+                    .iter()
+                    .map(|(label, error)| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::from(label.as_str())),
+                            ("error".into(), Json::from(error.as_str())),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
         Json::Obj(vec![
             ("schema".into(), Json::from(CAMPAIGN_SCHEMA)),
             ("submitted".into(), Json::U64(*submitted)),
@@ -261,7 +355,9 @@ impl CampaignOutcome {
             ("cache_hits".into(), Json::U64(*cache_hits)),
             ("computed".into(), Json::U64(*computed)),
             ("retries".into(), Json::U64(*retries)),
-            ("failed".into(), failed_arr),
+            ("poisoned".into(), label_error_arr(poisoned)),
+            ("skipped_poisoned".into(), Json::U64(*skipped_poisoned)),
+            ("failed".into(), label_error_arr(failed)),
             ("cancelled".into(), Json::Bool(*cancelled)),
         ])
     }
@@ -277,8 +373,31 @@ pub struct StatusReport {
     pub total: u64,
     /// Unique points with a record present.
     pub present: u64,
-    /// Unique points without a record.
+    /// Unique points without a record that a run would compute
+    /// (excludes poisoned points — those are skipped, so `missing`
+    /// keeps meaning "what the next run will simulate").
     pub missing: u64,
+    /// Unique points with a valid poison record (skipped by runs until
+    /// `store gc` clears them).
+    pub poisoned: u64,
+}
+
+impl StatusReport {
+    /// Machine-readable rendering under [`CAMPAIGN_SCHEMA`].
+    pub fn to_json(&self) -> Json {
+        // Exhaustive destructuring: a new status field must decide how
+        // it exports before this compiles.
+        let StatusReport { submitted, total, present, missing, poisoned } = self;
+        Json::Obj(vec![
+            ("schema".into(), Json::from(CAMPAIGN_SCHEMA)),
+            ("kind".into(), Json::from("status")),
+            ("submitted".into(), Json::U64(*submitted)),
+            ("total".into(), Json::U64(*total)),
+            ("present".into(), Json::U64(*present)),
+            ("missing".into(), Json::U64(*missing)),
+            ("poisoned".into(), Json::U64(*poisoned)),
+        ])
+    }
 }
 
 /// Computes the [`StatusReport`] for `points` against `store`.
@@ -292,11 +411,20 @@ pub fn campaign_status(points: &[CampaignPoint], store: &ResultStore) -> StatusR
         rep.total += 1;
         if store.contains(p.key()) {
             rep.present += 1;
+        } else if store.is_poisoned(p.key()) {
+            rep.poisoned += 1;
         } else {
             rep.missing += 1;
         }
     }
     rep
+}
+
+/// One worker's in-flight attempt, visible to the supervisor: when it
+/// started and how to stop it.
+struct InFlight {
+    started: Instant,
+    stop: StopFlag,
 }
 
 /// Shared mutable state of one campaign run.
@@ -311,7 +439,11 @@ struct Shared<'a> {
     cache_hits: AtomicU64,
     computed: AtomicU64,
     retries: AtomicU64,
+    skipped_poisoned: AtomicU64,
+    poisoned: Mutex<Vec<(usize, String)>>,
     failed: Mutex<Vec<(usize, String)>>,
+    /// One slot per worker; armed around each execute call.
+    inflight: Vec<Mutex<Option<InFlight>>>,
 }
 
 impl Shared<'_> {
@@ -358,25 +490,36 @@ pub fn run_campaign<E: Executor>(
         cache_hits: AtomicU64::new(0),
         computed: AtomicU64::new(0),
         retries: AtomicU64::new(0),
+        skipped_poisoned: AtomicU64::new(0),
+        poisoned: Mutex::new(Vec::new()),
         failed: Mutex::new(Vec::new()),
+        inflight: (0..threads).map(|_| Mutex::new(None)).collect(),
     };
 
-    if threads == 1 {
-        worker(points, &shared, exec);
+    if threads == 1 && cfg.point_deadline.is_none() {
+        // Fully deterministic inline path (chaos tests depend on it).
+        worker(points, &shared, exec, 0);
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| worker(points, &shared, exec));
+            let shared = &shared;
+            let handles: Vec<_> = (0..threads)
+                .map(|slot| scope.spawn(move || worker(points, shared, exec, slot)))
+                .collect();
+            // The driving thread doubles as the supervisor; with no
+            // deadline the scope just joins the workers (and
+            // propagates any panic).
+            if let Some(deadline) = cfg.point_deadline {
+                supervise(shared, &handles, deadline);
             }
-            // `scope` joins all workers and propagates any panic.
         });
     }
 
-    let mut failed_idx =
-        shared.failed.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
-    // Deterministic failure order regardless of worker interleaving.
-    failed_idx.sort_by_key(|&(i, _)| i);
-    let failed = failed_idx.into_iter().map(|(i, e)| (points[i].label.clone(), e)).collect();
+    // Deterministic orders regardless of worker interleaving.
+    let drain = |m: Mutex<Vec<(usize, String)>>| {
+        let mut v = m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        v.sort_by_key(|&(i, _)| i);
+        v.into_iter().map(|(i, e)| (points[i].label.clone(), e)).collect::<Vec<_>>()
+    };
     CampaignOutcome {
         submitted: points.len() as u64,
         duplicates,
@@ -384,15 +527,44 @@ pub fn run_campaign<E: Executor>(
         cache_hits: shared.cache_hits.into_inner(),
         computed: shared.computed.into_inner(),
         retries: shared.retries.into_inner(),
-        failed,
+        poisoned: drain(shared.poisoned),
+        skipped_poisoned: shared.skipped_poisoned.into_inner(),
+        failed: drain(shared.failed),
         cancelled: cancel.is_cancelled(),
+    }
+}
+
+/// The deadline supervisor: polls every worker's in-flight slot and
+/// trips the [`StopFlag`] of any attempt past its wall-clock budget.
+/// Runs on the driving thread until every worker exits; pure
+/// observation plus one atomic store, so it can never wedge a worker.
+fn supervise(
+    shared: &Shared<'_>,
+    handles: &[std::thread::ScopedJoinHandle<'_, ()>],
+    deadline: Duration,
+) {
+    let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        if handles.iter().all(std::thread::ScopedJoinHandle::is_finished) {
+            return;
+        }
+        for slot in &shared.inflight {
+            let guard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(fl) = guard.as_ref() {
+                if fl.started.elapsed() >= deadline {
+                    fl.stop.trip();
+                }
+            }
+        }
+        std::thread::sleep(poll);
     }
 }
 
 /// One worker: pop from the shared injector until it is empty or the
 /// campaign is cancelled. Retries happen in place — a point never
 /// re-enters the queue, so an empty queue always means no pending work.
-fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E) {
+/// `slot` indexes this worker's in-flight slot for the supervisor.
+fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, slot: usize) {
     loop {
         if shared.cancel.is_cancelled() {
             return;
@@ -412,9 +584,25 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E) 
             continue;
         }
 
+        if shared.store.is_poisoned(key) {
+            // An earlier run already gave up on this point; skip it
+            // rather than burning its whole retry budget again
+            // (`store gc` un-poisons).
+            let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.skipped_poisoned.fetch_add(1, Ordering::Relaxed);
+            shared.emit(done, &p.label, ProgressKind::SkippedPoisoned);
+            continue;
+        }
+
         let mut attempt = 0u32;
+        let mut deadline_trips = 0u32;
         loop {
-            match exec.execute(p, attempt) {
+            let ctx = ExecCtx { attempt, stop: StopFlag::new() };
+            *shared.inflight[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                Some(InFlight { started: Instant::now(), stop: ctx.stop.clone() });
+            let result = exec.execute(p, &ctx);
+            *shared.inflight[slot].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+            match result {
                 Ok(stats) => {
                     // A failed save degrades to "computed but not
                     // cached" — the result is still counted; a re-run
@@ -425,27 +613,51 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E) 
                     shared.emit(done, &p.label, ProgressKind::Computed);
                     break;
                 }
-                Err(_) if attempt < shared.cfg.max_retries && !shared.cancel.is_cancelled() => {
-                    shared.retries.fetch_add(1, Ordering::Relaxed);
-                    shared.emit(
-                        shared.done.load(Ordering::Relaxed),
-                        &p.label,
-                        ProgressKind::Retried { attempt },
-                    );
-                    let pause = shared.cfg.backoff(attempt);
-                    if !pause.is_zero() {
-                        std::thread::sleep(pause);
-                    }
-                    attempt += 1;
-                }
                 Err(e) => {
+                    if matches!(e, SimError::Deadline(_)) {
+                        deadline_trips += 1;
+                    }
+                    let cancelled = shared.cancel.is_cancelled();
+                    let give_up = cancelled
+                        || deadline_trips >= POISON_DEADLINE_TRIPS
+                        || attempt >= shared.cfg.max_retries;
+                    if !give_up {
+                        shared.retries.fetch_add(1, Ordering::Relaxed);
+                        shared.emit(
+                            shared.done.load(Ordering::Relaxed),
+                            &p.label,
+                            ProgressKind::Retried { attempt },
+                        );
+                        let pause = shared.cfg.jittered_backoff(key, attempt);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
                     let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
-                    shared
-                        .failed
-                        .lock()
+                    // Cancellation is not a verdict on the point — no
+                    // poison record, just a plain failure this run.
+                    let poison = !cancelled
+                        && shared
+                            .store
+                            .poison(&PoisonRecord {
+                                key,
+                                label: p.label.clone(),
+                                error: e.to_string(),
+                                attempts: attempt + 1,
+                                deadline_trips,
+                            })
+                            .is_ok();
+                    let (list, kind) = if poison {
+                        (&shared.poisoned, ProgressKind::Poisoned)
+                    } else {
+                        (&shared.failed, ProgressKind::Failed)
+                    };
+                    list.lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .push((idx, e.to_string()));
-                    shared.emit(done, &p.label, ProgressKind::Failed);
+                    shared.emit(done, &p.label, kind);
                     break;
                 }
             }
@@ -478,7 +690,7 @@ mod tests {
     /// derived from the budget so records are distinguishable).
     struct FakeExec;
     impl Executor for FakeExec {
-        fn execute(&self, p: &CampaignPoint, _attempt: u32) -> Result<SimStats, SimError> {
+        fn execute(&self, p: &CampaignPoint, _ctx: &ExecCtx) -> Result<SimStats, SimError> {
             Ok(SimStats {
                 cycles: p.max_insts * 3,
                 instructions: p.max_insts,
@@ -493,13 +705,56 @@ mod tests {
         calls: AtomicU32,
     }
     impl Executor for FlakyExec {
-        fn execute(&self, p: &CampaignPoint, attempt: u32) -> Result<SimStats, SimError> {
+        fn execute(&self, p: &CampaignPoint, ctx: &ExecCtx) -> Result<SimStats, SimError> {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            if attempt < self.fail_first {
+            if ctx.attempt < self.fail_first {
                 Err(SimError::Memory { cycle: 1, what: format!("injected fault on {}", p.label) })
             } else {
-                FakeExec.execute(p, attempt)
+                FakeExec.execute(p, ctx)
             }
+        }
+    }
+
+    /// Blocks points whose label contains `slow` until the attempt's
+    /// stop flag trips, then reports a deadline — the cooperative
+    /// contract [`SimExecutor`] implements via the simulator.
+    struct SlowExec;
+    impl Executor for SlowExec {
+        fn execute(&self, p: &CampaignPoint, ctx: &ExecCtx) -> Result<SimStats, SimError> {
+            if !p.label.contains("slow") {
+                return FakeExec.execute(p, ctx);
+            }
+            while !ctx.stop.is_set() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(SimError::Deadline(Box::new(test_dump())))
+        }
+    }
+
+    fn test_dump() -> vr_core::DeadlockDump {
+        vr_core::DeadlockDump {
+            cycle: 100,
+            last_commit_cycle: 50,
+            watchdog: 40,
+            committed_insts: 10,
+            pc: 0x4,
+            rob_len: 1,
+            rob_cap: 350,
+            iq_used: 0,
+            iq_cap: 128,
+            lq_used: 0,
+            lq_cap: 128,
+            sq_used: 0,
+            sq_cap: 72,
+            fetch_q_len: 0,
+            store_buffer_len: 0,
+            free_int: 1,
+            free_fp: 1,
+            mshr_outstanding: 0,
+            oldest: None,
+            episode: None,
+            halted: false,
+            fetch_done: false,
         }
     }
 
@@ -509,6 +764,8 @@ mod tests {
             max_retries: 2,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            jitter_seed: 0,
+            point_deadline: None,
         }
     }
 
@@ -577,17 +834,69 @@ mod tests {
     }
 
     #[test]
-    fn persistent_faults_exhaust_retries_and_report_in_order() {
+    fn persistent_faults_poison_in_order_and_reruns_skip_them() {
         let (dir, store) = tmp_store("fail");
         let points = tiny_points(3);
         let exec = FlakyExec { fail_first: u32::MAX, calls: AtomicU32::new(0) };
         let out = run_campaign(&points, &store, &exec, &cfg_fast(2), &CancelToken::new(), None);
         assert!(!out.complete());
+        assert!(out.degraded_complete(), "poison degrades, it does not wedge: {out:?}");
         assert_eq!(out.computed, 0);
-        assert_eq!(out.failed.len(), 3);
-        let labels: Vec<&str> = out.failed.iter().map(|(l, _)| l.as_str()).collect();
-        assert_eq!(labels, ["p0", "p1", "p2"], "failures sorted by submission order");
-        assert!(out.failed[0].1.contains("injected fault"), "{:?}", out.failed[0]);
+        assert!(out.failed.is_empty(), "exhausted retries poison, not fail: {out:?}");
+        assert_eq!(out.poisoned.len(), 3);
+        let labels: Vec<&str> = out.poisoned.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["p0", "p1", "p2"], "poisonings sorted by submission order");
+        assert!(out.poisoned[0].1.contains("injected fault"), "{:?}", out.poisoned[0]);
+        let calls_first = exec.calls.load(Ordering::Relaxed);
+        assert_eq!(calls_first, 9, "3 attempts per point");
+
+        // Each point now carries a structured poison record...
+        for p in &points {
+            let rec = store.load_poison(p.key()).expect("poison record");
+            assert_eq!(rec.attempts, 3);
+            assert_eq!(rec.deadline_trips, 0);
+            assert!(rec.error.contains("injected fault"));
+        }
+        let status = campaign_status(&points, &store);
+        assert_eq!((status.present, status.missing, status.poisoned), (0, 0, 3));
+
+        // ...so a re-run skips them without executing anything.
+        let out2 = run_campaign(&points, &store, &exec, &cfg_fast(2), &CancelToken::new(), None);
+        assert_eq!(out2.skipped_poisoned, 3);
+        assert!(out2.degraded_complete());
+        assert_eq!(exec.calls.load(Ordering::Relaxed), calls_first, "no attempts burned");
+
+        // gc clears the poison; the points execute again.
+        assert_eq!(store.gc().unwrap().poison_removed, 3);
+        let out3 = run_campaign(&points, &store, &exec, &cfg_fast(2), &CancelToken::new(), None);
+        assert_eq!(out3.poisoned.len(), 3, "still failing, poisoned afresh");
+        assert!(exec.calls.load(Ordering::Relaxed) > calls_first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_trips_twice_then_poisons_and_campaign_continues() {
+        let (dir, store) = tmp_store("deadline");
+        let mut points = tiny_points(4);
+        points[2].label = "p2-slow".into();
+        let cfg = EngineConfig { point_deadline: Some(Duration::from_millis(25)), ..cfg_fast(2) };
+        let t0 = std::time::Instant::now();
+        let out = run_campaign(&points, &store, &SlowExec, &cfg, &CancelToken::new(), None);
+        assert!(out.degraded_complete(), "{out:?}");
+        assert_eq!(out.computed, 3, "healthy points unaffected");
+        assert_eq!(out.poisoned.len(), 1);
+        assert_eq!(out.poisoned[0].0, "p2-slow");
+        assert!(out.poisoned[0].1.contains("deadline"), "{:?}", out.poisoned[0]);
+
+        let rec = store.load_poison(points[2].key()).expect("poison record");
+        assert_eq!(
+            rec.deadline_trips, POISON_DEADLINE_TRIPS,
+            "second trip is the verdict (one retry in between)"
+        );
+        assert_eq!(rec.attempts, 2);
+        // Two supervised attempts of ~25ms each, not max_retries+1
+        // unbounded hangs.
+        assert!(t0.elapsed() < Duration::from_secs(5), "took {:?}", t0.elapsed());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -651,7 +960,8 @@ mod tests {
         assert!(out.complete(), "{out:?}");
 
         // The stored record equals a direct simulation bit-for-bit.
-        let direct = SimExecutor.execute(&p, 0).expect("sim runs");
+        let ctx = ExecCtx { attempt: 0, stop: StopFlag::new() };
+        let direct = SimExecutor.execute(&p, &ctx).expect("sim runs");
         assert_eq!(store.load(p.key()), Some(direct));
 
         let after = campaign_status(std::slice::from_ref(&p), &store);
@@ -666,8 +976,10 @@ mod tests {
             duplicates: 2,
             total: 8,
             cache_hits: 5,
-            computed: 2,
+            computed: 1,
             retries: 4,
+            poisoned: vec![("p3".into(), "deadline".into())],
+            skipped_poisoned: 0,
             failed: vec![("p7".into(), "deadlock".into())],
             cancelled: false,
         };
@@ -677,8 +989,18 @@ mod tests {
         assert_eq!(j.get("cancelled"), Some(&Json::Bool(false)));
         let failed = j.get("failed").and_then(Json::as_arr).unwrap();
         assert_eq!(failed[0].get("label").and_then(Json::as_str), Some("p7"));
+        let poisoned = j.get("poisoned").and_then(Json::as_arr).unwrap();
+        assert_eq!(poisoned[0].get("label").and_then(Json::as_str), Some("p3"));
         // Round-trips through text.
         assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+
+        // Status JSON mirrors the same schema and every field.
+        let st = StatusReport { submitted: 10, total: 8, present: 5, missing: 2, poisoned: 1 };
+        let js = st.to_json();
+        assert_eq!(js.get("schema").and_then(Json::as_str), Some(CAMPAIGN_SCHEMA));
+        assert_eq!(js.get("kind").and_then(Json::as_str), Some("status"));
+        assert_eq!(js.get("missing").and_then(Json::as_u64), Some(2));
+        assert_eq!(js.get("poisoned").and_then(Json::as_u64), Some(1));
     }
 
     #[test]
@@ -688,6 +1010,7 @@ mod tests {
             max_retries: 40,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(80),
+            ..EngineConfig::default()
         };
         assert_eq!(cfg.backoff(0), Duration::from_millis(10));
         assert_eq!(cfg.backoff(1), Duration::from_millis(20));
@@ -695,5 +1018,63 @@ mod tests {
         assert_eq!(cfg.backoff(63), Duration::from_millis(80), "no overflow at large attempts");
         assert_eq!(cfg.resolved_threads(100), 1);
         assert_eq!(EngineConfig::default().resolved_threads(0), 1, "empty campaign still valid");
+    }
+
+    #[test]
+    fn backoff_jitter_is_seeded_bounded_and_reproducible() {
+        let cfg = EngineConfig {
+            backoff_base: Duration::from_millis(40),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 7,
+            ..EngineConfig::default()
+        };
+        let keys = [PointKey(0x1111), PointKey(0x2222), PointKey(0x3333)];
+        let draw = |cfg: &EngineConfig| {
+            let mut v = Vec::new();
+            for key in keys {
+                for attempt in 0..5 {
+                    v.push(cfg.jittered_backoff(key, attempt));
+                }
+            }
+            v
+        };
+        let a = draw(&cfg);
+        // Pure function of (seed, key, attempt): replays identically.
+        assert_eq!(a, draw(&cfg));
+        // Every sleep within ±25% of the un-jittered value and capped.
+        let mut distinct = std::collections::HashSet::new();
+        for (i, key) in keys.iter().enumerate() {
+            for attempt in 0..5u32 {
+                let jittered = a[i * 5 + attempt as usize];
+                let plain = cfg.backoff(attempt).as_secs_f64();
+                assert!(jittered <= cfg.backoff_cap);
+                assert!(
+                    (0.75 * plain..1.25 * plain).contains(&jittered.as_secs_f64()),
+                    "key {key:?} attempt {attempt}: {jittered:?} vs plain {plain}s"
+                );
+                distinct.insert(jittered);
+            }
+        }
+        assert!(distinct.len() > 5, "jitter must decorrelate points: {distinct:?}");
+        // A different seed draws a different schedule.
+        let other = draw(&EngineConfig { jitter_seed: 8, ..cfg });
+        assert_ne!(a, other);
+        // The cap binds even after jitter pushes past it.
+        let tight = EngineConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(100),
+            jitter_seed: 3,
+            ..EngineConfig::default()
+        };
+        for attempt in 0..6 {
+            assert!(tight.jittered_backoff(keys[0], attempt) <= tight.backoff_cap);
+        }
+        // Zero backoff stays zero (test configs sleep nothing).
+        let zero = EngineConfig {
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            ..EngineConfig::default()
+        };
+        assert_eq!(zero.jittered_backoff(keys[0], 3), Duration::ZERO);
     }
 }

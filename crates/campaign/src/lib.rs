@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod engine;
 pub mod fingerprint;
 pub mod serial;
@@ -34,11 +36,12 @@ pub mod store;
 
 pub use engine::{
     campaign_status, run_campaign, CampaignOutcome, CampaignPoint, CancelToken, EngineConfig,
-    Executor, ProgressEvent, ProgressKind, ProgressSink, SimExecutor, StatusReport,
+    ExecCtx, Executor, ProgressEvent, ProgressKind, ProgressSink, SimExecutor, StatusReport,
+    POISON_DEADLINE_TRIPS,
 };
 pub use fingerprint::{point_key, PointKey, CODE_SALT};
 pub use serial::{stats_from_json, stats_to_json};
-pub use store::{GcReport, ResultStore, StoreCounters, VerifyReport};
+pub use store::{GcReport, PoisonRecord, ResultStore, StoreCounters, VerifyReport, TMP_GC_GRACE};
 
 /// Unique-per-call nonce for test scratch directories (process id is
 /// not enough: tests in one process share it).

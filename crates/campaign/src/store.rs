@@ -5,6 +5,8 @@
 //! ```text
 //! DIR/
 //!   records/<key-hex16>.json   one simulation result per point key
+//!   poison/<key-hex16>.json    structured failure records for points
+//!                              the campaign supervisor gave up on
 //!   quarantine/<name>.<nanos>  records that failed validation
 //! ```
 //!
@@ -15,7 +17,9 @@
 //! process killed mid-campaign (SIGTERM, SIGKILL, OOM) therefore
 //! leaves the store consistent: finished points are durable, the
 //! in-flight point at most leaves a `.tmp-*` file that [`ResultStore::gc`]
-//! reclaims.
+//! reclaims. Temp-file reclamation is **age-gated** (default
+//! [`TMP_GC_GRACE`]): a `gc` running beside a live writer must not
+//! delete the temp file that writer is about to rename.
 //!
 //! **Corruption policy.** Every load fully validates the record:
 //! schema tag, embedded key vs filename, code-version salt, payload
@@ -26,17 +30,42 @@
 //! the bytes may matter for diagnosis) and the point is recomputed.
 //! No store problem ever panics the caller; the worst case is a cache
 //! miss.
+//!
+//! **Poison records.** When the campaign supervisor declares a point
+//! unrunnable (retries exhausted, repeated deadline trips) it writes a
+//! [`PoisonRecord`] under `poison/` through the same atomic publish
+//! protocol and the same validation policy (corrupt poison records are
+//! quarantined, stale-salt ones ignored). A poisoned point is skipped
+//! on re-runs — the campaign *degrades* instead of wedging on a
+//! permanently failing point — and `gc` clears poison records, which
+//! is the deliberate "retry everything" lever.
+//!
+//! **Fault injection.** With the `chaos` cargo feature, every
+//! filesystem operation above can be routed through a seeded
+//! [`crate::chaos::FaultFs`] ([`ResultStore::open_with_chaos`]); the
+//! production build compiles to plain `std::fs` calls.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use vr_core::SimStats;
-use vr_obs::{Fnv64, Json, RESULTSTORE_SCHEMA};
+use vr_obs::{Fnv64, Json, CAMPAIGN_SCHEMA, RESULTSTORE_SCHEMA};
 
 use crate::fingerprint::{PointKey, CODE_SALT};
 use crate::serial::{stats_from_json, stats_to_json};
+
+/// Minimum age a `.tmp-*` file must reach before a default
+/// [`ResultStore::gc`] reclaims it. A temp file younger than this may
+/// belong to a writer that is alive *right now*, about to publish;
+/// deleting it would fail that writer's rename and lose a finished
+/// simulation. Sixty seconds dwarfs any write-to-rename window while
+/// still reclaiming genuinely orphaned files on the next maintenance
+/// pass. Use [`ResultStore::gc_with_tmp_age`] with [`Duration::ZERO`]
+/// when the store is known quiescent (e.g. recovering after a kill).
+pub const TMP_GC_GRACE: Duration = Duration::from_secs(60);
 
 /// Monotonic discriminator making concurrent temp-file names unique
 /// within a process (the name also carries the pid for cross-process
@@ -80,10 +109,14 @@ pub struct VerifyReport {
     pub tmp_files: u64,
     /// Files already sitting in quarantine.
     pub quarantine_backlog: u64,
+    /// Valid poison records (points the supervisor gave up on).
+    pub poisoned: u64,
 }
 
 impl VerifyReport {
     /// True when the store contains nothing but valid current records.
+    /// Poison records do not dirty the store: they are deliberate,
+    /// validated state, not damage.
     pub fn clean(&self) -> bool {
         self.stale == 0 && self.quarantined == 0 && self.tmp_files == 0
     }
@@ -98,10 +131,34 @@ pub struct GcReport {
     pub corrupt_removed: u64,
     /// Orphaned temp files removed.
     pub tmp_removed: u64,
+    /// Temp files kept because they are younger than the age gate
+    /// (possibly a live writer's).
+    pub tmp_kept: u64,
     /// Quarantined files removed.
     pub quarantine_removed: u64,
+    /// Poison records removed (those points become runnable again).
+    pub poison_removed: u64,
     /// Valid current records kept.
     pub kept: u64,
+}
+
+/// A structured failure record for a point the campaign supervisor
+/// declared unrunnable. Persisted under `poison/` so re-runs skip the
+/// point instead of burning its retry budget again; cleared by
+/// [`ResultStore::gc`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PoisonRecord {
+    /// The point's content-address.
+    pub key: PointKey,
+    /// Human-readable point label (workload / config).
+    pub label: String,
+    /// Rendering of the last error the point produced.
+    pub error: String,
+    /// Execution attempts consumed before giving up.
+    pub attempts: u32,
+    /// How many of those attempts were killed by the wall-clock
+    /// deadline.
+    pub deadline_trips: u32,
 }
 
 /// The content-addressed result store. All methods take `&self`:
@@ -111,12 +168,15 @@ pub struct GcReport {
 #[derive(Debug)]
 pub struct ResultStore {
     records: PathBuf,
+    poison: PathBuf,
     quarantine: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
     stale: AtomicU64,
     quarantined: AtomicU64,
     writes: AtomicU64,
+    #[cfg(feature = "chaos")]
+    chaos: Option<crate::chaos::FaultFs>,
 }
 
 impl ResultStore {
@@ -128,18 +188,82 @@ impl ResultStore {
     /// created.
     pub fn open(root: &Path) -> io::Result<ResultStore> {
         let records = root.join("records");
+        let poison = root.join("poison");
         let quarantine = root.join("quarantine");
         fs::create_dir_all(&records)?;
+        fs::create_dir_all(&poison)?;
         fs::create_dir_all(&quarantine)?;
         Ok(ResultStore {
             records,
+            poison,
             quarantine,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            #[cfg(feature = "chaos")]
+            chaos: None,
         })
+    }
+
+    /// Opens the store with every filesystem operation routed through
+    /// a seeded fault injector (`chaos` feature only — test builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directories cannot be
+    /// created.
+    #[cfg(feature = "chaos")]
+    pub fn open_with_chaos(root: &Path, cfg: crate::chaos::ChaosConfig) -> io::Result<ResultStore> {
+        let mut store = ResultStore::open(root)?;
+        store.chaos = Some(crate::chaos::FaultFs::new(cfg));
+        Ok(store)
+    }
+
+    /// What the fault injector did so far (`None` if this store was
+    /// opened without chaos).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_counters(&self) -> Option<crate::chaos::ChaosCounters> {
+        self.chaos.as_ref().map(crate::chaos::FaultFs::counters)
+    }
+
+    // ---- the I/O seam ------------------------------------------------
+    // Every filesystem touch below goes through these four helpers, so
+    // the chaos feature injects faults at exactly the syscalls the
+    // durability argument is about. Without the feature they compile
+    // to the plain `std::fs` calls.
+
+    fn io_read(&self, path: &Path) -> io::Result<String> {
+        #[cfg(feature = "chaos")]
+        if let Some(c) = &self.chaos {
+            return c.read_to_string(path);
+        }
+        fs::read_to_string(path)
+    }
+
+    fn io_write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "chaos")]
+        if let Some(c) = &self.chaos {
+            return c.write(path, bytes);
+        }
+        fs::write(path, bytes)
+    }
+
+    fn io_rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        #[cfg(feature = "chaos")]
+        if let Some(c) = &self.chaos {
+            return c.rename(from, to);
+        }
+        fs::rename(from, to)
+    }
+
+    fn io_remove(&self, path: &Path) -> io::Result<()> {
+        #[cfg(feature = "chaos")]
+        if let Some(c) = &self.chaos {
+            return c.remove_file(path);
+        }
+        fs::remove_file(path)
     }
 
     /// The directory holding record files.
@@ -151,12 +275,33 @@ impl ResultStore {
         self.records.join(format!("{}.json", key.hex()))
     }
 
+    fn poison_path(&self, key: PointKey) -> PathBuf {
+        self.poison.join(format!("{}.json", key.hex()))
+    }
+
+    fn tmp_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!(".tmp-{}-{}", std::process::id(), TMP_SEQ.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    /// Writes `bytes` into `dir/name` via the atomic temp-file +
+    /// rename protocol, never leaving the temp file behind on a failed
+    /// publish.
+    fn publish(&self, dir: &Path, name: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.tmp_path(dir);
+        self.io_write(&tmp, bytes)?;
+        let published = self.io_rename(&tmp, name);
+        if published.is_err() {
+            let _ = self.io_remove(&tmp);
+        }
+        published
+    }
+
     /// Loads and fully validates the record for `key`. `None` is a
     /// miss — absent, stale, or quarantined-just-now (see the module
     /// docs for the policy). Never panics on store contents.
     pub fn load(&self, key: PointKey) -> Option<SimStats> {
         let path = self.record_path(key);
-        let text = match fs::read_to_string(&path) {
+        let text = match self.io_read(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -212,25 +357,105 @@ impl ResultStore {
             ("checksum".into(), Json::from(checksum)),
             ("stats".into(), payload),
         ]);
-        let tmp = self.records.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&tmp, record.to_pretty())?;
-        let publish = fs::rename(&tmp, self.record_path(key));
-        if publish.is_err() {
-            // Never leave the temp file behind on a failed publish.
-            let _ = fs::remove_file(&tmp);
-        }
-        publish?;
+        self.publish(&self.records, &self.record_path(key), record.to_pretty().as_bytes())?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
+    /// Persists a poison record for `rec.key`: the point is declared
+    /// unrunnable and re-runs will skip it (until `gc` clears the
+    /// record). Same atomic publish protocol as [`ResultStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (callers degrade to an
+    /// unpersisted in-memory failure — the campaign still finishes).
+    pub fn poison(&self, rec: &PoisonRecord) -> io::Result<()> {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::from(CAMPAIGN_SCHEMA)),
+            ("kind".into(), Json::from("poison")),
+            ("key".into(), Json::from(rec.key.hex())),
+            ("salt".into(), Json::U64(CODE_SALT)),
+            ("label".into(), Json::from(rec.label.as_str())),
+            ("error".into(), Json::from(rec.error.as_str())),
+            ("attempts".into(), Json::U64(u64::from(rec.attempts))),
+            ("deadline_trips".into(), Json::U64(u64::from(rec.deadline_trips))),
+        ]);
+        self.publish(&self.poison, &self.poison_path(rec.key), doc.to_pretty().as_bytes())
+    }
+
+    /// Loads and validates the poison record for `key`, if any.
+    /// Corrupt poison records are quarantined (and the point becomes
+    /// runnable again); stale-salt ones are ignored and left for `gc`
+    /// — poison from an old code version must not mask a point the
+    /// current code might compute fine.
+    pub fn load_poison(&self, key: PointKey) -> Option<PoisonRecord> {
+        let path = self.poison_path(key);
+        let text = match self.io_read(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.quarantine_record(&path);
+                return None;
+            }
+        };
+        match validate_poison(&text, Some(key)) {
+            Ok(rec) => Some(rec),
+            Err(RecordFault::Stale) => None,
+            Err(RecordFault::Corrupt) => {
+                self.quarantine_record(&path);
+                None
+            }
+        }
+    }
+
+    /// Whether `key` has a valid poison record (the campaign skips
+    /// such points).
+    pub fn is_poisoned(&self, key: PointKey) -> bool {
+        self.load_poison(key).is_some()
+    }
+
+    /// Every valid poison record, in deterministic (key-name) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error only if the poison directory
+    /// cannot be listed; unreadable or invalid records are skipped
+    /// (and quarantined where the policy says so).
+    pub fn poison_list(&self) -> io::Result<Vec<PoisonRecord>> {
+        let mut out = Vec::new();
+        for entry in sorted_entries(&self.poison)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                continue;
+            }
+            let Some(key) = name.strip_suffix(".json").and_then(PointKey::from_hex) else {
+                continue;
+            };
+            if let Some(rec) = self.load_poison(key) {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of files sitting in `quarantine/`. Stable across
+    /// repeated `verify` passes: verify only *adds* to quarantine when
+    /// it finds new corruption, so two consecutive passes over an
+    /// unchanged store report the same backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the quarantine directory cannot
+    /// be listed.
+    pub fn quarantine_backlog(&self) -> io::Result<u64> {
+        Ok(sorted_entries(&self.quarantine)?.len() as u64)
+    }
+
     /// Full-store validation sweep: every record is parsed and
     /// checked; corrupt ones are quarantined as a side effect (the
-    /// maintenance counterpart of the per-load checks).
+    /// maintenance counterpart of the per-load checks). Poison records
+    /// get the same treatment and are counted separately.
     ///
     /// # Errors
     ///
@@ -245,13 +470,14 @@ impl ResultStore {
                 continue;
             }
             let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
-            let outcome = fs::read_to_string(entry.path())
-                .map_err(|_| RecordFault::Corrupt)
-                .and_then(|text| match key {
-                    Some(k) => validate_record(&text, Some(k)).map(|_| ()),
-                    // A record file not even named by a key is corrupt
-                    // by construction.
-                    None => Err(RecordFault::Corrupt),
+            let outcome =
+                self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
+                    match key {
+                        Some(k) => validate_record(&text, Some(k)).map(|_| ()),
+                        // A record file not even named by a key is corrupt
+                        // by construction.
+                        None => Err(RecordFault::Corrupt),
+                    }
                 });
             match outcome {
                 Ok(()) => rep.ok += 1,
@@ -265,51 +491,108 @@ impl ResultStore {
                 }
             }
         }
-        rep.quarantine_backlog = sorted_entries(&self.quarantine)?.len() as u64;
+        for entry in sorted_entries(&self.poison)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                rep.tmp_files += 1;
+                continue;
+            }
+            let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
+            let outcome =
+                self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
+                    match key {
+                        Some(k) => validate_poison(&text, Some(k)).map(|_| ()),
+                        None => Err(RecordFault::Corrupt),
+                    }
+                });
+            match outcome {
+                Ok(()) => rep.poisoned += 1,
+                Err(RecordFault::Stale) => {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                    rep.stale += 1;
+                }
+                Err(RecordFault::Corrupt) => {
+                    self.quarantine_record(&entry.path());
+                    rep.quarantined += 1;
+                }
+            }
+        }
+        rep.quarantine_backlog = self.quarantine_backlog()?;
         Ok(rep)
     }
 
-    /// Reclaims everything that is not a valid current record:
-    /// stale-salt records, corrupt records, orphaned temp files and
-    /// the quarantine backlog.
+    /// Reclaims everything that is not a valid current record —
+    /// stale-salt records, corrupt records, orphaned temp files past
+    /// the [`TMP_GC_GRACE`] age gate, the quarantine backlog — **and**
+    /// all poison records (running `gc` is the deliberate way to make
+    /// poisoned points runnable again).
     ///
     /// # Errors
     ///
     /// Returns the underlying error only if the store directories
     /// cannot be listed.
     pub fn gc(&self) -> io::Result<GcReport> {
+        self.gc_with_tmp_age(TMP_GC_GRACE)
+    }
+
+    /// [`ResultStore::gc`] with an explicit temp-file age gate: temp
+    /// files younger than `min_tmp_age` are kept (a live writer may be
+    /// about to publish them). Pass [`Duration::ZERO`] when the store
+    /// is known quiescent, e.g. when recovering right after a killed
+    /// campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error only if the store directories
+    /// cannot be listed.
+    pub fn gc_with_tmp_age(&self, min_tmp_age: Duration) -> io::Result<GcReport> {
         let mut rep = GcReport::default();
         for entry in sorted_entries(&self.records)? {
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.starts_with(".tmp-") {
-                if fs::remove_file(entry.path()).is_ok() {
-                    rep.tmp_removed += 1;
+                if tmp_older_than(&entry, min_tmp_age) {
+                    if self.io_remove(&entry.path()).is_ok() {
+                        rep.tmp_removed += 1;
+                    }
+                } else {
+                    rep.tmp_kept += 1;
                 }
                 continue;
             }
             let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
-            let outcome = fs::read_to_string(entry.path())
-                .map_err(|_| RecordFault::Corrupt)
-                .and_then(|text| match key {
-                    Some(k) => validate_record(&text, Some(k)).map(|_| ()),
-                    None => Err(RecordFault::Corrupt),
+            let outcome =
+                self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
+                    match key {
+                        Some(k) => validate_record(&text, Some(k)).map(|_| ()),
+                        None => Err(RecordFault::Corrupt),
+                    }
                 });
             match outcome {
                 Ok(()) => rep.kept += 1,
                 Err(RecordFault::Stale) => {
-                    if fs::remove_file(entry.path()).is_ok() {
+                    if self.io_remove(&entry.path()).is_ok() {
                         rep.stale_removed += 1;
                     }
                 }
                 Err(RecordFault::Corrupt) => {
-                    if fs::remove_file(entry.path()).is_ok() {
+                    if self.io_remove(&entry.path()).is_ok() {
                         rep.corrupt_removed += 1;
                     }
                 }
             }
         }
+        for entry in sorted_entries(&self.poison)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") && !tmp_older_than(&entry, min_tmp_age) {
+                rep.tmp_kept += 1;
+                continue;
+            }
+            if self.io_remove(&entry.path()).is_ok() {
+                rep.poison_removed += 1;
+            }
+        }
         for entry in sorted_entries(&self.quarantine)? {
-            if fs::remove_file(entry.path()).is_ok() {
+            if self.io_remove(&entry.path()).is_ok() {
                 rep.quarantine_removed += 1;
             }
         }
@@ -363,10 +646,25 @@ impl ResultStore {
             .map_or(0, |d| d.as_nanos() as u64)
             .wrapping_add(TMP_SEQ.fetch_add(1, Ordering::Relaxed));
         let dest = self.quarantine.join(format!("{name}.{nanos:016x}"));
-        if fs::rename(path, &dest).is_err() {
-            let _ = fs::remove_file(path);
+        if self.io_rename(path, &dest).is_err() {
+            let _ = self.io_remove(path);
         }
     }
+}
+
+/// Whether a temp file is old enough to reclaim. Unknown age (no
+/// metadata, mtime in the future) counts as *young* — when in doubt,
+/// keep the file; the next pass gets it.
+fn tmp_older_than(entry: &fs::DirEntry, min_age: Duration) -> bool {
+    if min_age.is_zero() {
+        return true;
+    }
+    entry
+        .metadata()
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age >= min_age)
 }
 
 /// Checksum of the serialized stats payload: FNV-1a over the
@@ -406,6 +704,46 @@ fn validate_record(text: &str, expect_key: Option<PointKey>) -> Result<SimStats,
     // a garbled record with a garbled salt is corrupt, not stale.
     match doc.get("salt").and_then(Json::as_u64) {
         Some(CODE_SALT) => Ok(stats),
+        Some(_) => Err(RecordFault::Stale),
+        None => Err(RecordFault::Corrupt),
+    }
+}
+
+/// Poison-record validation, mirroring [`validate_record`]'s policy
+/// (including salt-last).
+fn validate_poison(text: &str, expect_key: Option<PointKey>) -> Result<PoisonRecord, RecordFault> {
+    let doc = Json::parse(text).map_err(|_| RecordFault::Corrupt)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(CAMPAIGN_SCHEMA)
+        || doc.get("kind").and_then(Json::as_str) != Some("poison")
+    {
+        return Err(RecordFault::Corrupt);
+    }
+    let key = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .and_then(PointKey::from_hex)
+        .ok_or(RecordFault::Corrupt)?;
+    if let Some(k) = expect_key {
+        if key != k {
+            return Err(RecordFault::Corrupt);
+        }
+    }
+    let label = doc.get("label").and_then(Json::as_str).ok_or(RecordFault::Corrupt)?;
+    let error = doc.get("error").and_then(Json::as_str).ok_or(RecordFault::Corrupt)?;
+    let attempts = doc
+        .get("attempts")
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(RecordFault::Corrupt)?;
+    let deadline_trips = doc
+        .get("deadline_trips")
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(RecordFault::Corrupt)?;
+    let rec =
+        PoisonRecord { key, label: label.into(), error: error.into(), attempts, deadline_trips };
+    match doc.get("salt").and_then(Json::as_u64) {
+        Some(CODE_SALT) => Ok(rec),
         Some(_) => Err(RecordFault::Stale),
         None => Err(RecordFault::Corrupt),
     }

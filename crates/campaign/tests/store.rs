@@ -184,7 +184,12 @@ fn interrupted_writer_leaves_only_a_tmp_file_that_gc_reclaims() {
     assert_eq!((rep.ok, rep.tmp_files), (1, 1));
     assert!(!rep.clean());
 
+    // A default gc keeps the fresh tmp file (it could belong to a
+    // writer that is alive right now); the zero-age form reclaims it.
     let gc = store.gc().unwrap();
+    assert_eq!((gc.tmp_removed, gc.tmp_kept), (0, 1));
+    assert!(orphan.exists(), "fresh tmp files survive the age gate");
+    let gc = store.gc_with_tmp_age(std::time::Duration::ZERO).unwrap();
     assert_eq!((gc.tmp_removed, gc.kept), (1, 1));
     assert!(!orphan.exists());
     assert!(store.verify().unwrap().clean(), "store is pristine after gc");
@@ -209,7 +214,7 @@ fn gc_reclaims_quarantine_backlog_and_keeps_valid_records() {
     assert_eq!(rep.quarantine_backlog, 1);
     assert_eq!(rep.tmp_files, 1);
 
-    let gc = store.gc().unwrap();
+    let gc = store.gc_with_tmp_age(std::time::Duration::ZERO).unwrap();
     assert_eq!(gc.kept, 3);
     assert_eq!(gc.quarantine_removed, 1);
     assert_eq!(gc.tmp_removed, 1);
@@ -257,5 +262,148 @@ fn corrupted_record_is_recomputed_by_the_engine() {
     assert!(out2.complete());
     assert_eq!(out2.computed, 1, "corrupt record recomputed, not trusted");
     assert_eq!(fs::read(&path).unwrap(), pristine, "recomputation is byte-identical");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_preserves_the_original_bytes_verbatim() {
+    let dir = scratch("qbytes");
+    let store = ResultStore::open(&dir).unwrap();
+    let (k, s) = (some_key(20), some_stats(20));
+    store.save(k, "p", &s).unwrap();
+
+    // Corrupt the record and keep the exact corrupted bytes.
+    let path = record_path(&store, k);
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    fs::write(&path, &bytes).unwrap();
+
+    assert_eq!(store.load(k), None);
+    let mut q: Vec<_> =
+        fs::read_dir(dir.join("quarantine")).unwrap().filter_map(Result::ok).collect();
+    assert_eq!(q.len(), 1);
+    let moved = q.pop().unwrap();
+    assert_eq!(
+        fs::read(moved.path()).unwrap(),
+        bytes,
+        "quarantine must preserve the evidence byte-for-byte"
+    );
+    // The quarantine name keeps the original record name as a prefix.
+    let qname = moved.file_name().to_string_lossy().into_owned();
+    assert!(qname.starts_with(&format!("{}.json.", k.hex())), "got {qname}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_verify_passes_report_a_stable_quarantine_backlog() {
+    let dir = scratch("qstable");
+    let store = ResultStore::open(&dir).unwrap();
+    store.save(some_key(21), "ok", &some_stats(21)).unwrap();
+    let victim = some_key(22);
+    store.save(victim, "bad", &some_stats(22)).unwrap();
+    fs::write(record_path(&store, victim), "garbage").unwrap();
+
+    let first = store.verify().unwrap();
+    assert_eq!((first.ok, first.quarantined, first.quarantine_backlog), (1, 1, 1));
+
+    // Verify is idempotent on an unchanged store: nothing new is
+    // quarantined and the backlog it reports does not drift.
+    for pass in 0..3 {
+        let rep = store.verify().unwrap();
+        assert_eq!(rep.ok, 1, "pass {pass}");
+        assert_eq!(rep.quarantined, 0, "pass {pass}: no new corruption");
+        assert_eq!(rep.quarantine_backlog, 1, "pass {pass}: backlog stable");
+        assert_eq!(store.quarantine_backlog().unwrap(), 1, "pass {pass}");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_racing_a_live_writer_never_loses_a_publish() {
+    // Regression for the tmp-reclaim race: a gc pass sweeping while a
+    // writer sits between `write(tmp)` and `rename(tmp, record)` used
+    // to delete the tmp file and fail the publish. The age gate keeps
+    // young tmp files out of gc's reach.
+    let dir = scratch("gcrace");
+    let store = ResultStore::open(&dir).unwrap();
+    let n = 200u64;
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for i in 0..n {
+                store.save(some_key(100 + i), "raced", &some_stats(i)).unwrap();
+            }
+        });
+        // Hammer gc (default grace) the whole time the writer runs.
+        while !writer.is_finished() {
+            store.gc().unwrap();
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(store.len().unwrap(), n as usize, "every racing publish survived gc");
+    for i in 0..n {
+        assert_eq!(store.load(some_key(100 + i)), Some(some_stats(i)), "record {i}");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn poison_round_trips_and_gc_clears_it() {
+    let dir = scratch("poison");
+    let store = ResultStore::open(&dir).unwrap();
+    let rec = vr_campaign::PoisonRecord {
+        key: some_key(30),
+        label: "kangaroo/none".into(),
+        error: "wall-clock deadline expired (twice)".into(),
+        attempts: 3,
+        deadline_trips: 2,
+    };
+    assert!(!store.is_poisoned(rec.key));
+    store.poison(&rec).unwrap();
+    assert!(store.is_poisoned(rec.key));
+    assert_eq!(store.load_poison(rec.key), Some(rec.clone()), "poison round-trips exactly");
+    assert_eq!(store.poison_list().unwrap(), vec![rec.clone()]);
+
+    // Poison is deliberate state: verify counts it but stays clean.
+    let rep = store.verify().unwrap();
+    assert_eq!(rep.poisoned, 1);
+    assert!(rep.clean());
+
+    // gc is the retry lever: it clears poison, the point runs again.
+    let gc = store.gc().unwrap();
+    assert_eq!(gc.poison_removed, 1);
+    assert!(!store.is_poisoned(rec.key));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_poison_is_quarantined_and_the_point_runs_again() {
+    let dir = scratch("poison-corrupt");
+    let store = ResultStore::open(&dir).unwrap();
+    let rec = vr_campaign::PoisonRecord {
+        key: some_key(31),
+        label: "p".into(),
+        error: "e".into(),
+        attempts: 1,
+        deadline_trips: 0,
+    };
+    store.poison(&rec).unwrap();
+    let path = dir.join("poison").join(format!("{}.json", rec.key.hex()));
+    fs::write(&path, "{ definitely not a poison record").unwrap();
+    assert!(!store.is_poisoned(rec.key), "corrupt poison must not mask the point");
+    assert!(!path.exists(), "corrupt poison record moved aside");
+    assert_eq!(store.quarantine_backlog().unwrap(), 1);
+
+    // Stale-salt poison (from an older code version) is also ignored,
+    // but left in place for gc rather than quarantined.
+    store.poison(&rec).unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    let old =
+        text.replace(&format!("\"salt\": {CODE_SALT}"), &format!("\"salt\": {}", CODE_SALT + 7));
+    assert_ne!(old, text);
+    fs::write(&path, old).unwrap();
+    assert!(!store.is_poisoned(rec.key));
+    assert!(path.exists(), "stale poison is left for gc");
+    assert_eq!(store.gc().unwrap().poison_removed, 1);
     fs::remove_dir_all(&dir).ok();
 }

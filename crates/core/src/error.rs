@@ -149,6 +149,12 @@ pub enum SimError {
     /// The commit watchdog fired: no instruction committed for the
     /// configured number of cycles. Carries a full scheduler snapshot.
     Deadlock(Box<DeadlockDump>),
+    /// An external wall-clock deadline fired (a [`crate::StopFlag`]
+    /// was tripped, e.g. by the campaign supervisor): the run was
+    /// stopped cooperatively before completing its budget. Carries the
+    /// same scheduler snapshot as [`SimError::Deadlock`] so a slow or
+    /// wedged point is diagnosable from the error alone.
+    Deadline(Box<DeadlockDump>),
     /// A per-cycle invariant check (the `checked` cargo feature)
     /// failed: some structure exceeded its capacity or lost program
     /// order.
@@ -196,6 +202,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock(d) => write!(f, "simulator deadlock: {d}"),
+            SimError::Deadline(d) => {
+                write!(f, "wall-clock deadline expired (stopped externally): {d}")
+            }
             SimError::Invariant { cycle, what } => {
                 write!(f, "invariant violated at cycle {cycle}: {what}")
             }
@@ -261,6 +270,13 @@ mod tests {
         assert!(msg.contains("ld x5, 0(x3)"));
         assert!(msg.contains("mshr outstanding 4"));
         assert!(msg.contains("episode: <none>"));
+    }
+
+    #[test]
+    fn deadline_display_carries_the_same_dump() {
+        let msg = SimError::Deadline(Box::new(dump())).to_string();
+        assert!(msg.starts_with("wall-clock deadline expired"));
+        assert!(msg.contains("rob 350/350"), "deadline reuses the deadlock snapshot");
     }
 
     #[test]

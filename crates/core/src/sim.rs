@@ -20,6 +20,36 @@ use crate::wakeup::{WakeupLists, NO_LINK};
 /// episode runs before yielding.
 const EAGER_INTERVAL: u64 = 400;
 
+/// Cooperative cross-thread stop handle for a running simulation.
+///
+/// The simulator cannot be preempted — a simulation is one long
+/// synchronous loop — so an external supervisor (the campaign engine's
+/// per-point wall-clock deadline) stops it *cooperatively*: install a
+/// flag with [`Simulator::set_stop_flag`], trip it from any thread,
+/// and [`Simulator::try_run`] returns [`SimError::Deadline`] carrying
+/// the same [`DeadlockDump`] snapshot the commit watchdog produces.
+/// Cloning shares the flag; tripping is idempotent.
+#[derive(Clone, Default, Debug)]
+pub struct StopFlag(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> StopFlag {
+        StopFlag::default()
+    }
+
+    /// Requests a stop: the simulation returns [`SimError::Deadline`]
+    /// at its next scheduler iteration.
+    pub fn trip(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Cap on the front-end buffer (fetched but not dispatched
 /// instructions): width × front-end depth plus one extra fetch group.
 fn fetch_q_cap(cfg: &CoreConfig) -> usize {
@@ -203,6 +233,10 @@ pub struct Simulator {
     /// full-ROB trigger in spirit (see DESIGN.md §4).
     backend_stalled: bool,
 
+    /// Cooperative external stop handle (see [`StopFlag`]); checked
+    /// once per scheduler iteration in [`Simulator::try_run`].
+    stop: Option<StopFlag>,
+
     cycle: u64,
     last_commit_cycle: u64,
     committed_insts: u64,
@@ -274,6 +308,7 @@ impl Simulator {
             fault_rng,
             eager_last: 0,
             backend_stalled: false,
+            stop: None,
             cycle: 0,
             last_commit_cycle: 0,
             committed_insts: 0,
@@ -338,6 +373,12 @@ impl Simulator {
             self.try_tick()?;
             if self.cycle - self.last_commit_cycle >= self.cfg.watchdog {
                 return Err(SimError::Deadlock(Box::new(self.deadlock_dump())));
+            }
+            // Cooperative wall-clock deadline: one branch when no flag
+            // is installed, one relaxed atomic load when one is — a
+            // supervisor can stop a slow point without preemption.
+            if self.stop.as_ref().is_some_and(StopFlag::is_set) {
+                return Err(SimError::Deadline(Box::new(self.deadlock_dump())));
             }
         }
         self.stats.cycles = self.cycle;
@@ -478,6 +519,15 @@ impl Simulator {
             halted: self.halted,
             fetch_done: self.fetch_done,
         }
+    }
+
+    /// Installs a cooperative [`StopFlag`]: when tripped (from any
+    /// thread), the running [`Self::try_run`] returns
+    /// [`SimError::Deadline`] at its next scheduler iteration. Stats
+    /// are bit-identical with or without an (untripped) flag — the
+    /// flag is only read, never influences timing.
+    pub fn set_stop_flag(&mut self, flag: StopFlag) {
+        self.stop = Some(flag);
     }
 
     /// Enables pipeline tracing, retaining the last `capacity`
