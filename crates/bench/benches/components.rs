@@ -112,6 +112,122 @@ fn bench_store_overlay() {
         n += 8;
         ov2.clear();
     });
+
+    // Lane-fork cost, old vs new (DESIGN.md §14). The pre-SoA engine
+    // copied the scan overlay into each of K lane overlays per batch;
+    // the SoA engine keeps per-lane *deltas* over a shared frozen base
+    // and forks with an O(1) clear.
+    let mut base = StoreOverlay::new();
+    for g in 0..64u64 {
+        base.store(0x3000 + g * 8, 8, g);
+    }
+    let mut lane_full = StoreOverlay::new();
+    r.bench("lane_fork_copy_from", || {
+        lane_full.copy_from(&base);
+    });
+    let mut lane_delta = StoreOverlay::new();
+    lane_delta.store(0x3000, 8, 1);
+    r.bench("lane_fork_delta_clear", || {
+        lane_delta.clear();
+        lane_delta.store(0x3000, 8, 1);
+    });
+
+    // Batched layered lookup: K gather loads resolved against
+    // delta → base → memory without ever materializing a merged
+    // overlay — the per-level load path of the SoA engine.
+    let mut delta = StoreOverlay::new();
+    for g in 0..8u64 {
+        delta.store(0x3000 + g * 64, 8, g);
+    }
+    let mut m = 0u64;
+    r.bench("load_layered_delta_hit", || {
+        m = (m + 64) & 0x1ff;
+        black_box(delta.load_layered(&base, &mem, 0x3000 + m, 8))
+    });
+    let mut q = 0u64;
+    r.bench("load_layered_base_hit", || {
+        q = (q + 8) & 0x1ff;
+        black_box(delta.load_layered(&base, &mem, 0x3008 + q, 8))
+    });
+    r.bench("load_layered_x8_vs_load_x8", || {
+        let mut acc = 0u64;
+        for l in 0..8u64 {
+            acc ^= delta.load_layered(&base, &mem, 0x3000 + l * 8, 8);
+        }
+        black_box(acc)
+    });
+}
+
+/// SWAR lane-mask scans vs an index-vector representation
+/// (DESIGN.md §14): the per-chain-instruction "for each active lane"
+/// dispatch of the vector engine. The mask form is a handful of
+/// `trailing_zeros` loops over four words; the vector form is what
+/// the pre-SoA engine effectively did (iterate a list of lane
+/// structs, testing a per-lane bool).
+fn bench_lane_masks() {
+    let r = Runner::new("lane_masks");
+    const WORDS: usize = 4;
+
+    let scan = |words: &[u64; WORDS]| {
+        let mut acc = 0usize;
+        for (wi, &w) in words.iter().enumerate() {
+            let mut rest = w;
+            while rest != 0 {
+                acc += wi * 64 + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+            }
+        }
+        acc
+    };
+
+    // Dense: all 64 lanes of a full batch live (the steady state).
+    let dense_mask: [u64; WORDS] = [u64::MAX, 0, 0, 0];
+    let dense_vec: Vec<usize> = (0..64).collect();
+    let dense_bools: Vec<bool> = vec![true; 64];
+    r.bench("scan64_mask", || black_box(scan(&dense_mask)));
+    r.bench("scan64_vec", || black_box(dense_vec.iter().copied().sum::<usize>()));
+    r.bench("scan64_bools", || {
+        let mut acc = 0usize;
+        for (l, &alive) in dense_bools.iter().enumerate() {
+            if alive {
+                acc += l;
+            }
+        }
+        black_box(acc)
+    });
+
+    // Sparse: 8 survivors after heavy divergence.
+    let mut sparse_mask = [0u64; WORDS];
+    let sparse_vec: Vec<usize> = (0..64).step_by(8).collect();
+    for &l in &sparse_vec {
+        sparse_mask[l / 64] |= 1u64 << (l % 64);
+    }
+    let mut sparse_bools = [false; 64];
+    for &l in &sparse_vec {
+        sparse_bools[l] = true;
+    }
+    r.bench("scan8of64_mask", || black_box(scan(&sparse_mask)));
+    r.bench("scan8of64_bools", || {
+        let mut acc = 0usize;
+        for (l, &alive) in sparse_bools.iter().enumerate() {
+            if alive {
+                acc += l;
+            }
+        }
+        black_box(acc)
+    });
+
+    // Mask algebra: the whole-group operations (poison, park,
+    // reconverge) that replaced per-lane bool loops.
+    let mut a = dense_mask;
+    let b = sparse_mask;
+    r.bench("mask_and_not", || {
+        for i in 0..WORDS {
+            a[i] &= !b[i];
+        }
+        black_box(a);
+        a = dense_mask;
+    });
 }
 
 /// The intrusive [`WakeupLists`] (DESIGN.md §12): two stores per
@@ -165,5 +281,6 @@ fn main() {
     bench_tage();
     bench_memory_system();
     bench_store_overlay();
+    bench_lane_masks();
     bench_wakeup_lists();
 }

@@ -1271,14 +1271,20 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     runner.samples = 5;
     runner.sample_time = Duration::from_millis(20);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v2\",");
     let _ = writeln!(json, "  \"insts_per_run\": {},", opts.insts);
     let _ = writeln!(json, "  \"threads\": {},", opts.threads);
     json.push_str("  \"kips\": [\n");
-    let mut t = Table::new(&["workload", "tech", "KIPS"]);
+    let mut t = Table::new(&["workload", "tech", "KIPS", "VR/OoO"]);
     let mut all_kips = Vec::new();
+    // Per-workload VR-mode / OoO-mode simulation-throughput ratio —
+    // the data-parallel lane engine's target metric (ISSUE 7: the
+    // h-mean must stay ≥ 0.90, i.e. simulating runahead episodes is
+    // no longer much slower than simulating the baseline core).
+    let mut ratios: Vec<(String, f64)> = Vec::new();
     let techs = [Technique::Baseline, Technique::Vr];
     for (wi, w) in set.iter().enumerate() {
+        let mut baseline_kips = f64::NAN;
         for (ti, tech) in techs.into_iter().enumerate() {
             let insts = run_technique(w, CoreConfig::table1(), tech, opts.insts).instructions;
             let m = runner.bench(&format!("{}/{}", w.name, tech.label()), || {
@@ -1286,7 +1292,15 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
             });
             let kips = insts as f64 / m.per_iter.as_secs_f64() / 1e3;
             all_kips.push(kips);
-            t.row(vec![w.name.clone(), tech.label().into(), format!("{kips:.0}")]);
+            let ratio_cell = if ti == 0 {
+                baseline_kips = kips;
+                String::new()
+            } else {
+                let ratio = kips / baseline_kips;
+                ratios.push((w.name.clone(), ratio));
+                format!("{ratio:.2}")
+            };
+            t.row(vec![w.name.clone(), tech.label().into(), format!("{kips:.0}"), ratio_cell]);
             let last = wi + 1 == set.len() && ti + 1 == techs.len();
             let _ = writeln!(
                 json,
@@ -1303,6 +1317,18 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     json.push_str("  ],\n");
     let hmean_kips = harmonic_mean(&all_kips);
     let _ = writeln!(json, "  \"kips_hmean\": {hmean_kips:.1},");
+    json.push_str("  \"vr_ooo_kips_ratio\": [\n");
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{name}\", \"ratio\": {ratio:.3}}}{}",
+            if i + 1 == ratios.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let ratio_vals: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    let hmean_ratio = harmonic_mean(&ratio_vals);
+    let _ = writeln!(json, "  \"vr_ooo_kips_ratio_hmean\": {hmean_ratio:.3},");
     // Result-store effectiveness for this process (zeros when no
     // --cache was given): CI trends hit rates alongside throughput.
     let cc = vr_bench::cache::counters().unwrap_or_default();
@@ -1319,7 +1345,10 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     );
     rep.push_table("kips", t);
     rep.metric("kips_hmean", hmean_kips);
-    rep.push_note(format!("h-mean throughput: {hmean_kips:.0} KIPS"));
+    rep.metric("vr_ooo_kips_ratio_hmean", hmean_ratio);
+    rep.push_note(format!(
+        "h-mean throughput: {hmean_kips:.0} KIPS; VR/OoO ratio h-mean: {hmean_ratio:.2}"
+    ));
 
     // --- end-to-end figure wall time, serial vs the sweep pool. The
     // figure output itself still goes to stdout; only the timings land

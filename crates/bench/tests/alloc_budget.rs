@@ -98,12 +98,22 @@ fn main() {
         warm.runahead_entries
     );
 
+    let caps_before =
+        sim.vector_buffer_caps().expect("warmup episodes leave a vector engine (live or pooled)");
+
     // Region of interest: not one byte may be acquired from the heap.
     let ops_before = ALLOC.heap_ops();
     let bytes_before = ALLOC.bytes_allocated();
     let stats = sim.try_run(ROI_END_INSTS).expect("ROI run");
     let ops = ALLOC.heap_ops() - ops_before;
     let bytes = ALLOC.bytes_allocated() - bytes_before;
+
+    // The vector engine's steady-state-critical buffers
+    // (`pending_gather`, the fused-gather scratch, the lane columns)
+    // are pre-sized at construction (DESIGN.md §14); episodes must
+    // never grow them.
+    let caps_after = sim.vector_buffer_caps().expect("engine still exists after ROI");
+    assert_eq!(caps_before, caps_after, "vector engine buffer capacities changed across the ROI");
 
     // The ROI itself must have been substantial and episodic — an
     // idle ROI would make a zero-alloc result vacuous.

@@ -392,7 +392,23 @@ fn perf_report_exports_cache_counters() {
     let doc = Json::parse(&std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap())
         .expect("BENCH_sim.json parses");
     std::fs::remove_dir_all(&dir).ok();
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v1"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v2"));
+    // v2 additions (DESIGN.md §14): per-workload VR/OoO throughput
+    // ratio and its harmonic mean.
+    let ratios = doc.get("vr_ooo_kips_ratio").expect("vr_ooo_kips_ratio section");
+    match ratios {
+        Json::Arr(entries) => {
+            assert!(!entries.is_empty(), "ratio array must have one entry per workload");
+            for e in entries {
+                assert!(e.get("workload").is_some() && e.get("ratio").is_some(), "{e:?}");
+            }
+        }
+        other => panic!("vr_ooo_kips_ratio is not an array: {other:?}"),
+    }
+    assert!(
+        doc.get("vr_ooo_kips_ratio_hmean").and_then(Json::as_f64).is_some_and(|r| r > 0.0),
+        "missing/invalid vr_ooo_kips_ratio_hmean"
+    );
     let cache = doc.get("cache").expect("cache section");
     assert_eq!(cache.get("enabled"), Some(&Json::Bool(false)), "no --cache given");
     assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));

@@ -54,6 +54,48 @@ pub(crate) fn check_free_regs(name: &str, free: usize, pool: usize) -> Result<()
     Ok(())
 }
 
+/// Vector-lane mask accounting (DESIGN.md §14): every lane-state mask
+/// is confined to the `k` spawned lanes, a lane is in at most one of
+/// `active`/`parked`/`done`, and a poisoned lane can never be active
+/// again.
+pub(crate) fn check_lane_masks(
+    k: usize,
+    active: &[u64],
+    parked: &[u64],
+    done: &[u64],
+    poisoned: &[u64],
+    at_gather: &[u64],
+) -> Result<(), String> {
+    let confined = |name: &str, m: &[u64]| -> Result<(), String> {
+        let mut bits = 0usize;
+        for (w, &word) in m.iter().enumerate() {
+            if word != 0 {
+                bits = bits.max(w * 64 + 64 - word.leading_zeros() as usize);
+            }
+        }
+        if bits > k {
+            return Err(format!("{name} mask names lane {} but only {k} lanes spawned", bits - 1));
+        }
+        Ok(())
+    };
+    confined("active", active)?;
+    confined("parked", parked)?;
+    confined("done", done)?;
+    confined("poisoned", poisoned)?;
+    confined("at_gather", at_gather)?;
+    for (name_a, a, name_b, b) in [
+        ("active", active, "parked", parked),
+        ("active", active, "done", done),
+        ("parked", parked, "done", done),
+        ("active", active, "poisoned", poisoned),
+    ] {
+        if a.iter().zip(b.iter()).any(|(&x, &y)| x & y != 0) {
+            return Err(format!("lane in both {name_a} and {name_b} masks"));
+        }
+    }
+    Ok(())
+}
+
 /// Runahead containment: no speculative requestor may ever have
 /// written the memory hierarchy.
 pub(crate) fn check_no_spec_stores(spec_stores: u64) -> Result<(), String> {
@@ -97,6 +139,29 @@ mod tests {
     fn free_regs() {
         assert!(check_free_regs("int", 256, 256).is_ok());
         assert!(check_free_regs("int", 257, 256).is_err());
+    }
+
+    #[test]
+    fn lane_mask_accounting() {
+        let empty = [0u64; 4];
+        // Disjoint, confined: ok.
+        let active = [0b0011u64, 0, 0, 0];
+        let parked = [0b0100u64, 0, 0, 0];
+        let done = [0b1000u64, 0, 0, 0];
+        assert!(check_lane_masks(4, &active, &parked, &done, &empty, &active).is_ok());
+        // Lane beyond k.
+        let wide = [0, 0, 0, 1u64 << 63];
+        assert!(check_lane_masks(4, &wide, &empty, &empty, &empty, &empty)
+            .unwrap_err()
+            .contains("lane 255"));
+        // Overlap between active and done.
+        assert!(check_lane_masks(4, &active, &empty, &active, &empty, &empty)
+            .unwrap_err()
+            .contains("both active and done"));
+        // Poisoned lane resurrected as active.
+        assert!(check_lane_masks(4, &active, &empty, &empty, &active, &empty)
+            .unwrap_err()
+            .contains("poisoned"));
     }
 
     #[test]

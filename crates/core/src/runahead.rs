@@ -81,6 +81,15 @@ impl ScalarRunahead {
         self.dead
     }
 
+    /// Fast-forward contract (mirrors
+    /// [`crate::VectorRunahead::idle_until`]): once the cursor is dead,
+    /// every `step_cycle` before the interval expires is a pure no-op,
+    /// so the next observable event is the episode finishing at
+    /// `end_at`. `None` means the engine may act this cycle.
+    pub(crate) fn idle_until(&self, now: u64, end_at: u64) -> Option<u64> {
+        (self.dead && now < end_at).then_some(end_at)
+    }
+
     /// Runs one cycle of runahead pre-execution; returns instructions
     /// processed.
     pub(crate) fn step_cycle(&mut self, ctx: &mut RaCtx<'_>) -> u64 {

@@ -128,6 +128,11 @@ impl Slot {
 enum Engine {
     Scalar(Box<ScalarRunahead>),
     Vector(Box<VectorRunahead>),
+    /// The pre-SoA scalar-lane engine, swapped in by the differential
+    /// test to prove the SWAR engine observably identical (test builds
+    /// only; see [`crate::vector::reference`]).
+    #[cfg(test)]
+    RefVector(Box<crate::vector::reference::ReferenceVectorRunahead>),
 }
 
 struct RunaheadEpisode {
@@ -222,6 +227,10 @@ pub struct Simulator {
     /// next trigger so steady-state episodes allocate nothing.
     scalar_pool: Option<Box<ScalarRunahead>>,
     vector_pool: Option<Box<VectorRunahead>>,
+    /// Differential-test hook: vector triggers check out the reference
+    /// scalar-lane engine instead of the SWAR one.
+    #[cfg(test)]
+    use_reference_vector: bool,
     /// Seeded fault schedule when a [`crate::FaultPlan`] is configured.
     fault_rng: Option<SplitMix64>,
     eager_last: u64,
@@ -305,6 +314,8 @@ impl Simulator {
             runahead: None,
             scalar_pool: None,
             vector_pool: None,
+            #[cfg(test)]
+            use_reference_vector: false,
             fault_rng,
             eager_last: 0,
             backend_stalled: false,
@@ -459,6 +470,15 @@ impl Simulator {
                 r.vr_lanes, r.chain_budget
             ));
         }
+        if r.kind == RunaheadKind::Vector && r.vr_lanes > crate::vector::MAX_LANES {
+            // The SoA lane masks are fixed-width bit vectors (DESIGN.md
+            // §14); the lane count is a hard structural bound.
+            return bad(format!(
+                "vr_lanes {} exceeds the lane-mask capacity of {}",
+                r.vr_lanes,
+                crate::vector::MAX_LANES
+            ));
+        }
         if let Some(p) = &r.fault_plan {
             for (name, v) in [
                 ("abort_episode", p.abort_episode),
@@ -489,7 +509,7 @@ impl Simulator {
         let episode = self.runahead.as_ref().map(|ep| EpisodeStatus {
             kind: match &ep.engine {
                 Engine::Scalar(_) => "Scalar".to_string(),
-                Engine::Vector(_) => "Vector".to_string(),
+                _ => "Vector".to_string(),
             },
             decoupled: ep.decoupled,
             end_at: ep.end_at,
@@ -585,6 +605,28 @@ impl Simulator {
         self.wake_events.len()
     }
 
+    /// Capacities of the vector engine's steady-state-critical buffers
+    /// (`pending_gather`, the gather scratch, lane columns), from
+    /// whichever engine exists — live episode or pool. `None` until
+    /// the first vector episode. Diagnostic for the alloc-budget test:
+    /// these must not grow across the ROI.
+    #[doc(hidden)]
+    pub fn vector_buffer_caps(&self) -> Option<(usize, usize, usize)> {
+        if let Some(ep) = &self.runahead {
+            if let Engine::Vector(eng) = &ep.engine {
+                return Some(eng.buffer_caps());
+            }
+        }
+        self.vector_pool.as_deref().map(VectorRunahead::buffer_caps)
+    }
+
+    /// Differential-test hook (unit tests only): route vector triggers
+    /// to the pre-SoA reference engine.
+    #[cfg(test)]
+    fn set_use_reference_vector(&mut self, on: bool) {
+        self.use_reference_vector = on;
+    }
+
     fn try_tick(&mut self) -> Result<(), SimError> {
         let c = self.cycle;
 
@@ -665,38 +707,78 @@ impl Simulator {
     /// unskipped simulator would have reported it. Per-cycle stall
     /// counters are bulk-incremented with the same values the skipped
     /// ticks would have accumulated.
+    ///
+    /// A second skip class covers *runahead episodes* (DESIGN.md §14):
+    /// a non-decoupled episode freezes commit, fetch and the trigger
+    /// by construction, so whenever the engine itself reports an idle
+    /// window (waiting on a gather barrier, or dead until the interval
+    /// expires) and the back end has no pending work, the same bulk
+    /// skip applies with the engine's next event as an extra horizon
+    /// bound. Fault injection draws from its RNG every cycle an
+    /// episode is live, so any armed fault plan disables the episode
+    /// skip entirely.
     fn maybe_fast_forward(&mut self) {
-        if self.runahead.is_some() || !self.ready.is_empty() || !self.store_buffer.is_empty() {
+        if !self.ready.is_empty() || !self.store_buffer.is_empty() {
             return;
         }
         let c = self.cycle;
 
-        // Commit and trigger must be frozen.
-        let mut head_blocked_dram = false;
-        if let Some(head) = self.rob_front() {
-            if head.done_by(c) {
-                return; // commit acts this cycle
+        let mut engine_idle = None;
+        let mut vector_steps = false;
+        if let Some(ep) = &self.runahead {
+            // Decoupled episodes leave the whole pipeline live; a
+            // fault plan consumes RNG per episode cycle.
+            if ep.decoupled || self.fault_rng.is_some() {
+                return;
             }
-            head_blocked_dram = head.is_load() && head.issued && head.hit == Some(HitLevel::Dram);
-        }
-        if self.ra_cfg.kind != RunaheadKind::None && head_blocked_dram {
-            // The runahead trigger could fire as soon as the back end
-            // reports full; don't reason about it, just don't skip.
-            return;
-        }
+            match &ep.engine {
+                Engine::Scalar(eng) => match eng.idle_until(c, ep.end_at) {
+                    Some(t) if t > c => engine_idle = Some(t),
+                    _ => return, // engine may act this cycle
+                },
+                // The vector engine is run forward in *virtual time*
+                // below — active cycles stepped, idle windows jumped —
+                // so it needs no idle precondition here.
+                Engine::Vector(_) => vector_steps = true,
+                // The reference path never skips: the differential
+                // test runs it unskipped against the fast-forwarded
+                // SWAR path, proving the skip cycle-exact.
+                #[cfg(test)]
+                Engine::RefVector(_) => return,
+            }
+            // Commit, trigger and fetch are frozen by the episode
+            // itself; only dispatch below needs checking.
+        } else {
+            // Commit and trigger must be frozen.
+            let mut head_blocked_dram = false;
+            if let Some(head) = self.rob_front() {
+                if head.done_by(c) {
+                    return; // commit acts this cycle
+                }
+                head_blocked_dram =
+                    head.is_load() && head.issued && head.hit == Some(HitLevel::Dram);
+            }
+            if self.ra_cfg.kind != RunaheadKind::None && head_blocked_dram {
+                // The runahead trigger could fire as soon as the back
+                // end reports full; don't reason about it, just don't
+                // skip.
+                return;
+            }
 
-        // Fetch must be frozen.
-        if let Some(bseq) = self.pending_branch {
-            let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq {
-                true
-            } else {
-                bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
-            };
-            if resolved {
-                return; // fetch clears the redirect this cycle
+            // Fetch must be frozen.
+            if let Some(bseq) = self.pending_branch {
+                let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq
+                {
+                    true
+                } else {
+                    bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
+                };
+                if resolved {
+                    return; // fetch clears the redirect this cycle
+                }
+            } else if !self.fetch_done && self.fetch_q_len() < fetch_q_cap(&self.cfg) {
+                return; // fetch has work
             }
-        } else if !self.fetch_done && self.fetch_q_len() < fetch_q_cap(&self.cfg) {
-            return; // fetch has work
         }
 
         // Dispatch must be frozen: empty, time-gated, or blocked.
@@ -728,9 +810,13 @@ impl Simulator {
         }
 
         // Horizon: the earliest cycle anything can happen — the next
-        // completion event, the dispatch time gate, or the watchdog
-        // deadline (exclusive of the reporting cycle itself).
+        // completion event, the dispatch time gate, the runahead
+        // engine's next event, or the watchdog deadline (exclusive of
+        // the reporting cycle itself).
         let mut target = self.last_commit_cycle.saturating_add(self.cfg.watchdog - 1);
+        if let Some(t) = engine_idle {
+            target = target.min(t);
+        }
         if let Some(&Reverse((t, _))) = self.wake_events.peek() {
             target = target.min(t);
         }
@@ -741,15 +827,63 @@ impl Simulator {
             return;
         }
 
-        // Skip cycles c .. target: bulk-apply the per-cycle stats the
-        // no-op ticks would have recorded.
-        let delta = target - c;
-        self.cycle = target;
+        // A live vector engine runs forward in virtual time up to the
+        // pipeline horizon: active cycles (gather issue, chain
+        // stepping) execute in this tight loop — identical `step_cycle`
+        // calls at identical timestamps, without paying the full
+        // `try_tick` phase walk each cycle — and idle windows jump via
+        // `idle_until`. Every other phase is a proven no-op for the
+        // whole window (the same freeze argument as above), and the
+        // engine only touches its own state and the memory system, so
+        // the access order the memory hierarchy observes is exactly the
+        // unskipped one. The cycle that *finishes* the episode
+        // (`interval_over`) is left for a real tick.
+        let mut t = target;
+        if vector_steps {
+            t = c;
+            let Some(ep) = &mut self.runahead else { unreachable!("episode checked above") };
+            let end_at = ep.end_at;
+            let Engine::Vector(eng) = &mut ep.engine else { unreachable!("engine checked above") };
+            loop {
+                match eng.idle_until(t, end_at) {
+                    Some(i) if i > t => t = i.min(target),
+                    _ => {
+                        if t >= end_at {
+                            break; // finishing cycle needs a real tick
+                        }
+                        let mut ctx =
+                            RaCtx { prog: &self.prog, mem: &self.mem, ms: &mut self.ms, now: t };
+                        let status = eng.step_cycle(&mut ctx, false);
+                        debug_assert_eq!(
+                            status,
+                            VrStatus::Working,
+                            "a vector engine cannot finish before end_at"
+                        );
+                        let _ = status;
+                        t += 1;
+                    }
+                }
+                if t >= target {
+                    break;
+                }
+            }
+            if t <= c {
+                return;
+            }
+        }
+
+        // Skip cycles c .. t: bulk-apply the per-cycle stats the
+        // skipped (or engine-only) ticks would have recorded.
+        let delta = t - c;
+        self.cycle = t;
         self.stats.commit_stall_cycles += delta;
         if self.rob_len() >= self.cfg.rob || stalled {
             self.stats.full_rob_stall_cycles += delta;
         }
         self.backend_stalled = stalled;
+        if self.runahead.is_some() {
+            self.stats.runahead_cycles += delta;
+        }
     }
 
     /// Per-cycle structural assertions (the `checked` cargo feature).
@@ -866,6 +1000,13 @@ impl Simulator {
             // Runahead containment: speculative requestors never write
             // the memory hierarchy.
             inv::check_no_spec_stores(self.ms.stats().spec_stores).map_err(&err)?;
+
+            // Vector lane-mask accounting (DESIGN.md §14).
+            if let Some(ep) = &self.runahead {
+                if let Engine::Vector(eng) = &ep.engine {
+                    eng.lane_mask_invariants().map_err(&err)?;
+                }
+            }
         }
         Ok(())
     }
@@ -898,6 +1039,17 @@ impl Simulator {
                     }
                 }
             }
+            #[cfg(test)]
+            Engine::RefVector(eng) => {
+                let mut ctx = RaCtx { prog: &self.prog, mem: &self.mem, ms: &mut self.ms, now: c };
+                if eng.step_cycle(&mut ctx, interval_over) == VrStatus::Finished {
+                    finished = true;
+                    flush = !ep.decoupled;
+                    if !ep.decoupled && c > ep.end_at {
+                        self.stats.delayed_termination_stall_cycles += c - ep.end_at;
+                    }
+                }
+            }
         }
         if finished {
             let ep = self.runahead.take().expect("episode exists");
@@ -913,24 +1065,55 @@ impl Simulator {
     /// and closes the telemetry record (shared by the normal exit path
     /// and fault-induced aborts).
     fn accumulate_episode_stats(&mut self, ep: &RunaheadEpisode, c: u64, exit: EpisodeExit) {
-        if let Engine::Vector(eng) = &ep.engine {
-            self.stats.vr_batches += eng.batches;
-            self.stats.vr_batches_aborted += eng.batches_aborted;
-            self.stats.vr_lanes_spawned += eng.lanes_spawned;
-            self.stats.vr_lanes_invalidated += eng.lanes_invalidated;
-            self.stats.vr_lanes_reconverged += eng.lanes_reconverged;
-            if !eng.found_stride {
+        // (found_stride, batches, batches_aborted, spawned,
+        // invalidated, reconverged) for whichever vector engine ran.
+        let vec_counters = match &ep.engine {
+            Engine::Scalar(_) => None,
+            Engine::Vector(eng) => Some((
+                eng.found_stride,
+                eng.batches,
+                eng.batches_aborted,
+                eng.lanes_spawned,
+                eng.lanes_invalidated,
+                eng.lanes_reconverged,
+            )),
+            #[cfg(test)]
+            Engine::RefVector(eng) => Some((
+                eng.found_stride,
+                eng.batches,
+                eng.batches_aborted,
+                eng.lanes_spawned,
+                eng.lanes_invalidated,
+                eng.lanes_reconverged,
+            )),
+        };
+        if let Some((found_stride, batches, aborted, spawned, invalidated, reconverged)) =
+            vec_counters
+        {
+            self.stats.vr_batches += batches;
+            self.stats.vr_batches_aborted += aborted;
+            self.stats.vr_lanes_spawned += spawned;
+            self.stats.vr_lanes_invalidated += invalidated;
+            self.stats.vr_lanes_reconverged += reconverged;
+            if !found_stride {
                 self.stats.vr_no_stride_intervals += 1;
             }
         }
         if let Some(t) = &mut self.telemetry {
-            let (batches, batches_aborted, lanes_spawned, lanes_invalidated) = match &ep.engine {
-                Engine::Scalar(_) => (0, 0, 0, 0),
-                Engine::Vector(eng) => {
-                    (eng.batches, eng.batches_aborted, eng.lanes_spawned, eng.lanes_invalidated)
-                }
-            };
-            t.on_exit(c, batches, batches_aborted, lanes_spawned, lanes_invalidated, exit);
+            let (batches, batches_aborted, lanes_spawned, lanes_invalidated, lanes_reconverged) =
+                match vec_counters {
+                    None => (0, 0, 0, 0, 0),
+                    Some((_, b, ba, ls, li, lr)) => (b, ba, ls, li, lr),
+                };
+            t.on_exit(
+                c,
+                batches,
+                batches_aborted,
+                lanes_spawned,
+                lanes_invalidated,
+                lanes_reconverged,
+                exit,
+            );
         }
     }
 
@@ -941,6 +1124,9 @@ impl Simulator {
         match engine {
             Engine::Scalar(eng) => self.scalar_pool = Some(eng),
             Engine::Vector(eng) => self.vector_pool = Some(eng),
+            // The reference engine is test-only; no pooling needed.
+            #[cfg(test)]
+            Engine::RefVector(_) => {}
         }
     }
 
@@ -954,6 +1140,24 @@ impl Simulator {
             }
             None => Box::new(ScalarRunahead::new(cpu, blocked_dst, self.cfg.width)),
         }
+    }
+
+    /// Checks out a vector engine as an [`Engine`] — the SWAR engine,
+    /// or the differential reference model when the test hook asks for
+    /// it.
+    fn checkout_vector_engine(&mut self, cpu: Cpu) -> Engine {
+        #[cfg(test)]
+        if self.use_reference_vector {
+            return Engine::RefVector(Box::new(
+                crate::vector::reference::ReferenceVectorRunahead::new(
+                    cpu,
+                    &self.ra_cfg,
+                    self.cfg.width,
+                    self.cfg.fu.vec_alu,
+                ),
+            ));
+        }
+        Engine::Vector(self.checkout_vector(cpu))
     }
 
     /// Takes the pooled vector engine (or builds the first one),
@@ -989,7 +1193,7 @@ impl Simulator {
         // vector episode re-fills the pipeline it had frozen.
         let flush = match &ep.engine {
             Engine::Scalar(_) => self.ra_cfg.kind == RunaheadKind::Classic,
-            Engine::Vector(_) => !ep.decoupled,
+            _ => !ep.decoupled,
         };
         if flush {
             self.flush_after_head(c);
@@ -1023,11 +1227,14 @@ impl Simulator {
             }
             if rng.chance(plan.poison_lanes) {
                 if let Some(ep) = &mut self.runahead {
-                    if let Engine::Vector(eng) = &mut ep.engine {
-                        let n = eng.poison_lanes(&mut rng, 0.5);
-                        if n > 0 {
-                            self.stats.faults_injected += 1;
-                        }
+                    let n = match &mut ep.engine {
+                        Engine::Scalar(_) => 0,
+                        Engine::Vector(eng) => eng.poison_lanes(&mut rng, 0.5),
+                        #[cfg(test)]
+                        Engine::RefVector(eng) => eng.poison_lanes(&mut rng, 0.5),
+                    };
+                    if n > 0 {
+                        self.stats.faults_injected += 1;
                     }
                 }
             }
@@ -1060,13 +1267,13 @@ impl Simulator {
             // bandwidth on load slices; modelled at core width with no
             // exit flush (DESIGN.md §4).
             RunaheadKind::Precise => Engine::Scalar(self.checkout_scalar(cpu, blocked_dst)),
-            RunaheadKind::Vector => Engine::Vector(self.checkout_vector(cpu)),
+            RunaheadKind::Vector => self.checkout_vector_engine(cpu),
             RunaheadKind::None => unreachable!(),
         };
         if let Some(t) = &mut self.telemetry {
             let kind = match &engine {
                 Engine::Scalar(_) => EpisodeKind::Scalar,
-                Engine::Vector(_) => EpisodeKind::Vector,
+                _ => EpisodeKind::Vector,
             };
             t.on_enter(trigger_pc, kind, false, c);
         }
@@ -1091,8 +1298,13 @@ impl Simulator {
         let last_addr = entry.last_addr;
         let mut cpu = self.committed;
         cpu.set_pc(load_pc);
-        let mut eng = self.checkout_vector(cpu);
-        eng.seed_base(load_pc, last_addr);
+        let mut engine = self.checkout_vector_engine(cpu);
+        match &mut engine {
+            Engine::Vector(eng) => eng.seed_base(load_pc, last_addr),
+            #[cfg(test)]
+            Engine::RefVector(eng) => eng.seed_base(load_pc, last_addr),
+            Engine::Scalar(_) => unreachable!("vector trigger checks out a vector engine"),
+        }
         // Clamp the episode against the watchdog budget so a decoupled
         // episode can never outlive the deadlock detector, and saturate
         // the cycle math so a pathological `c` near u64::MAX cannot
@@ -1101,11 +1313,8 @@ impl Simulator {
         if let Some(t) = &mut self.telemetry {
             t.on_enter(load_pc, EpisodeKind::Vector, true, c);
         }
-        self.runahead = Some(RunaheadEpisode {
-            engine: Engine::Vector(eng),
-            end_at: c.saturating_add(interval),
-            decoupled: true,
-        });
+        self.runahead =
+            Some(RunaheadEpisode { engine, end_at: c.saturating_add(interval), decoupled: true });
         self.stats.runahead_entries += 1;
         self.eager_last = c;
     }
@@ -1787,6 +1996,67 @@ mod tests {
             panic!("expected Invariant, got {err}");
         };
         assert!(what.contains("iq"), "message should name the structure: {what}");
+    }
+
+    /// Full-simulation differential test for the SoA/SWAR lane engine
+    /// (DESIGN.md §14): every golden workload runs once with the SWAR
+    /// engine (episode fast-forward active) and once with the pre-SoA
+    /// reference engine (episode fast-forward disabled), and the two
+    /// runs must agree on *everything observable* — the complete
+    /// `SimStats` (cycle-exact, so this also proves the episode skip
+    /// exact), the per-episode telemetry records, and the prefetch
+    /// lifecycle telemetry. Runs the reconvergence, bounded-
+    /// termination and eager-trigger extensions too, so the parity
+    /// claim covers every engine mode the simulator can configure.
+    #[test]
+    fn swar_engine_matches_reference_on_golden_workloads() {
+        use vr_workloads::{gap, graph::GraphPreset, Scale};
+
+        let configs = [
+            RunaheadConfig::vector(),
+            RunaheadConfig { reconvergence: true, ..RunaheadConfig::vector() },
+            RunaheadConfig { termination_slack: Some(64), ..RunaheadConfig::vector() },
+            RunaheadConfig { eager_trigger: true, ..RunaheadConfig::vector() },
+        ];
+        for preset in [GraphPreset::Kron, GraphPreset::Urand] {
+            let graph = preset.generate(Scale::Test);
+            let w = gap::bfs_on(&graph, preset);
+            for ra in &configs {
+                let run = |reference: bool| {
+                    let mut sim = Simulator::new(
+                        CoreConfig::table1(),
+                        MemConfig::table1(),
+                        ra.clone(),
+                        w.program.clone(),
+                        w.memory.clone(),
+                        &w.init_regs,
+                    );
+                    sim.set_use_reference_vector(reference);
+                    sim.enable_telemetry(4096);
+                    let stats = sim.try_run(40_000).expect("golden point runs clean");
+                    let tel = sim.telemetry().expect("telemetry enabled");
+                    let episodes: Vec<String> = tel.episodes().map(|e| format!("{e:?}")).collect();
+                    let totals = tel.to_json();
+                    let pf = sim.pf_telemetry().map(|p| p.to_json());
+                    (stats, episodes, totals, pf)
+                };
+                let swar = run(false);
+                let reference = run(true);
+                assert_eq!(swar.0, reference.0, "SimStats diverged on {preset:?} with {ra:?}");
+                assert_eq!(
+                    swar.1, reference.1,
+                    "episode telemetry diverged on {preset:?} with {ra:?}"
+                );
+                assert_eq!(
+                    swar.2, reference.2,
+                    "telemetry totals diverged on {preset:?} with {ra:?}"
+                );
+                assert_eq!(
+                    swar.3, reference.3,
+                    "prefetch telemetry diverged on {preset:?} with {ra:?}"
+                );
+            }
+        }
     }
 
     #[cfg(feature = "checked")]

@@ -141,6 +141,96 @@ impl StoreOverlay {
         }
     }
 
+    /// Folds `other`'s overlaid bytes into `self` *without* clearing:
+    /// where both overlays cover a byte, `other` wins. Equivalent to
+    /// replaying every store captured in `other` on top of `self` —
+    /// the commit step of a layered (base + per-lane delta) overlay
+    /// scheme, where a surviving lane's delta is merged back into the
+    /// shared base instead of the base being rebuilt from a full
+    /// per-lane copy.
+    pub fn merge_from(&mut self, other: &StoreOverlay) {
+        for s in &other.slots {
+            if s.gen == other.gen && s.mask != 0 {
+                self.slot_store(s.key, s.mask, s.data);
+            }
+        }
+    }
+
+    /// The live `(mask, data)` of granule `addr >> 3`, or `(0, ..)`
+    /// when the granule is not overlaid. One probe per *granule* — the
+    /// batched lookup primitive behind [`Self::load_layered`]: callers
+    /// sweeping K lanes resolve each lane's granule with single-probe
+    /// calls instead of per-byte probing.
+    #[inline]
+    pub fn probe_granule(&self, addr: u64) -> (u8, [u8; 8]) {
+        match self.probe_find(addr >> 3) {
+            Some(s) => (s.mask, s.data),
+            None => (0, [0; 8]),
+        }
+    }
+
+    /// Layered load: `size` bytes at `addr` where `self` is a sparse
+    /// *delta* overlay stacked on a shared `base` overlay stacked on
+    /// backing memory. Per byte: the delta wins, then the base, then
+    /// `mem` — byte-exact with first merging `base` into a copy of
+    /// `self`'s underlay and loading from the merged overlay, but with
+    /// one probe per granule per layer and no copy.
+    pub fn load_layered(&self, base: &StoreOverlay, mem: &Memory, addr: u64, size: u64) -> u64 {
+        let off = (addr & 7) as usize;
+        if off + size as usize <= 8 {
+            // Single-granule access (every naturally aligned load):
+            // two probes decide the whole window at once.
+            let window = (((1u16 << size) - 1) as u8) << off;
+            let (dmask, ddata) = self.probe_granule(addr);
+            let (bmask, bdata) = base.probe_granule(addr);
+            if (dmask | bmask) & window == 0 {
+                // No overlaid byte in range: one backing-memory read
+                // instead of a per-byte fallback loop.
+                return mem.read(addr, size);
+            }
+            if dmask & window == window {
+                // The delta covers the whole window.
+                let mut out = [0u8; 8];
+                out[..size as usize].copy_from_slice(&ddata[off..off + size as usize]);
+                return u64::from_le_bytes(out);
+            }
+            let mut out = [0u8; 8];
+            for k in 0..size as usize {
+                let bit = 1u8 << (off + k);
+                out[k] = if dmask & bit != 0 {
+                    ddata[off + k]
+                } else if bmask & bit != 0 {
+                    bdata[off + k]
+                } else {
+                    (mem.read(addr.wrapping_add(k as u64), 1) & 0xff) as u8
+                };
+            }
+            return u64::from_le_bytes(out);
+        }
+        let mut out = [0u8; 8];
+        let size = size as usize;
+        let mut i = 0;
+        while i < size {
+            let a = addr.wrapping_add(i as u64);
+            let off = (a & 7) as usize;
+            let n = (8 - off).min(size - i);
+            let (dmask, ddata) = self.probe_granule(a);
+            let (bmask, bdata) = base.probe_granule(a);
+            for k in 0..n {
+                let bit = 1u8 << (off + k);
+                out[i + k] = if dmask & bit != 0 {
+                    ddata[off + k]
+                } else if bmask & bit != 0 {
+                    bdata[off + k]
+                } else {
+                    (mem.read(a.wrapping_add(k as u64), 1) & 0xff) as u8
+                };
+            }
+            i += n;
+        }
+        u64::from_le_bytes(out)
+    }
+
     /// Finds the live slot for `key`, if any.
     #[inline]
     fn probe_find(&self, key: u64) -> Option<&Slot> {
