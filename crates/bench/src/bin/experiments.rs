@@ -51,6 +51,14 @@ struct Opts {
     /// `--tmp-age-ms N`: minimum tmp-file age for `campaign gc`
     /// reclamation (default: the store's 60 s grace period).
     tmp_age_ms: Option<u64>,
+    /// `--shards N`: total shard count for `campaign serve` (each
+    /// point fingerprint is owned by exactly one shard).
+    shards: u32,
+    /// `--shard I`: this process's shard index for `campaign serve`.
+    shard: u32,
+    /// `--spool DIR`: drain `campaign serve` manifests from `*.json`
+    /// files in DIR instead of reading lines from stdin.
+    spool: Option<PathBuf>,
 }
 
 /// One dispatchable subcommand: the id `main` matches on, the help
@@ -94,7 +102,7 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         id: "campaign",
-        help: "result-store campaign over the figure sim points (run/status/verify/gc)",
+        help: "result-store campaign over the figure sim points (run/serve/status/verify/gc)",
         run: campaign_cmd,
     },
     Cmd { id: "all", help: "every paper table and figure above", run: all_figures },
@@ -124,9 +132,14 @@ fn usage() -> String {
          \x20 --fail-point S       fail points whose label contains S (testing aid)\n\
          \x20 --point-deadline-ms N  per-point wall-clock deadline for `campaign run`\n\
          \x20 --tmp-age-ms N       min tmp-file age for `campaign gc` (default 60000)\n\
+         \x20 --shards N    total shard count for `campaign serve` (default 1)\n\
+         \x20 --shard I     this process's shard index for `campaign serve` (default 0)\n\
+         \x20 --spool DIR   `campaign serve` drains *.json manifests from DIR instead of stdin\n\
          \nthe `trace` id takes a positional workload name (see its error text \
          for the available names); `campaign` takes a positional action \
-         (run, status, verify, gc) and requires --cache DIR.\n",
+         (run, serve, status, verify, gc) and requires --cache DIR. `campaign \
+         serve` reads one manifest JSON per stdin line (or per --spool file) \
+         and streams one outcome JSON line per manifest to stdout.\n",
     );
     u
 }
@@ -155,6 +168,9 @@ fn main() {
     let mut fail_point: Option<String> = None;
     let mut point_deadline_ms: Option<u64> = None;
     let mut tmp_age_ms: Option<u64> = None;
+    let mut shards: u32 = 1;
+    let mut shard: u32 = 0;
+    let mut spool: Option<PathBuf> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -232,6 +248,33 @@ fn main() {
                     }
                 };
             }
+            "--shards" => {
+                shards = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --shards requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--shard" => {
+                shard = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("error: --shard requires a non-negative integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--spool" => {
+                spool = match it.next() {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --spool requires a directory path");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--all-inputs" => presets = GraphPreset::ALL.to_vec(),
             "--quick" => {
                 scale = Scale::Test;
@@ -279,6 +322,9 @@ fn main() {
         fail_point,
         point_deadline_ms,
         tmp_age_ms,
+        shards,
+        shard,
+        spool,
     };
 
     if let Some(dir) = &cache_dir {
@@ -385,8 +431,9 @@ fn first_line(err: &str) -> String {
 /// files.
 fn campaign_cmd(opts: &Opts) -> Vec<Report> {
     use vr_campaign::{
-        campaign_status, run_campaign, CampaignPoint, CancelToken, EngineConfig, ExecCtx, Executor,
-        ProgressEvent, ProgressKind, SimExecutor,
+        campaign_status, run_campaign, serve_lines, serve_spool, CampaignPoint, CancelToken,
+        EngineConfig, ExecCtx, Executor, Manifest, ProgressEvent, ProgressKind, ServeConfig,
+        ServeSummary, ShardSpec, SimExecutor,
     };
 
     /// `--fail-point SUBSTR`: points whose label contains the
@@ -414,7 +461,7 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
         std::process::exit(2);
     };
     let action = opts.workload.as_deref().unwrap_or_else(|| {
-        eprintln!("error: campaign requires an action\navailable: run status verify gc");
+        eprintln!("error: campaign requires an action\navailable: run serve status verify gc");
         std::process::exit(2);
     });
     let figure = opts.figure.as_deref().unwrap_or("all");
@@ -514,6 +561,117 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             });
             r.attach("campaign", out.to_json());
         }
+        "serve" => {
+            let shard = ShardSpec::new(opts.shards, opts.shard).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let cancel = CancelToken::new();
+            if let Some(ms) = opts.cancel_after_ms {
+                let timer_token = cancel.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    timer_token.cancel();
+                });
+            }
+            let cfg = ServeConfig {
+                engine: EngineConfig {
+                    threads: opts.threads,
+                    point_deadline: opts.point_deadline_ms.map(std::time::Duration::from_millis),
+                    ..EngineConfig::default()
+                },
+                shard,
+            };
+            // Manifests carry their own budget/scale/presets; the
+            // CLI-level figure options apply only to the other
+            // actions. Presets default to the CLI default pair.
+            let enumerate_manifest = |m: &Manifest| -> Result<Vec<CampaignPoint>, String> {
+                let scale = if m.scale == "paper" { Scale::Paper } else { Scale::Test };
+                let presets = if m.presets.is_empty() {
+                    vec![GraphPreset::Kron, GraphPreset::Urand]
+                } else {
+                    m.presets
+                        .iter()
+                        .map(|s| {
+                            GraphPreset::ALL
+                                .into_iter()
+                                .find(|p| p.abbrev() == s)
+                                .ok_or_else(|| format!("unknown graph preset {s:?}"))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?
+                };
+                let fo = vr_bench::points::FigureOpts { insts: m.insts, presets, scale };
+                vr_bench::points::campaign_points(&m.figure, &fo)
+                    .ok_or_else(|| format!("unknown or uncacheable figure {:?}", m.figure))
+            };
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let served: std::io::Result<ServeSummary> = match (&opts.spool, &opts.fail_point) {
+                (Some(dir), Some(s)) => {
+                    let exec = FailPointExec(s.clone());
+                    serve_spool(dir, &mut out, store, &exec, &cfg, &cancel, &enumerate_manifest)
+                }
+                (Some(dir), None) => serve_spool(
+                    dir,
+                    &mut out,
+                    store,
+                    &SimExecutor,
+                    &cfg,
+                    &cancel,
+                    &enumerate_manifest,
+                ),
+                (None, Some(s)) => {
+                    let exec = FailPointExec(s.clone());
+                    serve_lines(
+                        &mut std::io::stdin().lock(),
+                        &mut out,
+                        store,
+                        &exec,
+                        &cfg,
+                        &cancel,
+                        &enumerate_manifest,
+                    )
+                }
+                (None, None) => serve_lines(
+                    &mut std::io::stdin().lock(),
+                    &mut out,
+                    store,
+                    &SimExecutor,
+                    &cfg,
+                    &cancel,
+                    &enumerate_manifest,
+                ),
+            };
+            drop(out);
+            let summary = served.unwrap_or_else(|e| {
+                eprintln!("error: serve: {e}");
+                std::process::exit(1);
+            });
+            let mut t = Table::new(&["metric", "value"]);
+            t.row(vec!["shard".into(), format!("{}/{}", shard.index, shard.shards)]);
+            t.row(vec!["manifests".into(), summary.manifests.to_string()]);
+            t.row(vec!["rejected".into(), summary.rejected.to_string()]);
+            t.row(vec!["enumerated points".into(), summary.enumerated.to_string()]);
+            t.row(vec!["owned points".into(), summary.owned.to_string()]);
+            t.row(vec!["cache hits".into(), summary.cache_hits.to_string()]);
+            t.row(vec!["computed".into(), summary.computed.to_string()]);
+            t.row(vec!["skipped (poisoned)".into(), summary.skipped_poisoned.to_string()]);
+            t.row(vec!["poisoned".into(), summary.poisoned.to_string()]);
+            t.row(vec!["failed".into(), summary.failed.to_string()]);
+            t.row(vec!["cancelled".into(), summary.cancelled.to_string()]);
+            r.push_table("serve", t);
+            // Rejected manifests and plain failures flip the exit
+            // code; poisoned points are degradation, matching `run`.
+            r.failed = summary.failed > 0 || summary.rejected > 0;
+            r.push_note(if summary.cancelled {
+                "serve cancelled: unprocessed manifests remain"
+            } else if r.failed {
+                "serve finished with rejected manifests or failed points (see stream above)"
+            } else {
+                "serve drained: every owned point is terminal"
+            });
+            r.attach("serve", summary.to_json());
+        }
         "status" => {
             let points = enumerate();
             let st = campaign_status(&points, store);
@@ -594,7 +752,9 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             }
         }
         other => {
-            eprintln!("error: unknown campaign action {other:?}\navailable: run status verify gc");
+            eprintln!(
+                "error: unknown campaign action {other:?}\navailable: run serve status verify gc"
+            );
             std::process::exit(2);
         }
     }
@@ -1271,7 +1431,7 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     runner.samples = 5;
     runner.sample_time = Duration::from_millis(20);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v3\",");
     let _ = writeln!(json, "  \"insts_per_run\": {},", opts.insts);
     let _ = writeln!(json, "  \"threads\": {},", opts.threads);
     json.push_str("  \"kips\": [\n");
@@ -1296,9 +1456,17 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
                 baseline_kips = kips;
                 String::new()
             } else {
+                // A HOLE point (poisoned under --cache) measures 0.0
+                // KIPS, making the ratio inf/NaN; keep it (the taint
+                // accounting below skips it) but render/export it as
+                // unusable rather than as a number.
                 let ratio = kips / baseline_kips;
                 ratios.push((w.name.clone(), ratio));
-                format!("{ratio:.2}")
+                if ratio.is_finite() {
+                    format!("{ratio:.2}")
+                } else {
+                    "HOLE".into()
+                }
             };
             t.row(vec![w.name.clone(), tech.label().into(), format!("{kips:.0}"), ratio_cell]);
             let last = wi + 1 == set.len() && ti + 1 == techs.len();
@@ -1315,20 +1483,33 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
         }
     }
     json.push_str("  ],\n");
-    let hmean_kips = harmonic_mean(&all_kips);
+    // Tainting aggregates (DESIGN.md §15): `harmonic_mean`'s 0.0
+    // sentinel must never leak into the trend CI gates on — a single
+    // poisoned HOLE point measuring 0.0 KIPS is skipped and *counted*
+    // instead of zeroing the whole h-mean.
+    let (hmean_kips, kips_skipped) = vr_bench::tainted_harmonic_mean(&all_kips);
     let _ = writeln!(json, "  \"kips_hmean\": {hmean_kips:.1},");
+    let _ = writeln!(json, "  \"kips_hmean_tainted\": {kips_skipped},");
     json.push_str("  \"vr_ooo_kips_ratio\": [\n");
     for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let cell = if ratio.is_finite() { format!("{ratio:.3}") } else { "null".to_string() };
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{name}\", \"ratio\": {ratio:.3}}}{}",
+            "    {{\"workload\": \"{name}\", \"ratio\": {cell}}}{}",
             if i + 1 == ratios.len() { "" } else { "," }
         );
     }
     json.push_str("  ],\n");
     let ratio_vals: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
-    let hmean_ratio = harmonic_mean(&ratio_vals);
+    let (hmean_ratio, ratio_skipped) = vr_bench::tainted_harmonic_mean(&ratio_vals);
     let _ = writeln!(json, "  \"vr_ooo_kips_ratio_hmean\": {hmean_ratio:.3},");
+    let _ = writeln!(json, "  \"vr_ooo_kips_ratio_tainted\": {ratio_skipped},");
+    if kips_skipped + ratio_skipped > 0 {
+        eprintln!(
+            "  [warn] perf aggregates tainted: {kips_skipped} KIPS value(s) and \
+             {ratio_skipped} ratio value(s) skipped (HOLE points?)"
+        );
+    }
     // Result-store effectiveness for this process (zeros when no
     // --cache was given): CI trends hit rates alongside throughput.
     let cc = vr_bench::cache::counters().unwrap_or_default();
@@ -1350,11 +1531,19 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
         "h-mean throughput: {hmean_kips:.0} KIPS; VR/OoO ratio h-mean: {hmean_ratio:.2}"
     ));
 
-    // --- end-to-end figure wall time, serial vs the sweep pool. The
-    // figure output itself still goes to stdout; only the timings land
-    // in the JSON.
+    // --- end-to-end figure timing, serial vs the sweep pool. Two
+    // windows per run: total wall time, and the time spent *inside*
+    // `parallel_map` (the parallel region). `pool_speedup` is the
+    // parallel-region ratio — the old harness timed `f(opts)` with the
+    // single-threaded `render_text` printing inside the measured
+    // window, so serialized stdout and figure setup swamped the pool
+    // and the recorded speedup sat at ~1.0 regardless of thread count.
+    // Rendering now happens strictly after both clocks stop.
     type Figure = (&'static str, fn(&Opts) -> Vec<Report>);
     let figures: [Figure; 2] = [("table2", table2), ("fig-mlp", fig_mlp)];
+    // Warm the sweep pool outside every timed window so neither side
+    // pays the one-off thread spawn.
+    vr_bench::parallel_map(&[0u8; 64], opts.threads, |_| ());
     json.push_str("  \"figures\": [\n");
     for (fi, (id, f)) in figures.into_iter().enumerate() {
         let serial = Opts {
@@ -1368,28 +1557,37 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
             fail_point: None,
             point_deadline_ms: None,
             tmp_age_ms: None,
+            shards: 1,
+            shard: 0,
+            spool: None,
         };
-        let t0 = Instant::now();
-        for r in f(&serial) {
-            print!("{}", r.render_text());
-        }
-        let ms_serial = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        for r in f(opts) {
-            print!("{}", r.render_text());
-        }
-        let ms_pool = t1.elapsed().as_secs_f64() * 1e3;
+        let timed = |o: &Opts| {
+            vr_bench::reset_parallel_region();
+            let t0 = Instant::now();
+            let reports = f(o);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let par_ms = vr_bench::parallel_region_nanos() as f64 / 1e6;
+            // Render outside the timed window: the figure output still
+            // goes to stdout, it just no longer pollutes the clocks.
+            for r in reports {
+                print!("{}", r.render_text());
+            }
+            (wall_ms, par_ms)
+        };
+        let (wall_serial, par_serial) = timed(&serial);
+        let (wall_pool, par_pool) = timed(opts);
+        let speedup = par_serial / par_pool;
         eprintln!(
-            "  [time] {id}: {ms_serial:.0} ms serial, {ms_pool:.0} ms with {} threads \
-             ({:.2}x)",
+            "  [time] {id}: parallel region {par_serial:.0} ms serial, {par_pool:.0} ms \
+             with {} threads ({speedup:.2}x); wall {wall_serial:.0} -> {wall_pool:.0} ms",
             opts.threads,
-            ms_serial / ms_pool
         );
         let _ = writeln!(
             json,
-            "    {{\"id\": \"{id}\", \"wall_ms_threads_1\": {ms_serial:.1}, \
-             \"wall_ms_threads_n\": {ms_pool:.1}, \"pool_speedup\": {:.2}}}{}",
-            ms_serial / ms_pool,
+            "    {{\"id\": \"{id}\", \"wall_ms_threads_1\": {wall_serial:.1}, \
+             \"wall_ms_threads_n\": {wall_pool:.1}, \
+             \"parallel_ms_threads_1\": {par_serial:.1}, \
+             \"parallel_ms_threads_n\": {par_pool:.1}, \"pool_speedup\": {speedup:.2}}}{}",
             if fi + 1 == figures.len() { "" } else { "," }
         );
     }

@@ -16,8 +16,11 @@ pub mod micro;
 pub mod points;
 pub mod report;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
+use vr_campaign::WorkerPool;
 use vr_core::{CoreConfig, RunaheadConfig, RunaheadKind, SimStats, Simulator};
 use vr_mem::MemConfig;
 use vr_workloads::{gap_suite, graph::GraphPreset, hpcdb_suite, Scale, Workload};
@@ -28,7 +31,56 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Fans `f` over `items` across `threads` OS threads and returns the
+/// Wall time accumulated inside parallel regions ([`parallel_map`] /
+/// [`parallel_map_chunked`]) since the last reset, in nanoseconds.
+/// The perf-report harness brackets each figure with
+/// [`reset_parallel_region`]/[`parallel_region_nanos`] so its
+/// `pool_speedup` measures the pool, not the serialized rendering and
+/// setup around it.
+static PARALLEL_REGION_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Zeroes the parallel-region accumulator.
+pub fn reset_parallel_region() {
+    PARALLEL_REGION_NANOS.store(0, Ordering::Relaxed);
+}
+
+/// Nanoseconds spent inside parallel regions since the last
+/// [`reset_parallel_region`] (the serial `threads == 1` path counts
+/// too: the speedup ratio needs both sides of the same region).
+pub fn parallel_region_nanos() -> u64 {
+    PARALLEL_REGION_NANOS.load(Ordering::Relaxed)
+}
+
+/// The process-wide sweep pool: spawned on first parallel call and
+/// reused for every subsequent sweep, so a multi-figure run pays the
+/// thread-spawn cost once, not per `parallel_map` call. Replaced
+/// (regrown) if a caller asks for more threads than it has — rare
+/// outside tests, where thread counts vary per call. The guard
+/// serializes sweeps, which nested calls never were (a sweep closure
+/// must not itself call `parallel_map`; it would deadlock on the
+/// pool's single in-flight job).
+fn with_sweep_pool<R>(threads: usize, run: impl FnOnce(&WorkerPool) -> R) -> R {
+    static POOL: OnceLock<Mutex<Option<WorkerPool>>> = OnceLock::new();
+    // A sweep that panics (propagated worker panic) poisons the lock;
+    // the pool itself survives panics, so recover rather than cascade.
+    let mut slot =
+        POOL.get_or_init(|| Mutex::new(None)).lock().unwrap_or_else(PoisonError::into_inner);
+    if slot.as_ref().is_none_or(|p| p.size() < threads) {
+        *slot = Some(WorkerPool::new(threads));
+    }
+    run(slot.as_ref().expect("pool installed above"))
+}
+
+/// Adaptive claim-batch size for [`parallel_map`]: aim for several
+/// claims per worker (dynamic balancing still matters — a DRAM-bound
+/// BFS point runs ~10x longer than an L1-resident kernel) while
+/// amortizing the shared-cursor traffic across a batch. Capped so a
+/// huge sweep still rebalances.
+fn adaptive_chunk(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * 4)).clamp(1, 32)
+}
+
+/// Fans `f` over `items` across `threads` pool workers and returns the
 /// results **in input order**.
 ///
 /// This is the sweep runner's work pool: each (configuration ×
@@ -41,49 +93,75 @@ pub fn default_threads() -> usize {
 /// * results are reassembled by input index before returning, so
 ///   callers observe serial order regardless of completion order.
 ///
-/// Work is distributed dynamically through an atomic cursor (sweep
-/// points have wildly different costs — a DRAM-bound BFS point runs
-/// ~10x longer than an L1-resident kernel — so static chunking would
-/// leave cores idle). Built on [`std::thread::scope`] only: the
-/// workspace is deliberately offline and has zero registry
-/// dependencies, so no rayon.
+/// Work is distributed dynamically through an atomic cursor over
+/// claim batches sized by the item count (see
+/// [`parallel_map_chunked`] for an explicit batch size), and the
+/// workers are persistent ([`WorkerPool`]) — two fixes for the
+/// flat `pool_speedup` the old per-call-spawn, one-item-per-claim
+/// runner measured. Hand-rolled on `std` only: the workspace is
+/// deliberately offline and has zero registry dependencies, so no
+/// rayon.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the pool joins all workers first).
+/// Propagates a panic from `f` as `"sweep worker panicked"` (the pool
+/// finishes all workers first).
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_chunked(items, threads, adaptive_chunk(items.len(), threads), f)
+}
+
+/// [`parallel_map`] with an explicit claim-batch size: each worker
+/// claims `chunk` consecutive items per atomic `fetch_add` instead of
+/// one. `chunk = 1` reproduces the old fine-grained claiming; results
+/// are identical (and in input order) for every chunk size.
+pub fn parallel_map_chunked<T, R, F>(items: &[T], threads: usize, chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let threads = threads.clamp(1, items.len().max(1));
+    let chunk = chunk.max(1);
+    let t0 = Instant::now();
     if threads == 1 {
-        return items.iter().map(f).collect();
+        let out: Vec<R> = items.iter().map(f).collect();
+        note_parallel_region(t0);
+        return out;
     }
     let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        // Join everything before surfacing a panic so no worker is
-        // left running over soon-to-be-dropped borrows.
-        let results: Vec<_> =
-            workers.into_iter().map(std::thread::ScopedJoinHandle::join).collect();
-        results.into_iter().flat_map(|r| r.expect("sweep worker panicked")).collect()
+    let tagged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    with_sweep_pool(threads, |pool| {
+        pool.run(threads, &|_worker| {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    local.push((i, f(item)));
+                }
+            }
+            // One append per worker, after all its work: the lock is
+            // not on the claim path.
+            tagged.lock().unwrap_or_else(PoisonError::into_inner).append(&mut local);
+        });
     });
+    let mut tagged = tagged.into_inner().unwrap_or_else(PoisonError::into_inner);
     tagged.sort_unstable_by_key(|&(i, _)| i);
+    note_parallel_region(t0);
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+fn note_parallel_region(t0: Instant) {
+    let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    PARALLEL_REGION_NANOS.fetch_add(nanos, Ordering::Relaxed);
 }
 
 /// The evaluated techniques, in the paper's presentation order.
@@ -398,6 +476,23 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// Harmonic mean over the usable subset of `values` — finite and
+/// strictly positive — plus the count of values skipped as unusable.
+///
+/// [`vr_core::harmonic_mean`] treats any non-positive input as an
+/// upstream harness bug and collapses the whole aggregate to its
+/// `0.0` sentinel. A perf report over a store with a poisoned point
+/// legitimately measures 0.0 KIPS for the HOLE, so its aggregates use
+/// this instead: the bad value is skipped, the mean summarizes the
+/// healthy points, and the nonzero skip count taints the report
+/// explicitly (`*_tainted` in the JSON) rather than silently zeroing
+/// the trend a CI gate compares against.
+pub fn tainted_harmonic_mean(values: &[f64]) -> (f64, usize) {
+    let valid: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let skipped = values.len() - valid.len();
+    (vr_core::harmonic_mean(&valid), skipped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +569,35 @@ mod tests {
     }
 
     #[test]
+    fn chunked_claims_stay_bit_identical_and_in_order() {
+        // The chunked claim path must be invisible in the results:
+        // same values, same order, for every batch size.
+        let items: Vec<u64> = (0..131).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for chunk in [1, 7, items.len(), items.len() + 50] {
+            for threads in [2, 5] {
+                assert_eq!(
+                    parallel_map_chunked(&items, threads, chunk, |x| x * 3 + 1),
+                    serial,
+                    "chunk={chunk} threads={threads}"
+                );
+            }
+        }
+        // chunk 0 is clamped, not a hang or a panic.
+        assert_eq!(parallel_map_chunked(&items, 3, 0, |x| x * 3 + 1), serial);
+    }
+
+    #[test]
+    fn parallel_region_timer_accumulates_and_resets() {
+        reset_parallel_region();
+        let items: Vec<u64> = (0..256).collect();
+        let _ = parallel_map(&items, 2, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        // Other tests in this process may also add to the global
+        // accumulator concurrently; ours alone guarantees nonzero.
+        assert!(parallel_region_nanos() > 0);
+    }
+
+    #[test]
     fn parallel_map_handles_empty_and_single() {
         let empty: [u64; 0] = [];
         assert_eq!(parallel_map(&empty, 8, |x| *x), Vec::<u64>::new());
@@ -505,6 +629,22 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(pct(0.071), "7.1%");
+    }
+
+    #[test]
+    fn tainted_harmonic_mean_skips_holes_instead_of_zeroing() {
+        // A poisoned HOLE point contributes 0.0 KIPS; the aggregate
+        // must skip-and-taint, not collapse to the 0.0 sentinel.
+        let (hm, skipped) = tainted_harmonic_mean(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(skipped, 0);
+        let (hm, skipped) = tainted_harmonic_mean(&[1.0, 0.0, 2.0, f64::NAN, -3.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12, "mean over the healthy subset");
+        assert_eq!(skipped, 3);
+        assert_eq!(tainted_harmonic_mean(&[]), (0.0, 0));
+        assert_eq!(tainted_harmonic_mean(&[0.0]), (0.0, 1), "all-holes: sentinel + full taint");
+        let inf = tainted_harmonic_mean(&[f64::INFINITY, 4.0]);
+        assert_eq!(inf, (4.0, 1), "non-finite values taint too");
     }
 
     #[test]

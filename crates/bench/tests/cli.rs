@@ -392,7 +392,7 @@ fn perf_report_exports_cache_counters() {
     let doc = Json::parse(&std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap())
         .expect("BENCH_sim.json parses");
     std::fs::remove_dir_all(&dir).ok();
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v2"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v3"));
     // v2 additions (DESIGN.md §14): per-workload VR/OoO throughput
     // ratio and its harmonic mean.
     let ratios = doc.get("vr_ooo_kips_ratio").expect("vr_ooo_kips_ratio section");
@@ -409,10 +409,163 @@ fn perf_report_exports_cache_counters() {
         doc.get("vr_ooo_kips_ratio_hmean").and_then(Json::as_f64).is_some_and(|r| r > 0.0),
         "missing/invalid vr_ooo_kips_ratio_hmean"
     );
+    // v3 additions: taint counters on the aggregates (zero-KIPS holes
+    // are skipped, not averaged in as 0.0) and the parallel-region
+    // timings the pool speedup is derived from.
+    assert_eq!(doc.get("kips_hmean_tainted").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("vr_ooo_kips_ratio_tainted").and_then(Json::as_u64), Some(0));
+    let figures = doc.get("figures").and_then(Json::as_arr).expect("figures section");
+    assert!(!figures.is_empty());
+    for fig in figures {
+        for field in [
+            "wall_ms_threads_1",
+            "wall_ms_threads_n",
+            "parallel_ms_threads_1",
+            "parallel_ms_threads_n",
+        ] {
+            assert!(
+                fig.get(field).and_then(Json::as_f64).is_some_and(|v| v >= 0.0),
+                "missing/invalid {field}: {fig:?}"
+            );
+        }
+        assert!(
+            fig.get("pool_speedup").and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+            "missing/invalid pool_speedup: {fig:?}"
+        );
+    }
     let cache = doc.get("cache").expect("cache section");
     assert_eq!(cache.get("enabled"), Some(&Json::Bool(false)), "no --cache given");
     assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));
     assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(0));
+}
+
+/// Sorted `(name, bytes)` snapshot of a store's published records —
+/// the byte-level identity witness for the serve determinism test.
+fn records(store: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    vr_campaign::snapshot_records(store).expect("snapshot store records")
+}
+
+#[test]
+fn campaign_serve_rejects_bad_shard_specs_and_manifests() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let store = tmp("serve-reject");
+    std::fs::remove_dir_all(&store).ok();
+
+    // Out-of-range shard index: flag validation, exit 2.
+    let o = experiments(&[
+        "campaign",
+        "serve",
+        "--cache",
+        store.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--shard",
+        "2",
+    ]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("shard"), "{}", stderr(&o));
+
+    // Garbage and unknown-figure manifests: streamed `serve-reject`
+    // records, a summary counting them, and a nonzero exit.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["campaign", "serve", "--cache", store.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"not json at all\n\
+              {\"schema\": \"vr-campaign-manifest-v1\", \"figure\": \"fig-bogus\", \"insts\": 1000}\n",
+        )
+        .unwrap();
+    let o = child.wait_with_output().expect("serve exits");
+    assert_eq!(o.status.code(), Some(1), "rejects must flip the exit code: {}", stderr(&o));
+    let out = stdout(&o);
+    assert_eq!(out.matches("\"kind\":\"serve-reject\"").count(), 2, "{out}");
+    assert!(out.contains("\"kind\":\"serve-summary\""), "{out}");
+    assert_eq!(cell(&out, "rejected").as_deref(), Some("2"), "{out}");
+    assert_eq!(cell(&out, "manifests").as_deref(), Some("0"), "{out}");
+    std::fs::remove_dir_all(&store).ok();
+}
+
+/// The serve acceptance path (DESIGN.md §15): two concurrent sharded
+/// `campaign serve` processes splitting one manifest stream fill a
+/// store that is *byte-identical* to a single-process serve of the
+/// same stream — the shard partition is exact (no point computed
+/// twice, none dropped) and concurrent writers are publish-safe.
+#[test]
+fn sharded_serves_fill_one_store_byte_identical_to_solo() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    // Five fig-mshr manifests at distinct budgets: 5 x 48 = 240
+    // points, comfortably past the 200-point acceptance floor while
+    // staying quick-scale cheap.
+    let manifests: String = [1000u64, 1200, 1400, 1600, 1800]
+        .iter()
+        .map(|insts| {
+            format!(
+                "{{\"schema\": \"vr-campaign-manifest-v1\", \"figure\": \"fig-mshr\", \
+                 \"insts\": {insts}}}\n"
+            )
+        })
+        .collect();
+    let serve = |store: &PathBuf, shard_args: &[&str]| {
+        let mut args = vec!["campaign", "serve", "--threads", "2", "--cache"];
+        args.push(store.to_str().unwrap());
+        args.extend_from_slice(shard_args);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        child.stdin.take().unwrap().write_all(manifests.as_bytes()).unwrap();
+        child
+    };
+
+    let solo_store = tmp("serve-solo");
+    let shard_store = tmp("serve-sharded");
+    std::fs::remove_dir_all(&solo_store).ok();
+    std::fs::remove_dir_all(&shard_store).ok();
+
+    let solo = serve(&solo_store, &[]).wait_with_output().expect("solo serve exits");
+    assert!(solo.status.success(), "stderr: {}", stderr(&solo));
+    let solo_owned: u64 = cell(&stdout(&solo), "owned points").unwrap().parse().unwrap();
+    assert!(solo_owned >= 200, "acceptance needs >= 200 points, got {solo_owned}");
+
+    // Both shards run concurrently against the SAME store.
+    let a = serve(&shard_store, &["--shards", "2", "--shard", "0"]);
+    let b = serve(&shard_store, &["--shards", "2", "--shard", "1"]);
+    let (a, b) = (a.wait_with_output().unwrap(), b.wait_with_output().unwrap());
+    assert!(a.status.success(), "shard 0 stderr: {}", stderr(&a));
+    assert!(b.status.success(), "shard 1 stderr: {}", stderr(&b));
+
+    // The shards partition the point set exactly.
+    let owned = |o: &Output| cell(&stdout(o), "owned points").unwrap().parse::<u64>().unwrap();
+    assert_eq!(owned(&a) + owned(&b), solo_owned, "shard ownership must partition the set");
+    assert!(owned(&a) > 0 && owned(&b) > 0, "degenerate split: {} + {}", owned(&a), owned(&b));
+
+    // Byte-identical stores: same record names, same record bytes.
+    let (solo_recs, shard_recs) = (records(&solo_store), records(&shard_store));
+    assert_eq!(solo_recs.len() as u64, solo_owned, "one record per unique point");
+    assert_eq!(solo_recs, shard_recs, "sharded store differs from single-process store");
+
+    // The store the two writers raced on verifies clean.
+    let o = experiments(&["campaign", "verify", "--cache", shard_store.to_str().unwrap()]);
+    assert!(o.status.success(), "verify not clean: {}", stdout(&o));
+    assert!(stdout(&o).contains("store clean"), "{}", stdout(&o));
+
+    std::fs::remove_dir_all(&solo_store).ok();
+    std::fs::remove_dir_all(&shard_store).ok();
 }
 
 #[test]

@@ -192,7 +192,7 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    fn resolved_threads(&self, work: usize) -> usize {
+    pub(crate) fn resolved_threads(&self, work: usize) -> usize {
         let t = if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -458,7 +458,31 @@ impl Shared<'_> {
 /// contract). Returns the aggregate outcome; never panics on store or
 /// simulation trouble — a worker panic (an executor bug) does
 /// propagate to the caller, matching `parallel_map`.
+///
+/// Spawns fresh worker threads per call; long-running drivers (the
+/// serve loop, repeated figure sweeps) should hold a [`WorkerPool`]
+/// and use [`run_campaign_on`] to amortize the spawn cost.
 pub fn run_campaign<E: Executor>(
+    points: &[CampaignPoint],
+    store: &ResultStore,
+    exec: &E,
+    cfg: &EngineConfig,
+    cancel: &CancelToken,
+    progress: Option<ProgressSink<'_>>,
+) -> CampaignOutcome {
+    run_campaign_on(None, points, store, exec, cfg, cancel, progress)
+}
+
+/// [`run_campaign`] on a caller-provided [`WorkerPool`]: the campaign
+/// workers run as a broadcast job on `pool`'s persistent threads
+/// instead of freshly spawned ones, so back-to-back campaigns (one per
+/// serve manifest, one per figure) pay the thread-spawn cost once per
+/// process. `pool: None` falls back to scoped spawning; the effective
+/// worker count is additionally capped by the pool size. Results are
+/// identical either way — the scheduler only changes *where* workers
+/// run.
+pub fn run_campaign_on<E: Executor>(
+    pool: Option<&crate::pool::WorkerPool>,
     points: &[CampaignPoint],
     store: &ResultStore,
     exec: &E,
@@ -477,7 +501,10 @@ pub fn run_campaign<E: Executor>(
     }
     let duplicates = (points.len() - unique.len()) as u64;
     let total = unique.len() as u64;
-    let threads = cfg.resolved_threads(unique.len());
+    let mut threads = cfg.resolved_threads(unique.len());
+    if let Some(pool) = pool {
+        threads = threads.min(pool.size());
+    }
 
     let shared = Shared {
         queue: Mutex::new(unique.iter().copied().collect()),
@@ -499,6 +526,34 @@ pub fn run_campaign<E: Executor>(
     if threads == 1 && cfg.point_deadline.is_none() {
         // Fully deterministic inline path (chaos tests depend on it).
         worker(points, &shared, exec, 0);
+    } else if let Some(pool) = pool {
+        let shared = &shared;
+        let job = move |slot: usize| worker(points, shared, exec, slot);
+        if let Some(deadline) = cfg.point_deadline {
+            // The driving thread is busy inside `pool.run`, so the
+            // supervisor gets its own scoped thread, watching a done
+            // flag instead of join handles. The drop guard raises the
+            // flag even when a worker panic unwinds out of `pool.run`,
+            // so the supervisor always exits and the scope can join it
+            // (then re-raise the panic).
+            struct RaiseOnDrop<'a>(&'a AtomicBool);
+            impl Drop for RaiseOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+            let done = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let done = &done;
+                scope.spawn(move || {
+                    supervise(shared, deadline, || done.load(Ordering::Acquire));
+                });
+                let _raise = RaiseOnDrop(done);
+                pool.run(threads, &job);
+            });
+        } else {
+            pool.run(threads, &job);
+        }
     } else {
         std::thread::scope(|scope| {
             let shared = &shared;
@@ -509,7 +564,9 @@ pub fn run_campaign<E: Executor>(
             // deadline the scope just joins the workers (and
             // propagates any panic).
             if let Some(deadline) = cfg.point_deadline {
-                supervise(shared, &handles, deadline);
+                supervise(shared, deadline, || {
+                    handles.iter().all(std::thread::ScopedJoinHandle::is_finished)
+                });
             }
         });
     }
@@ -536,16 +593,13 @@ pub fn run_campaign<E: Executor>(
 
 /// The deadline supervisor: polls every worker's in-flight slot and
 /// trips the [`StopFlag`] of any attempt past its wall-clock budget.
-/// Runs on the driving thread until every worker exits; pure
+/// Runs until `all_done` reports every worker has exited (join-handle
+/// census on the scoped path, a done flag on the pooled path); pure
 /// observation plus one atomic store, so it can never wedge a worker.
-fn supervise(
-    shared: &Shared<'_>,
-    handles: &[std::thread::ScopedJoinHandle<'_, ()>],
-    deadline: Duration,
-) {
+fn supervise(shared: &Shared<'_>, deadline: Duration, all_done: impl Fn() -> bool) {
     let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
     loop {
-        if handles.iter().all(std::thread::ScopedJoinHandle::is_finished) {
+        if all_done() {
             return;
         }
         for slot in &shared.inflight {

@@ -31,17 +31,26 @@
 pub mod chaos;
 pub mod engine;
 pub mod fingerprint;
+pub mod pool;
 pub mod serial;
+pub mod serve;
 pub mod store;
 
 pub use engine::{
-    campaign_status, run_campaign, CampaignOutcome, CampaignPoint, CancelToken, EngineConfig,
-    ExecCtx, Executor, ProgressEvent, ProgressKind, ProgressSink, SimExecutor, StatusReport,
-    POISON_DEADLINE_TRIPS,
+    campaign_status, run_campaign, run_campaign_on, CampaignOutcome, CampaignPoint, CancelToken,
+    EngineConfig, ExecCtx, Executor, ProgressEvent, ProgressKind, ProgressSink, SimExecutor,
+    StatusReport, POISON_DEADLINE_TRIPS,
 };
 pub use fingerprint::{point_key, PointKey, CODE_SALT};
+pub use pool::WorkerPool;
 pub use serial::{stats_from_json, stats_to_json};
-pub use store::{GcReport, PoisonRecord, ResultStore, StoreCounters, VerifyReport, TMP_GC_GRACE};
+pub use serve::{
+    serve_lines, serve_spool, shard_of, Manifest, ServeConfig, ServeSummary, ShardSpec,
+};
+pub use store::{
+    snapshot_records, GcReport, PoisonRecord, ResultStore, StoreCounters, VerifyReport,
+    TMP_GC_GRACE,
+};
 
 /// Unique-per-call nonce for test scratch directories (process id is
 /// not enough: tests in one process share it).

@@ -1,0 +1,266 @@
+//! A persistent broadcast worker pool.
+//!
+//! The sweep runner used to spawn `threads` fresh OS threads for every
+//! figure (`std::thread::scope` per call). At post-PR-5/7 per-point
+//! costs the spawn/join overhead is a measurable slice of a quick
+//! sweep, and it recurs on *every* `parallel_map` call — a perf-report
+//! run makes dozens. [`WorkerPool`] spawns the threads once and
+//! broadcasts jobs to them: a *job* is one `&(dyn Fn(usize) + Sync)`
+//! closure that every participating worker calls with its own worker
+//! index; the closure does its own work distribution (the callers use
+//! an atomic cursor over a shared item slice, exactly as before).
+//!
+//! Lifetime contract: [`WorkerPool::run`] borrows the closure for the
+//! duration of the call and **blocks until every participating worker
+//! has returned from it**, so handing the (lifetime-erased) pointer to
+//! long-lived pool threads is sound — no worker can touch it after
+//! `run` returns. This is the same shape as `std::thread::scope`, with
+//! the threads outliving the scope instead of dying with it.
+//!
+//! Panic contract: a panic inside the closure is caught on the worker
+//! (the thread survives for the next job) and re-raised on the caller
+//! as `panic!("sweep worker panicked")` after all workers finish —
+//! matching the message of the scoped-spawn implementation it
+//! replaces. The pool remains usable afterwards.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A broadcast job: a lifetime-erased pointer to the caller's closure.
+/// Sound to send across threads because [`WorkerPool::run`] keeps the
+/// referent alive (and the caller blocked) until every worker is done
+/// with it.
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only dereferenced by pool workers between the
+// generation bump that publishes it and the `remaining == 0` handshake
+// that unblocks `run` — a window during which the caller guarantees
+// the referent is alive and borrowed shared.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped once per submitted job; workers sleep until it moves.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers participating in the current job (indices `0..active`).
+    active: usize,
+    /// Participating workers that have not finished the job yet.
+    remaining: usize,
+    /// Whether any worker's closure call panicked this job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<PoolState>,
+    /// Signalled on job publish and on shutdown.
+    work_cv: Condvar,
+    /// Signalled when the last participating worker finishes a job.
+    done_cv: Condvar,
+}
+
+impl Inner {
+    /// Mutex poisoning cannot leave `PoolState` inconsistent (no
+    /// invariant spans a panic point under the lock), so recover
+    /// instead of propagating a poisoned-lock panic.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A fixed-size pool of persistent worker threads that repeatedly
+/// execute broadcast jobs (see the module docs for the contracts).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes [`WorkerPool::run`] callers: one job in flight at a
+    /// time (the state machine tracks a single generation).
+    submit: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `size.max(1)` worker threads.
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                active: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..size)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vr-pool-{index}"))
+                    .spawn(move || worker_loop(&inner, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { inner, handles, submit: Mutex::new(()) }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(index)` on workers `0..active.min(size)` concurrently
+    /// and blocks until all of them return. Concurrent `run` calls
+    /// from different threads serialize (the pool executes one job at
+    /// a time); `run` must not be called from inside a job closure
+    /// (the nested call would deadlock on the in-flight job).
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"sweep worker panicked"` if any worker's `f` call
+    /// panicked (after every worker has finished; the pool survives).
+    pub fn run(&self, active: usize, f: &(dyn Fn(usize) + Sync)) {
+        let active = active.clamp(1, self.size());
+        let _turn = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+        // Erase the borrow lifetime: see the module docs — `run` keeps
+        // the referent alive until every worker is done.
+        let job = Job(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        let mut st = self.inner.lock();
+        st.job = Some(job);
+        st.active = active;
+        st.remaining = active;
+        st.panicked = false;
+        st.generation += 1;
+        self.inner.work_cv.notify_all();
+        while st.remaining > 0 {
+            st = self.inner.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            // The worker's panic payload was already reported by the
+            // panic hook at the panic site; re-raise under the pool's
+            // stable message (the one callers' tests pin).
+            panic!("sweep worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.lock();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, index: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job_ptr = {
+            let mut st = inner.lock();
+            while !st.shutdown && st.generation == seen_generation {
+                st = inner.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_generation = st.generation;
+            if index >= st.active {
+                // Not participating in this job; wait for the next.
+                continue;
+            }
+            st.job.as_ref().expect("published job").0
+        };
+        // Call outside the lock so workers actually run concurrently.
+        // SAFETY: `run` keeps the closure alive until `remaining`
+        // reaches 0, which this worker only signals after returning.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job_ptr)(index) })).is_ok();
+        let mut st = inner.lock();
+        if !ok {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcasts_to_exactly_the_active_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.size(), 4);
+        for active in [1, 2, 4, 9] {
+            let seen = Mutex::new(Vec::new());
+            pool.run(active, &|i| {
+                seen.lock().unwrap().push(i);
+            });
+            let mut v = seen.into_inner().unwrap();
+            v.sort_unstable();
+            let expect: Vec<usize> = (0..active.min(4)).collect();
+            assert_eq!(v, expect, "active={active}");
+        }
+    }
+
+    #[test]
+    fn reuses_threads_across_many_jobs() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(3, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn panic_is_reraised_and_the_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|i| assert!(i != 1, "injected"));
+        }));
+        let msg = *caught.expect_err("must propagate").downcast::<&str>().unwrap();
+        assert_eq!(msg, "sweep worker panicked");
+        // The pool keeps working after a job panicked.
+        let hits = AtomicUsize::new(0);
+        pool.run(2, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_safely() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        pool.run(2, &|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 2);
+    }
+}

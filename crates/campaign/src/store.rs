@@ -756,3 +756,25 @@ fn sorted_entries(dir: &Path) -> io::Result<Vec<fs::DirEntry>> {
     v.sort_by_key(fs::DirEntry::file_name);
     Ok(v)
 }
+
+/// Every published record of the store rooted at `root` as
+/// `(file name, bytes)`, sorted by name — the byte-identity currency
+/// of the convergence assertions (chaos recovery, sharded-serve
+/// determinism): two stores are equivalent iff their snapshots are
+/// equal. In-flight `.tmp-*` files are excluded (they are invisible to
+/// readers by the atomic-publish contract).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from enumerating or reading `records/`.
+pub fn snapshot_records(root: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut v = Vec::new();
+    for e in sorted_entries(&root.join("records"))? {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if name.starts_with(".tmp-") {
+            continue;
+        }
+        v.push((name, fs::read(e.path())?));
+    }
+    Ok(v)
+}

@@ -74,16 +74,10 @@ fn run(points: &[CampaignPoint], store: &ResultStore) -> CampaignOutcome {
 }
 
 /// All published records as (name, bytes), sorted — the byte-identity
-/// currency of every convergence assertion below.
+/// currency of every convergence assertion below (the shared helper,
+/// unwrapped: a scratch store that cannot be read is a test failure).
 fn snapshot_records(root: &Path) -> Vec<(String, Vec<u8>)> {
-    let mut v: Vec<(String, Vec<u8>)> = fs::read_dir(root.join("records"))
-        .unwrap()
-        .filter_map(Result::ok)
-        .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
-        .map(|e| (e.file_name().to_string_lossy().into_owned(), fs::read(e.path()).unwrap()))
-        .collect();
-    v.sort();
-    v
+    vr_campaign::snapshot_records(root).unwrap()
 }
 
 /// The ground truth: the records a fault-free campaign produces.

@@ -47,3 +47,9 @@ pub const RESULTSTORE_SCHEMA: &str = "vr-resultstore-v1";
 /// Schema-version tag of the campaign-engine telemetry sub-document
 /// (`experiments campaign run --json`, DESIGN.md §11).
 pub const CAMPAIGN_SCHEMA: &str = "vr-campaign-v1";
+
+/// Schema-version tag of a `campaign serve` point-set manifest (one
+/// JSON object per line on stdin or per spool file, DESIGN.md §15).
+/// Bump on breaking manifest-layout changes; the serve loop rejects
+/// manifests with an unknown schema rather than guessing.
+pub const MANIFEST_SCHEMA: &str = "vr-campaign-manifest-v1";
