@@ -89,6 +89,11 @@ const COMMANDS: &[Cmd] = &[
     Cmd { id: "table-hw", help: "hardware overhead of the VR structures", run: table_hw },
     Cmd { id: "fig-ablation", help: "design-choice ablations", run: fig_ablation },
     Cmd { id: "fig-mshr", help: "MSHR-count sensitivity sweep", run: fig_mshr },
+    Cmd {
+        id: "fig-chip",
+        help: "multi-core chip: VR under shared-LLC contention (not in `all`)",
+        run: fig_chip,
+    },
     Cmd { id: "trace", help: "pipeline-diagram trace of one workload under VR", run: trace_cmd },
     Cmd {
         id: "fault-oracle",
@@ -432,8 +437,8 @@ fn first_line(err: &str) -> String {
 fn campaign_cmd(opts: &Opts) -> Vec<Report> {
     use vr_campaign::{
         campaign_status, run_campaign, serve_lines, serve_spool, CampaignPoint, CancelToken,
-        EngineConfig, ExecCtx, Executor, Manifest, ProgressEvent, ProgressKind, ServeConfig,
-        ServeSummary, ShardSpec, SimExecutor,
+        ChipPoint, EngineConfig, ExecCtx, Executor, Manifest, PointSet, ProgressEvent,
+        ProgressKind, ServeConfig, ServeSummary, ShardSpec, SimExecutor,
     };
 
     /// `--fail-point SUBSTR`: points whose label contains the
@@ -442,18 +447,40 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
     /// to end (run → poison record → `status --json` → HOLE cells).
     struct FailPointExec(String);
 
+    impl FailPointExec {
+        fn injected(&self, label: &str) -> Option<vr_core::SimError> {
+            label.contains(&self.0).then(|| vr_core::SimError::BadConfig {
+                what: format!("injected by --fail-point {:?}", self.0),
+            })
+        }
+    }
+
     impl Executor for FailPointExec {
         fn execute(
             &self,
             p: &CampaignPoint,
             ctx: &ExecCtx,
         ) -> Result<vr_core::SimStats, vr_core::SimError> {
-            if p.label.contains(&self.0) {
-                return Err(vr_core::SimError::BadConfig {
-                    what: format!("injected by --fail-point {:?}", self.0),
-                });
+            if let Some(e) = self.injected(&p.label) {
+                return Err(e);
             }
             SimExecutor.execute(p, ctx)
+        }
+    }
+
+    // The same fault injection for multi-core chip points, so the
+    // fig-chip poison path (`--fail-point` → HOLE cells) is
+    // exercisable end to end too.
+    impl Executor<ChipPoint> for FailPointExec {
+        fn execute(
+            &self,
+            p: &ChipPoint,
+            ctx: &ExecCtx,
+        ) -> Result<vr_chip::ChipRun, vr_core::SimError> {
+            if let Some(e) = self.injected(&p.label) {
+                return Err(e);
+            }
+            Executor::<ChipPoint>::execute(&SimExecutor, p, ctx)
         }
     }
     let Some(store) = vr_bench::cache::active() else {
@@ -470,14 +497,20 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
         presets: opts.presets.clone(),
         scale: opts.scale,
     };
+    // Chip points are a different point type with a different result
+    // shape; `PointSet` carries whichever the figure enumerates and
+    // the actions below dispatch through the generic engine.
     let enumerate = || {
-        vr_bench::points::campaign_points(figure, &fig_opts).unwrap_or_else(|| {
-            eprintln!(
-                "error: unknown or uncacheable figure {figure:?}\navailable: {}",
-                vr_bench::points::CACHED_FIGURES.join(" ")
-            );
-            std::process::exit(2);
-        })
+        vr_bench::points::chip_points(figure, &fig_opts)
+            .map(PointSet::Chip)
+            .or_else(|| vr_bench::points::campaign_points(figure, &fig_opts).map(PointSet::Scalar))
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "error: unknown or uncacheable figure {figure:?}\navailable: {} fig-chip",
+                    vr_bench::points::CACHED_FIGURES.join(" ")
+                );
+                std::process::exit(2);
+            })
     };
     let mut r = Report::new("campaign", &format!("Campaign {action}: figure={figure}"));
     match action {
@@ -507,8 +540,8 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                 };
                 eprintln!("  [{}/{}] {} {}", ev.done, ev.total, ev.label, what);
             };
-            let out = match &opts.fail_point {
-                Some(s) => run_campaign(
+            let out = match (points, &opts.fail_point) {
+                (PointSet::Scalar(points), Some(s)) => run_campaign(
                     &points,
                     store,
                     &FailPointExec(s.clone()),
@@ -516,7 +549,20 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                     &cancel,
                     Some(&sink),
                 ),
-                None => run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink)),
+                (PointSet::Scalar(points), None) => {
+                    run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink))
+                }
+                (PointSet::Chip(points), Some(s)) => run_campaign(
+                    &points,
+                    store,
+                    &FailPointExec(s.clone()),
+                    &cfg,
+                    &cancel,
+                    Some(&sink),
+                ),
+                (PointSet::Chip(points), None) => {
+                    run_campaign(&points, store, &SimExecutor, &cfg, &cancel, Some(&sink))
+                }
             };
             let mut t = Table::new(&["metric", "value"]);
             t.row(vec!["submitted".into(), out.submitted.to_string()]);
@@ -585,7 +631,7 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             // Manifests carry their own budget/scale/presets; the
             // CLI-level figure options apply only to the other
             // actions. Presets default to the CLI default pair.
-            let enumerate_manifest = |m: &Manifest| -> Result<Vec<CampaignPoint>, String> {
+            let enumerate_manifest = |m: &Manifest| -> Result<PointSet, String> {
                 let scale = if m.scale == "paper" { Scale::Paper } else { Scale::Test };
                 let presets = if m.presets.is_empty() {
                     vec![GraphPreset::Kron, GraphPreset::Urand]
@@ -601,7 +647,11 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                         .collect::<Result<Vec<_>, String>>()?
                 };
                 let fo = vr_bench::points::FigureOpts { insts: m.insts, presets, scale };
-                vr_bench::points::campaign_points(&m.figure, &fo)
+                vr_bench::points::chip_points(&m.figure, &fo)
+                    .map(PointSet::Chip)
+                    .or_else(|| {
+                        vr_bench::points::campaign_points(&m.figure, &fo).map(PointSet::Scalar)
+                    })
                     .ok_or_else(|| format!("unknown or uncacheable figure {:?}", m.figure))
             };
             let stdout = std::io::stdout();
@@ -673,8 +723,10 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             r.attach("serve", summary.to_json());
         }
         "status" => {
-            let points = enumerate();
-            let st = campaign_status(&points, store);
+            let st = match enumerate() {
+                PointSet::Scalar(points) => campaign_status(&points, store),
+                PointSet::Chip(points) => campaign_status(&points, store),
+            };
             let mut t = Table::new(&["metric", "value"]);
             // Built from the same `st` fields `to_json` serializes, so
             // the printed census always equals the exported one.
@@ -1272,6 +1324,105 @@ fn fig_mshr(opts: &Opts) -> Vec<Report> {
     vec![r]
 }
 
+// ---------------------------------------------------------------- fig chip
+
+/// Multi-core chip figure (DESIGN.md §16): N cores contend for the
+/// shared banked LLC + DRAM broker, homogeneous and mixed workload
+/// placements, VR on vs off. Deliberately not part of `all`: a chip
+/// point costs N single-core budgets, and the contention columns are
+/// a capability artifact rather than a paper figure.
+fn fig_chip(opts: &Opts) -> Vec<Report> {
+    use vr_bench::{is_chip_hole, run_chip_point, tainted_harmonic_mean};
+    let mut r = Report::new(
+        "fig-chip",
+        &format!(
+            "Fig. chip: VR under shared-LLC contention, N ∈ {:?} cores (budget {} insts/core)",
+            vr_bench::points::CHIP_CORE_COUNTS,
+            opts.insts
+        ),
+    );
+    let fig_opts = vr_bench::points::FigureOpts {
+        insts: opts.insts,
+        presets: opts.presets.clone(),
+        scale: opts.scale,
+    };
+    let points = vr_bench::points::chip_points("fig-chip", &fig_opts).expect("fig-chip enumerates");
+    // One pool task per chip point: each point steps its cores in
+    // lockstep internally, so the fan-out axis is the point list.
+    let runs = parallel_map(&points, opts.threads, |p| {
+        eprintln!("  [run] {} …", p.label);
+        run_chip_point(p)
+    });
+    let per_core_hmean = |run: &vr_chip::ChipRun| {
+        let ipcs: Vec<f64> = run.per_core.iter().map(|s| s.ipc()).collect();
+        tainted_harmonic_mean(&ipcs).0
+    };
+    let cell = |hole: bool, v: String| if hole { "HOLE".to_string() } else { v };
+
+    // Per-point contention census: the shared-LLC counters only a
+    // chip-level run can produce (all zero at N=1 — no shared LLC).
+    let mut t = Table::new(&[
+        "point",
+        "cores",
+        "IPC/core",
+        "bank-conf",
+        "arb-stall",
+        "mshr-rej",
+        "LLC hit%",
+    ]);
+    for (p, run) in points.iter().zip(&runs) {
+        let hole = is_chip_hole(run);
+        let hm = per_core_hmean(run);
+        let lookups = run.chip.llc_hits + run.chip.llc_misses;
+        let hitpct = if lookups == 0 { 0.0 } else { run.chip.llc_hits as f64 / lookups as f64 };
+        if !hole {
+            r.metric(&format!("ipc_{}", p.label), hm);
+            r.metric(&format!("bank_conflicts_{}", p.label), run.chip.bank_conflicts as f64);
+        }
+        t.row(vec![
+            p.label.clone(),
+            p.chip.cores.to_string(),
+            cell(hole, format!("{hm:.3}")),
+            cell(hole, run.chip.bank_conflicts.to_string()),
+            cell(hole, run.chip.arbitration_stall_cycles.to_string()),
+            cell(hole, run.chip.shared_mshr_rejections.to_string()),
+            cell(hole, pct(hitpct)),
+        ]);
+    }
+    r.push_table("contention", t);
+
+    // VR/OoO speedup per (placement, N) — how much of single-core
+    // VR's win survives contention. The enumeration emits OoO-then-VR
+    // pairs, so adjacent runs pair up.
+    let mut s = Table::new(&["placement", "cores", "OoO IPC", "VR IPC", "VR/OoO"]);
+    let mut chart = BarChart::new("VR speedup over OoO under shared-LLC contention");
+    for (pp, rr) in points.chunks(2).zip(runs.chunks(2)) {
+        let ([po, pv], [ro, rv]) = (pp, rr) else { continue };
+        assert!(
+            po.label.ends_with("/OoO") && pv.label.ends_with("/VR"),
+            "enumeration must pair OoO/VR"
+        );
+        let hole = is_chip_hole(ro) || is_chip_hole(rv);
+        let (o_ipc, v_ipc) = (per_core_hmean(ro), per_core_hmean(rv));
+        let sp = v_ipc / o_ipc;
+        let name = po.label.trim_end_matches("/OoO").trim_start_matches("fig-chip/");
+        if !hole {
+            r.metric(&format!("speedup_{name}"), sp);
+            chart.bar(name, sp);
+        }
+        s.row(vec![
+            name.to_string(),
+            po.chip.cores.to_string(),
+            cell(hole, format!("{o_ipc:.3}")),
+            cell(hole, format!("{v_ipc:.3}")),
+            cell(hole, ratio(sp)),
+        ]);
+    }
+    r.push_table("speedup", s);
+    r.push_chart(chart);
+    vec![r]
+}
+
 // ---------------------------------------------------------------- hw table
 
 fn table_hw(_opts: &Opts) -> Vec<Report> {
@@ -1431,7 +1582,7 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     runner.samples = 5;
     runner.sample_time = Duration::from_millis(20);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v4\",");
     let _ = writeln!(json, "  \"insts_per_run\": {},", opts.insts);
     let _ = writeln!(json, "  \"threads\": {},", opts.threads);
     json.push_str("  \"kips\": [\n");
@@ -1508,6 +1659,57 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
         eprintln!(
             "  [warn] perf aggregates tainted: {kips_skipped} KIPS value(s) and \
              {ratio_skipped} ratio value(s) skipped (HOLE points?)"
+        );
+    }
+    // --- multi-core chip throughput (schema v4, DESIGN.md §16): one
+    // 4-core homogeneous VR chip point timed end to end. The cores run
+    // in lockstep inside one wall-clock window, so every per-core KIPS
+    // shares the denominator and `chip_kips` (their sum) is the
+    // chip-level simulation throughput CI trends.
+    {
+        const CHIP_CORES: usize = 4;
+        let w = vr_workloads::hpcdb::kangaroo(opts.scale);
+        let slots = (0..CHIP_CORES)
+            .map(|_| vr_chip::CoreSlot {
+                ra: RunaheadConfig::vector(),
+                program: w.program.clone(),
+                memory: w.memory.clone(),
+                init_regs: w.init_regs.clone(),
+            })
+            .collect();
+        let mut chip = vr_chip::Chip::new(
+            vr_chip::ChipConfig::with_cores(CHIP_CORES),
+            CoreConfig::table1(),
+            MemConfig::table1(),
+            slots,
+        );
+        let t0 = Instant::now();
+        let run = chip.try_run(opts.insts).unwrap_or_else(|e| {
+            eprintln!("error: chip perf point: {e}");
+            std::process::exit(1);
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let per_core: Vec<f64> =
+            run.per_core.iter().map(|s| s.instructions as f64 / secs / 1e3).collect();
+        let chip_kips: f64 = per_core.iter().sum();
+        let cells: Vec<String> = per_core.iter().map(|k| format!("{k:.0}")).collect();
+        let mut ct = Table::new(&["cores", "insts/core", "KIPS/core", "chip KIPS"]);
+        ct.row(vec![
+            CHIP_CORES.to_string(),
+            opts.insts.to_string(),
+            cells.join(" "),
+            format!("{chip_kips:.0}"),
+        ]);
+        rep.push_table("chip", ct);
+        rep.metric("chip_kips", chip_kips);
+        eprintln!("  [chip] {CHIP_CORES}-core VR chip: {chip_kips:.0} aggregate KIPS");
+        let per_core_json =
+            per_core.iter().map(|k| format!("{k:.1}")).collect::<Vec<_>>().join(", ");
+        let _ = writeln!(
+            json,
+            "  \"chip_kips\": {{\"cores\": {CHIP_CORES}, \"insts_per_core\": {}, \
+             \"per_core\": [{per_core_json}], \"aggregate\": {chip_kips:.1}}},",
+            opts.insts
         );
     }
     // Result-store effectiveness for this process (zeros when no

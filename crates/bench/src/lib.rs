@@ -274,6 +274,44 @@ pub fn run_custom(
     }
 }
 
+/// Runs one multi-core [`ChipPoint`](vr_campaign::ChipPoint) with the
+/// same store/degrade semantics as [`run_custom`]: a store hit loads
+/// the decomposed per-core + chip records, a poisoned point degrades
+/// to a [`hole_chip_run`] (noted in [`cache::holes`]), a fresh failure
+/// is poisoned and degraded, and with no store a failure panics.
+pub fn run_chip_point(p: &vr_campaign::ChipPoint) -> vr_chip::ChipRun {
+    use vr_campaign::{ExecCtx, Executor, SimExecutor, SweepPoint};
+    let execute =
+        || SimExecutor.execute(p, &ExecCtx { attempt: 0, stop: vr_core::StopFlag::new() });
+    let Some(store) = cache::active() else {
+        return execute().unwrap_or_else(|e| panic!("{e}"));
+    };
+    if let Some(run) = p.load(store) {
+        return run;
+    }
+    if store.is_poisoned(p.key()) {
+        cache::note_hole(&p.label);
+        return hole_chip_run(p.slots.len());
+    }
+    match execute() {
+        Ok(run) => {
+            let _ = p.save(store, &run);
+            run
+        }
+        Err(e) => {
+            let _ = store.poison(&vr_campaign::PoisonRecord {
+                key: p.key(),
+                label: p.label.clone(),
+                error: e.to_string(),
+                attempts: 1,
+                deadline_trips: 0,
+            });
+            cache::note_hole(&p.label);
+            hole_chip_run(p.slots.len())
+        }
+    }
+}
+
 fn try_simulate(
     w: &Workload,
     core: CoreConfig,
@@ -297,6 +335,19 @@ pub fn hole_stats() -> SimStats {
 /// Whether `stats` is the [`hole_stats`] sentinel.
 pub fn is_hole(stats: &SimStats) -> bool {
     stats.cycles == 0
+}
+
+/// The sentinel [`ChipRun`](vr_chip::ChipRun) a poisoned chip point
+/// yields: [`hole_stats`] on every core, all-zero chip counters.
+pub fn hole_chip_run(cores: usize) -> vr_chip::ChipRun {
+    vr_chip::ChipRun { per_core: vec![hole_stats(); cores], chip: vr_chip::ChipStats::default() }
+}
+
+/// Whether `run` is (or contains a core of) the [`hole_chip_run`]
+/// sentinel — any zero-cycle core taints the whole chip's derived
+/// rates, exactly as [`is_hole`] does for one core.
+pub fn is_chip_hole(run: &vr_chip::ChipRun) -> bool {
+    run.per_core.iter().any(is_hole)
 }
 
 /// Renders `rendered` unless any of `deps` is a HOLE, in which case

@@ -15,7 +15,8 @@
 
 use std::sync::Arc;
 
-use vr_campaign::CampaignPoint;
+use vr_campaign::{CampaignPoint, ChipPoint, ChipSlot};
+use vr_chip::ChipConfig;
 use vr_core::{CoreConfig, RunaheadConfig};
 use vr_mem::MemConfig;
 use vr_workloads::{gap_suite, graph::GraphPreset, Scale, Workload};
@@ -271,6 +272,53 @@ pub fn campaign_points(figure: &str, o: &FigureOpts) -> Option<Vec<CampaignPoint
     Some(pts)
 }
 
+/// Core counts the chip figure sweeps.
+pub const CHIP_CORE_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Enumerates the multi-core simulation points of `fig-chip`: every
+/// core count in [`CHIP_CORE_COUNTS`] × placement (homogeneous BFS, or
+/// a mixed BFS/camel placement for N ≥ 2) × VR-on/VR-off. Returns
+/// `None` for every other figure id — chip points are a separate type
+/// from [`CampaignPoint`]s and are deliberately *not* part of the
+/// `"all"` union (`campaign run --figure fig-chip` drives them).
+pub fn chip_points(figure: &str, o: &FigureOpts) -> Option<Vec<ChipPoint>> {
+    if figure != "fig-chip" {
+        return None;
+    }
+    let g = GraphPreset::Kron.generate(o.scale);
+    let bfs = Arc::new(vr_workloads::gap::bfs_on(&g, GraphPreset::Kron));
+    let camel = Arc::new(vr_workloads::hpcdb::camel(o.scale));
+    let slot = |w: &Arc<Workload>, vr: bool| ChipSlot {
+        workload: Arc::clone(w),
+        ra: if vr { RunaheadConfig::vector() } else { RunaheadConfig::none() },
+    };
+    let mut pts = Vec::new();
+    for &n in CHIP_CORE_COUNTS {
+        // Placement is a slot vector: homogeneous (every core runs
+        // BFS) always; mixed (BFS on even cores, camel on odd) only
+        // once there is more than one core.
+        let placements: Vec<(&str, Vec<&Arc<Workload>>)> = if n == 1 {
+            vec![("homog", vec![&bfs; n])]
+        } else {
+            let mixed = (0..n).map(|i| if i % 2 == 0 { &bfs } else { &camel }).collect();
+            vec![("homog", vec![&bfs; n]), ("mixed", mixed)]
+        };
+        for (placement, ws) in placements {
+            for (tech, vr) in [("OoO", false), ("VR", true)] {
+                pts.push(ChipPoint {
+                    label: format!("fig-chip/{placement}/n{n}/{tech}"),
+                    chip: ChipConfig::with_cores(n),
+                    core: CoreConfig::table1(),
+                    mem: MemConfig::table1(),
+                    slots: ws.iter().map(|w| slot(w, vr)).collect(),
+                    max_insts: o.insts,
+                });
+            }
+        }
+    }
+    Some(pts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +362,37 @@ mod tests {
             labels.dedup();
             assert_eq!(labels.len(), before, "{id} has duplicate labels");
         }
+    }
+
+    #[test]
+    fn chip_points_enumerate_only_for_fig_chip() {
+        let o = quick();
+        assert!(chip_points("fig-perf", &o).is_none());
+        assert!(chip_points("all", &o).is_none(), "chip points are not part of the union");
+        let pts = chip_points("fig-chip", &o).expect("fig-chip enumerates");
+        // N=1: homog × {OoO, VR}; N∈{2,4,8}: {homog, mixed} × {OoO, VR}.
+        assert_eq!(pts.len(), 2 + 3 * 4);
+        let mut labels: Vec<&str> = pts.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.iter().all(|l| l.starts_with("fig-chip/")));
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate chip labels");
+        for p in &pts {
+            assert_eq!(p.slots.len(), p.chip.cores, "slot count matches topology");
+        }
+        // Keys separate: every point addresses a distinct record.
+        let mut keys: Vec<u64> = pts.iter().map(|p| p.key().0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn chip_budget_participates_in_enumeration() {
+        let a = chip_points("fig-chip", &quick()).unwrap();
+        let b = chip_points("fig-chip", &FigureOpts { insts: 20_000, ..quick() }).unwrap();
+        assert_ne!(a[0].key(), b[0].key(), "different budgets must address different records");
     }
 
     #[test]

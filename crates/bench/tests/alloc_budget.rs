@@ -25,6 +25,7 @@
 //!   and the wakeup/flush paths of the slab scheduler.
 
 use vr_bench::alloc::CountingAlloc;
+use vr_chip::{Chip, ChipConfig, CoreSlot};
 use vr_core::{CoreConfig, RunaheadConfig, Simulator};
 use vr_isa::{Asm, Memory, Program, Reg};
 use vr_mem::MemConfig;
@@ -140,5 +141,71 @@ fn main() {
         ALLOC.allocations(),
         ALLOC.reallocations(),
         ALLOC.frees(),
+    );
+
+    // ---- 4-core chip scenario (DESIGN.md §16): the lockstep stepping
+    // loop and the shared banked-LLC broker (bank queues, shared MSHR
+    // pool, writeback routing) must be just as allocation-free at
+    // steady state as the single core. `Chip::step` is the per-cycle
+    // API precisely so this gate can drive it without the `ChipRun`
+    // vector `try_run` builds.
+    const CHIP_WARMUP_INSTS: u64 = 120_000;
+    const CHIP_ROI_END_INSTS: u64 = 260_000;
+    let slots: Vec<CoreSlot> = (0..4)
+        .map(|_| {
+            // 2^19 entries × 8 B × 2 tables = 8 MiB per core: four
+            // cores overflow the shared LLC, so the broker keeps
+            // arbitrating misses for the whole run.
+            let (prog, mem) = indirect_kernel(1 << 19);
+            CoreSlot {
+                ra: RunaheadConfig::vector(),
+                program: prog,
+                memory: mem,
+                init_regs: vec![(Reg::A0, 0x100_0000), (Reg::A1, 0x4000_0000)],
+            }
+        })
+        .collect();
+    let mut chip =
+        Chip::new(ChipConfig::with_cores(4), CoreConfig::table1(), MemConfig::table1(), slots);
+    chip.validate().expect("chip config");
+
+    // Warmup: every core past its pool-growth transient.
+    while chip.step(CHIP_WARMUP_INSTS).expect("chip warmup") {}
+
+    // Region of interest: not one byte from the heap, chip-wide.
+    let ops_before = ALLOC.heap_ops();
+    let bytes_before = ALLOC.bytes_allocated();
+    while chip.step(CHIP_ROI_END_INSTS).expect("chip ROI") {}
+    let chip_ops = ALLOC.heap_ops() - ops_before;
+    let chip_bytes = ALLOC.bytes_allocated() - bytes_before;
+
+    // Sealing (allocates the ChipRun) happens after the counters are
+    // read; the run must have been substantial, episodic, and actually
+    // contended at the shared banks, or zero allocs proves nothing.
+    let run = chip.try_run(CHIP_ROI_END_INSTS).expect("seal chip stats");
+    let episodes: u64 = run.per_core.iter().map(|s| s.runahead_entries).sum();
+    assert!(
+        run.per_core.iter().all(|s| s.instructions >= CHIP_ROI_END_INSTS),
+        "every core must reach the ROI horizon"
+    );
+    assert!(episodes > 40, "chip ROI must be episodic (got {episodes} entries)");
+    assert!(
+        run.chip.bank_conflicts + run.chip.arbitration_stall_cycles > 0,
+        "chip ROI must contend at the shared LLC banks"
+    );
+    assert_eq!(
+        chip_ops,
+        0,
+        "4-core chip steady state performed {chip_ops} heap acquisitions ({chip_bytes} bytes) \
+         across {} committed instructions per core — the allocation budget is zero",
+        CHIP_ROI_END_INSTS - CHIP_WARMUP_INSTS
+    );
+
+    println!(
+        "alloc budget OK (4-core chip): 0 heap ops across {} insts/core, {episodes} episodes, \
+         {} bank conflicts, {} shared-MSHR rejections",
+        CHIP_ROI_END_INSTS - CHIP_WARMUP_INSTS,
+        run.chip.bank_conflicts,
+        run.chip.shared_mshr_rejections,
     );
 }

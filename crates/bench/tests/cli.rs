@@ -377,6 +377,99 @@ fn fail_point_poisons_degrade_figures_to_holes_and_status_json_matches() {
     std::fs::remove_dir_all(&store).ok();
 }
 
+/// The fig-chip degradation acceptance path: a chip campaign with an
+/// injected failure (`--fail-point`) poisons the matching multi-core
+/// points, the figure renders explicit `HOLE` cells in both its
+/// contention and speedup tables while still exiting 0, and after
+/// `gc` + a clean re-run the warmed store makes the figure pure hits
+/// with a schema-versioned JSON export.
+#[test]
+fn fig_chip_fail_point_degrades_to_holes_and_recovers() {
+    let store = tmp("chip-poison");
+    std::fs::remove_dir_all(&store).ok();
+    let common = ["--quick", "--insts", "600", "--figure", "fig-chip"];
+
+    // 1. Poisoned chip campaign: exit 0, degraded-complete, both the
+    //    OoO and VR points of the injected placement poisoned.
+    let mut args = vec![
+        "campaign",
+        "run",
+        "--threads",
+        "2",
+        "--fail-point",
+        "mixed/n4",
+        "--cache",
+        store.to_str().unwrap(),
+    ];
+    args.extend_from_slice(&common);
+    let o = experiments(&args);
+    assert!(o.status.success(), "poisoned chip campaign must exit 0: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("campaign degraded-complete"), "{out}");
+    assert_eq!(cell(&out, "poisoned").as_deref(), Some("2"), "{out}");
+    assert!(out.contains("injected by --fail-point"), "{out}");
+
+    // 2. The figure under the poisoned store: HOLE cells in both
+    //    tables, loud stderr, exit 0.
+    let o = experiments(&[
+        "fig-chip",
+        "--quick",
+        "--insts",
+        "600",
+        "--threads",
+        "2",
+        "--cache",
+        store.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "degraded fig-chip must exit 0: {}", stderr(&o));
+    let out = stdout(&o);
+    for line in ["fig-chip/mixed/n4/OoO", "fig-chip/mixed/n4/VR", "mixed/n4 "] {
+        let row = out.lines().find(|l| l.starts_with(line)).expect("poisoned row present");
+        assert!(row.contains("HOLE"), "poisoned row must render HOLE: {row}");
+    }
+    // Healthy placements keep real numbers.
+    let healthy = out.lines().find(|l| l.starts_with("fig-chip/homog/n4/VR")).unwrap();
+    assert!(!healthy.contains("HOLE"), "{healthy}");
+    let err = stderr(&o);
+    assert!(err.contains("degraded:"), "{err}");
+    assert!(err.contains("fig-chip/mixed/n4"), "{err}");
+
+    // 3. `gc` un-poisons; a clean chip campaign completes for real.
+    let o = experiments(&["campaign", "gc", "--cache", store.to_str().unwrap()]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(cell(&stdout(&o), "poison removed").unwrap().parse::<u64>().unwrap() > 0);
+    let mut args = vec!["campaign", "run", "--threads", "2", "--cache", store.to_str().unwrap()];
+    args.extend_from_slice(&common);
+    let o = experiments(&args);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stdout(&o).contains("campaign complete"), "{}", stdout(&o));
+
+    // 4. Warm store: the figure is pure hits, hole-free, and its JSON
+    //    export is schema-versioned with the fig-chip report.
+    let jpath = tmp("chip-fig.json");
+    let o = experiments(&[
+        "fig-chip",
+        "--quick",
+        "--insts",
+        "600",
+        "--threads",
+        "2",
+        "--cache",
+        store.to_str().unwrap(),
+        "--json",
+        jpath.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(!stdout(&o).contains("HOLE"), "{}", stdout(&o));
+    assert!(stderr(&o).contains(" 0 misses"), "chip figure ran despite warm cache: {}", stderr(&o));
+    let doc = Json::parse(&std::fs::read_to_string(&jpath).expect("json written")).unwrap();
+    std::fs::remove_file(&jpath).ok();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-experiments-v1"));
+    let reports = doc.get("reports").and_then(Json::as_arr).expect("reports");
+    assert_eq!(reports[0].get("id").and_then(Json::as_str), Some("fig-chip"));
+    std::fs::remove_dir_all(&store).ok();
+}
+
 #[test]
 fn perf_report_exports_cache_counters() {
     // Run in a scratch cwd so BENCH_sim.json does not land in the
@@ -392,7 +485,22 @@ fn perf_report_exports_cache_counters() {
     let doc = Json::parse(&std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap())
         .expect("BENCH_sim.json parses");
     std::fs::remove_dir_all(&dir).ok();
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v3"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v4"));
+    // v4 additions (DESIGN.md §16): multi-core chip throughput — one
+    // aggregate `chip_kips` plus a per-core breakdown whose entries
+    // share the lockstep wall-clock window.
+    let chip = doc.get("chip_kips").expect("chip_kips section");
+    let cores = chip.get("cores").and_then(Json::as_u64).expect("chip cores");
+    assert!(cores >= 2, "chip perf point must be multi-core: {chip:?}");
+    let per_core = chip.get("per_core").and_then(Json::as_arr).expect("per-core KIPS");
+    assert_eq!(per_core.len() as u64, cores, "one KIPS entry per core");
+    for k in per_core {
+        assert!(k.as_f64().is_some_and(|v| v > 0.0), "per-core KIPS invalid: {k:?}");
+    }
+    assert!(
+        chip.get("aggregate").and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+        "missing/invalid aggregate chip_kips"
+    );
     // v2 additions (DESIGN.md §14): per-workload VR/OoO throughput
     // ratio and its harmonic mean.
     let ratios = doc.get("vr_ooo_kips_ratio").expect("vr_ooo_kips_ratio section");

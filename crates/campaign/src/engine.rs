@@ -83,6 +83,61 @@ impl CampaignPoint {
     }
 }
 
+/// Anything the campaign engine can drive: a content-addressed unit
+/// of work with a label and a way to load/save its result against the
+/// [`ResultStore`]. The engine itself (dedup, retries, backoff,
+/// poison, deadline supervision, cancellation, resumability) is
+/// generic over this — single-core [`CampaignPoint`]s and multi-core
+/// `ChipPoint`s flow through the identical machinery.
+pub trait SweepPoint: Sync {
+    /// The computed result type (stored on success, returned on load).
+    type Output: Send;
+
+    /// The content address of this point in the result store. Poison
+    /// records are keyed on this too.
+    fn key(&self) -> PointKey;
+
+    /// Human-readable name for progress lines and failure reports.
+    fn label(&self) -> &str;
+
+    /// Loads this point's stored result, if complete and valid.
+    fn load(&self, store: &ResultStore) -> Option<Self::Output>;
+
+    /// Persists a computed result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error; the engine degrades a failed
+    /// save to "computed but not cached".
+    fn save(&self, store: &ResultStore, out: &Self::Output) -> std::io::Result<()>;
+
+    /// Cheap existence check (no payload validation) for status
+    /// censuses. The default is the single-record case.
+    fn present(&self, store: &ResultStore) -> bool {
+        store.contains(self.key())
+    }
+}
+
+impl SweepPoint for CampaignPoint {
+    type Output = SimStats;
+
+    fn key(&self) -> PointKey {
+        CampaignPoint::key(self)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn load(&self, store: &ResultStore) -> Option<SimStats> {
+        store.load(self.key())
+    }
+
+    fn save(&self, store: &ResultStore, out: &SimStats) -> std::io::Result<()> {
+        store.save(self.key(), &self.label, out)
+    }
+}
+
 /// Per-attempt context handed to an [`Executor`]: which attempt this
 /// is and the supervisor's stop handle for it.
 #[derive(Clone, Debug)]
@@ -99,14 +154,20 @@ pub struct ExecCtx {
 /// can inject flaky or instant executors: the real simulator is
 /// deterministic, so a genuine [`SimError`] would recur on every
 /// retry, making retry/backoff untestable against [`SimExecutor`].
-pub trait Executor: Sync {
-    /// Computes the statistics for `p`.
+///
+/// Generic over the point type (defaulting to [`CampaignPoint`], so
+/// plain `impl Executor for X` / `E: Executor` keep meaning the
+/// single-core case); [`SimExecutor`] additionally implements
+/// `Executor<ChipPoint>` so one executor value serves both scalar and
+/// chip sweeps.
+pub trait Executor<P: SweepPoint = CampaignPoint>: Sync {
+    /// Computes the result for `p`.
     ///
     /// # Errors
     ///
     /// Returns the simulation error; the engine retries up to
     /// [`EngineConfig::max_retries`] times before recording a failure.
-    fn execute(&self, p: &CampaignPoint, ctx: &ExecCtx) -> Result<SimStats, SimError>;
+    fn execute(&self, p: &P, ctx: &ExecCtx) -> Result<P::Output, SimError>;
 }
 
 /// The production executor: one fresh [`Simulator`] per call, with the
@@ -401,7 +462,7 @@ impl StatusReport {
 }
 
 /// Computes the [`StatusReport`] for `points` against `store`.
-pub fn campaign_status(points: &[CampaignPoint], store: &ResultStore) -> StatusReport {
+pub fn campaign_status<P: SweepPoint>(points: &[P], store: &ResultStore) -> StatusReport {
     let mut seen = HashSet::new();
     let mut rep = StatusReport { submitted: points.len() as u64, ..StatusReport::default() };
     for p in points {
@@ -409,7 +470,7 @@ pub fn campaign_status(points: &[CampaignPoint], store: &ResultStore) -> StatusR
             continue;
         }
         rep.total += 1;
-        if store.contains(p.key()) {
+        if p.present(store) {
             rep.present += 1;
         } else if store.is_poisoned(p.key()) {
             rep.poisoned += 1;
@@ -462,8 +523,8 @@ impl Shared<'_> {
 /// Spawns fresh worker threads per call; long-running drivers (the
 /// serve loop, repeated figure sweeps) should hold a [`WorkerPool`]
 /// and use [`run_campaign_on`] to amortize the spawn cost.
-pub fn run_campaign<E: Executor>(
-    points: &[CampaignPoint],
+pub fn run_campaign<P: SweepPoint, E: Executor<P>>(
+    points: &[P],
     store: &ResultStore,
     exec: &E,
     cfg: &EngineConfig,
@@ -481,9 +542,9 @@ pub fn run_campaign<E: Executor>(
 /// worker count is additionally capped by the pool size. Results are
 /// identical either way — the scheduler only changes *where* workers
 /// run.
-pub fn run_campaign_on<E: Executor>(
+pub fn run_campaign_on<P: SweepPoint, E: Executor<P>>(
     pool: Option<&crate::pool::WorkerPool>,
-    points: &[CampaignPoint],
+    points: &[P],
     store: &ResultStore,
     exec: &E,
     cfg: &EngineConfig,
@@ -575,7 +636,7 @@ pub fn run_campaign_on<E: Executor>(
     let drain = |m: Mutex<Vec<(usize, String)>>| {
         let mut v = m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         v.sort_by_key(|&(i, _)| i);
-        v.into_iter().map(|(i, e)| (points[i].label.clone(), e)).collect::<Vec<_>>()
+        v.into_iter().map(|(i, e)| (points[i].label().to_string(), e)).collect::<Vec<_>>()
     };
     CampaignOutcome {
         submitted: points.len() as u64,
@@ -618,7 +679,7 @@ fn supervise(shared: &Shared<'_>, deadline: Duration, all_done: impl Fn() -> boo
 /// campaign is cancelled. Retries happen in place — a point never
 /// re-enters the queue, so an empty queue always means no pending work.
 /// `slot` indexes this worker's in-flight slot for the supervisor.
-fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, slot: usize) {
+fn worker<P: SweepPoint, E: Executor<P>>(points: &[P], shared: &Shared<'_>, exec: &E, slot: usize) {
     loop {
         if shared.cancel.is_cancelled() {
             return;
@@ -631,10 +692,10 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
         let p = &points[idx];
         let key = p.key();
 
-        if let Some(_stats) = shared.store.load(key) {
+        if let Some(_stats) = p.load(shared.store) {
             let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-            shared.emit(done, &p.label, ProgressKind::CacheHit);
+            shared.emit(done, p.label(), ProgressKind::CacheHit);
             continue;
         }
 
@@ -644,7 +705,7 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
             // (`store gc` un-poisons).
             let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
             shared.skipped_poisoned.fetch_add(1, Ordering::Relaxed);
-            shared.emit(done, &p.label, ProgressKind::SkippedPoisoned);
+            shared.emit(done, p.label(), ProgressKind::SkippedPoisoned);
             continue;
         }
 
@@ -661,10 +722,10 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
                     // A failed save degrades to "computed but not
                     // cached" — the result is still counted; a re-run
                     // will recompute the point.
-                    let _ = shared.store.save(key, &p.label, &stats);
+                    let _ = p.save(shared.store, &stats);
                     let done = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
                     shared.computed.fetch_add(1, Ordering::Relaxed);
-                    shared.emit(done, &p.label, ProgressKind::Computed);
+                    shared.emit(done, p.label(), ProgressKind::Computed);
                     break;
                 }
                 Err(e) => {
@@ -679,7 +740,7 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
                         shared.retries.fetch_add(1, Ordering::Relaxed);
                         shared.emit(
                             shared.done.load(Ordering::Relaxed),
-                            &p.label,
+                            p.label(),
                             ProgressKind::Retried { attempt },
                         );
                         let pause = shared.cfg.jittered_backoff(key, attempt);
@@ -697,7 +758,7 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
                             .store
                             .poison(&PoisonRecord {
                                 key,
-                                label: p.label.clone(),
+                                label: p.label().to_string(),
                                 error: e.to_string(),
                                 attempts: attempt + 1,
                                 deadline_trips,
@@ -711,7 +772,7 @@ fn worker<E: Executor>(points: &[CampaignPoint], shared: &Shared<'_>, exec: &E, 
                     list.lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .push((idx, e.to_string()));
-                    shared.emit(done, &p.label, kind);
+                    shared.emit(done, p.label(), kind);
                     break;
                 }
             }

@@ -29,6 +29,7 @@
 
 #[cfg(feature = "chaos")]
 pub mod chaos;
+pub mod chip;
 pub mod engine;
 pub mod fingerprint;
 pub mod pool;
@@ -36,16 +37,17 @@ pub mod serial;
 pub mod serve;
 pub mod store;
 
+pub use chip::{chip_core_key, chip_point_key, ChipPoint, ChipSlot};
 pub use engine::{
     campaign_status, run_campaign, run_campaign_on, CampaignOutcome, CampaignPoint, CancelToken,
     EngineConfig, ExecCtx, Executor, ProgressEvent, ProgressKind, ProgressSink, SimExecutor,
-    StatusReport, POISON_DEADLINE_TRIPS,
+    StatusReport, SweepPoint, POISON_DEADLINE_TRIPS,
 };
 pub use fingerprint::{point_key, PointKey, CODE_SALT};
 pub use pool::WorkerPool;
-pub use serial::{stats_from_json, stats_to_json};
+pub use serial::{chip_stats_from_json, chip_stats_to_json, stats_from_json, stats_to_json};
 pub use serve::{
-    serve_lines, serve_spool, shard_of, Manifest, ServeConfig, ServeSummary, ShardSpec,
+    serve_lines, serve_spool, shard_of, Manifest, PointSet, ServeConfig, ServeSummary, ShardSpec,
 };
 pub use store::{
     snapshot_records, GcReport, PoisonRecord, ResultStore, StoreCounters, VerifyReport,

@@ -14,6 +14,7 @@
 //! and recomputed — correct, if pessimistic; bumping
 //! [`crate::CODE_SALT`] achieves the same end more explicitly.)
 
+use vr_chip::ChipStats;
 use vr_core::SimStats;
 use vr_mem::MemStats;
 use vr_obs::Json;
@@ -169,6 +170,50 @@ pub fn stats_from_json(j: &Json) -> Result<SimStats, String> {
     })
 }
 
+/// Serializes the chip-level contention counters of one multi-core
+/// point (the `chip/` record payload) with the same exhaustive
+/// destructuring discipline as [`stats_to_json`].
+pub fn chip_stats_to_json(s: &ChipStats) -> Json {
+    // Exhaustive: a new ChipStats field fails to compile here.
+    let ChipStats {
+        cycles,
+        bank_conflicts,
+        arbitration_stall_cycles,
+        shared_mshr_rejections,
+        llc_hits,
+        llc_misses,
+        dram_writebacks,
+    } = *s;
+    Json::Obj(vec![
+        ("cycles".into(), Json::U64(cycles)),
+        ("bank_conflicts".into(), Json::U64(bank_conflicts)),
+        ("arbitration_stall_cycles".into(), Json::U64(arbitration_stall_cycles)),
+        ("shared_mshr_rejections".into(), Json::U64(shared_mshr_rejections)),
+        ("llc_hits".into(), Json::U64(llc_hits)),
+        ("llc_misses".into(), Json::U64(llc_misses)),
+        ("dram_writebacks".into(), Json::U64(dram_writebacks)),
+    ])
+}
+
+/// Strict inverse of [`chip_stats_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field (the
+/// store quarantines such records and recomputes the point).
+pub fn chip_stats_from_json(j: &Json) -> Result<ChipStats, String> {
+    // Exhaustive struct literal, like `stats_from_json`.
+    Ok(ChipStats {
+        cycles: get_u64(j, "cycles")?,
+        bank_conflicts: get_u64(j, "bank_conflicts")?,
+        arbitration_stall_cycles: get_u64(j, "arbitration_stall_cycles")?,
+        shared_mshr_rejections: get_u64(j, "shared_mshr_rejections")?,
+        llc_hits: get_u64(j, "llc_hits")?,
+        llc_misses: get_u64(j, "llc_misses")?,
+        dram_writebacks: get_u64(j, "dram_writebacks")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +289,29 @@ mod tests {
         assert!(err.contains("load_hits"), "{err}");
         // Not an object at all.
         assert!(stats_from_json(&Json::U64(1)).is_err());
+    }
+
+    #[test]
+    fn chip_stats_round_trip_is_bit_exact_and_strict() {
+        let s = ChipStats {
+            cycles: u64::MAX,
+            bank_conflicts: 2,
+            arbitration_stall_cycles: 3,
+            shared_mshr_rejections: 4,
+            llc_hits: 5,
+            llc_misses: 6,
+            dram_writebacks: (1 << 53) + 1,
+        };
+        for text in [chip_stats_to_json(&s).to_string(), chip_stats_to_json(&s).to_pretty()] {
+            let parsed = Json::parse(&text).expect("self-emitted JSON parses");
+            assert_eq!(chip_stats_from_json(&parsed).expect("reads back"), s);
+        }
+        let j = chip_stats_to_json(&s);
+        let Json::Obj(members) = &j else { panic!() };
+        let pruned =
+            Json::Obj(members.iter().filter(|(k, _)| k != "bank_conflicts").cloned().collect());
+        let err = chip_stats_from_json(&pruned).unwrap_err();
+        assert!(err.contains("bank_conflicts"), "{err}");
+        assert!(chip_stats_from_json(&Json::U64(1)).is_err());
     }
 }

@@ -26,6 +26,8 @@ use std::path::Path;
 
 use vr_obs::{Json, CAMPAIGN_SCHEMA, MANIFEST_SCHEMA};
 
+use crate::chip::ChipPoint;
+use crate::engine::SweepPoint;
 use crate::engine::{run_campaign_on, CampaignOutcome, CancelToken, EngineConfig, Executor};
 use crate::fingerprint::PointKey;
 use crate::pool::WorkerPool;
@@ -237,9 +239,21 @@ impl ServeSummary {
     }
 }
 
+/// The point set one manifest enumerates to: either single-core
+/// campaign points or multi-core chip points. One manifest is one
+/// kind — the harness's chip figure enumerates `Chip`, everything else
+/// `Scalar` — but a serve loop freely interleaves manifests of both.
+#[derive(Clone, Debug)]
+pub enum PointSet {
+    /// Single-core sweep points.
+    Scalar(Vec<CampaignPoint>),
+    /// Multi-core chip points.
+    Chip(Vec<ChipPoint>),
+}
+
 /// Maps a manifest to its campaign points. `Err` rejects the manifest
 /// (reported on the output stream; the loop continues).
-pub type Enumerate<'a> = &'a dyn Fn(&Manifest) -> Result<Vec<CampaignPoint>, String>;
+pub type Enumerate<'a> = &'a dyn Fn(&Manifest) -> Result<PointSet, String>;
 
 /// The serve loop over a line-oriented reader (stdin in the CLI):
 /// one manifest JSON per line, blank lines skipped, until EOF or
@@ -251,7 +265,7 @@ pub type Enumerate<'a> = &'a dyn Fn(&Manifest) -> Result<Vec<CampaignPoint>, Str
 /// Propagates I/O errors from the input reader or output writer;
 /// manifest-level problems are reported in-band and never abort the
 /// loop.
-pub fn serve_lines<E: Executor>(
+pub fn serve_lines<E: Executor + Executor<ChipPoint>>(
     input: &mut dyn BufRead,
     out: &mut dyn Write,
     store: &ResultStore,
@@ -287,7 +301,7 @@ pub fn serve_lines<E: Executor>(
 ///
 /// Propagates I/O errors from spool enumeration, file reads, renames
 /// or the output writer.
-pub fn serve_spool<E: Executor>(
+pub fn serve_spool<E: Executor + Executor<ChipPoint>>(
     spool: &Path,
     out: &mut dyn Write,
     store: &ResultStore,
@@ -333,7 +347,7 @@ fn serve_pool(cfg: &EngineConfig) -> WorkerPool {
 /// outcome on success, `kind: "serve-reject"` with the diagnostic on a
 /// parse/enumeration failure.
 #[allow(clippy::too_many_arguments)] // internal plumbing of the two loops above
-fn serve_one<E: Executor>(
+fn serve_one<E: Executor + Executor<ChipPoint>>(
     pool: &WorkerPool,
     text: &str,
     out: &mut dyn Write,
@@ -359,11 +373,12 @@ fn serve_one<E: Executor>(
             )
         }
         Ok((points, manifest)) => {
-            let enumerated = points.len();
-            let owned: Vec<CampaignPoint> =
-                points.into_iter().filter(|p| cfg.shard.owns(p.key())).collect();
-            let outcome =
-                run_campaign_on(Some(pool), &owned, store, exec, &cfg.engine, cancel, None);
+            // Sharding, driving and outcome accounting are identical
+            // for both point kinds — only the static type differs.
+            let (enumerated, outcome) = match points {
+                PointSet::Scalar(points) => drive(pool, points, store, exec, cfg, cancel),
+                PointSet::Chip(points) => drive(pool, points, store, exec, cfg, cancel),
+            };
             summary.absorb(enumerated, &outcome);
             emit(
                 out,
@@ -380,6 +395,23 @@ fn serve_one<E: Executor>(
             )
         }
     }
+}
+
+/// Shard-filters one manifest's points and drives them on the
+/// persistent pool, returning the pre-filter count and the engine
+/// outcome.
+fn drive<P: SweepPoint, E: Executor<P>>(
+    pool: &WorkerPool,
+    points: Vec<P>,
+    store: &ResultStore,
+    exec: &E,
+    cfg: &ServeConfig,
+    cancel: &CancelToken,
+) -> (usize, CampaignOutcome) {
+    let enumerated = points.len();
+    let owned: Vec<P> = points.into_iter().filter(|p| cfg.shard.owns(p.key())).collect();
+    let outcome = run_campaign_on(Some(pool), &owned, store, exec, &cfg.engine, cancel, None);
+    (enumerated, outcome)
 }
 
 /// One flushed JSON line (the streaming contract: a tailing supervisor
@@ -419,6 +451,14 @@ mod tests {
                 cycles: p.max_insts * 3,
                 instructions: p.max_insts,
                 ..SimStats::default()
+            })
+        }
+    }
+    impl Executor<ChipPoint> for FakeExec {
+        fn execute(&self, p: &ChipPoint, _ctx: &ExecCtx) -> Result<vr_chip::ChipRun, SimError> {
+            Ok(vr_chip::ChipRun {
+                per_core: vec![SimStats::default(); p.slots.len()],
+                chip: vr_chip::ChipStats { cycles: p.max_insts, ..Default::default() },
             })
         }
     }
@@ -500,7 +540,7 @@ mod tests {
     #[test]
     fn serve_lines_streams_outcomes_and_sums_the_summary() {
         let (dir, store) = tmp_store("lines");
-        let enumerate = |m: &Manifest| Ok(points(6, m.insts));
+        let enumerate = |m: &Manifest| Ok(PointSet::Scalar(points(6, m.insts)));
         let input = format!("{}\n\n{}\nnot-a-manifest\n", manifest_line(100), manifest_line(200));
         let mut out = Vec::new();
         let cfg = ServeConfig {
@@ -558,7 +598,7 @@ mod tests {
     fn two_shards_cover_the_set_exactly_once_and_match_solo() {
         let (solo_dir, solo_store) = tmp_store("solo");
         let (shard_dir, shard_store) = tmp_store("sharded");
-        let enumerate = |m: &Manifest| Ok(points(20, m.insts));
+        let enumerate = |m: &Manifest| Ok(PointSet::Scalar(points(20, m.insts)));
         let input = manifest_line(300);
         let engine = EngineConfig { threads: 2, ..EngineConfig::default() };
 
@@ -611,7 +651,7 @@ mod tests {
         std::fs::write(spool.join("a.json"), manifest_line(400)).unwrap();
         std::fs::write(spool.join("b.json"), manifest_line(500)).unwrap();
         std::fs::write(spool.join("ignored.txt"), "not a manifest").unwrap();
-        let enumerate = |m: &Manifest| Ok(points(3, m.insts));
+        let enumerate = |m: &Manifest| Ok(PointSet::Scalar(points(3, m.insts)));
         let cfg = ServeConfig::default();
         let mut out = Vec::new();
         let summary =
@@ -641,7 +681,7 @@ mod tests {
         let (dir, store) = tmp_store("cancel");
         let cancel = CancelToken::new();
         cancel.cancel();
-        let enumerate = |m: &Manifest| Ok(points(3, m.insts));
+        let enumerate = |m: &Manifest| Ok(PointSet::Scalar(points(3, m.insts)));
         let input = format!("{}\n{}\n", manifest_line(600), manifest_line(700));
         let summary = serve_lines(
             &mut input.as_bytes(),

@@ -5,6 +5,10 @@
 //! ```text
 //! DIR/
 //!   records/<key-hex16>.json   one simulation result per point key
+//!   chip/<key-hex16>.json      chip-level contention counters of one
+//!                              multi-core point (its per-core stats
+//!                              are ordinary records under derived
+//!                              keys — see `crate::chip`)
 //!   poison/<key-hex16>.json    structured failure records for points
 //!                              the campaign supervisor gave up on
 //!   quarantine/<name>.<nanos>  records that failed validation
@@ -51,11 +55,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use vr_chip::ChipStats;
 use vr_core::SimStats;
-use vr_obs::{Fnv64, Json, CAMPAIGN_SCHEMA, RESULTSTORE_SCHEMA};
+use vr_obs::{Fnv64, Json, CAMPAIGN_SCHEMA, CHIPSTORE_SCHEMA, RESULTSTORE_SCHEMA};
 
 use crate::fingerprint::{PointKey, CODE_SALT};
-use crate::serial::{stats_from_json, stats_to_json};
+use crate::serial::{chip_stats_from_json, chip_stats_to_json, stats_from_json, stats_to_json};
 
 /// Minimum age a `.tmp-*` file must reach before a default
 /// [`ResultStore::gc`] reclaims it. A temp file younger than this may
@@ -168,6 +173,7 @@ pub struct PoisonRecord {
 #[derive(Debug)]
 pub struct ResultStore {
     records: PathBuf,
+    chip: PathBuf,
     poison: PathBuf,
     quarantine: PathBuf,
     hits: AtomicU64,
@@ -188,13 +194,16 @@ impl ResultStore {
     /// created.
     pub fn open(root: &Path) -> io::Result<ResultStore> {
         let records = root.join("records");
+        let chip = root.join("chip");
         let poison = root.join("poison");
         let quarantine = root.join("quarantine");
         fs::create_dir_all(&records)?;
+        fs::create_dir_all(&chip)?;
         fs::create_dir_all(&poison)?;
         fs::create_dir_all(&quarantine)?;
         Ok(ResultStore {
             records,
+            chip,
             poison,
             quarantine,
             hits: AtomicU64::new(0),
@@ -273,6 +282,10 @@ impl ResultStore {
 
     fn record_path(&self, key: PointKey) -> PathBuf {
         self.records.join(format!("{}.json", key.hex()))
+    }
+
+    fn chip_path(&self, key: PointKey) -> PathBuf {
+        self.chip.join(format!("{}.json", key.hex()))
     }
 
     fn poison_path(&self, key: PointKey) -> PathBuf {
@@ -358,6 +371,71 @@ impl ResultStore {
             ("stats".into(), payload),
         ]);
         self.publish(&self.records, &self.record_path(key), record.to_pretty().as_bytes())?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Loads and fully validates the chip-level record for `key` —
+    /// same policy as [`ResultStore::load`] (absent/stale = miss,
+    /// corrupt = quarantine + miss), same session counters.
+    pub fn load_chip(&self, key: PointKey) -> Option<ChipStats> {
+        let path = self.chip_path(key);
+        let text = match self.io_read(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.quarantine_record(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match validate_chip(&text, Some(key)) {
+            Ok(stats) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(stats)
+            }
+            Err(RecordFault::Stale) => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(RecordFault::Corrupt) => {
+                self.quarantine_record(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether a chip-level record file exists for `key` (existence
+    /// only, like [`ResultStore::contains`]).
+    pub fn contains_chip(&self, key: PointKey) -> bool {
+        self.chip_path(key).exists()
+    }
+
+    /// Persists the chip-level counters for `key` under `chip/` via
+    /// the same atomic temp-file + rename protocol as
+    /// [`ResultStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (callers treat a failed save
+    /// as "result not cached").
+    pub fn save_chip(&self, key: PointKey, label: &str, stats: &ChipStats) -> io::Result<()> {
+        let payload = chip_stats_to_json(stats);
+        let checksum = payload_checksum(&payload);
+        let record = Json::Obj(vec![
+            ("schema".into(), Json::from(CHIPSTORE_SCHEMA)),
+            ("key".into(), Json::from(key.hex())),
+            ("salt".into(), Json::U64(CODE_SALT)),
+            ("label".into(), Json::from(label)),
+            ("checksum".into(), Json::from(checksum)),
+            ("stats".into(), payload),
+        ]);
+        self.publish(&self.chip, &self.chip_path(key), record.to_pretty().as_bytes())?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -491,6 +569,32 @@ impl ResultStore {
                 }
             }
         }
+        for entry in sorted_entries(&self.chip)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                rep.tmp_files += 1;
+                continue;
+            }
+            let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
+            let outcome =
+                self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
+                    match key {
+                        Some(k) => validate_chip(&text, Some(k)).map(|_| ()),
+                        None => Err(RecordFault::Corrupt),
+                    }
+                });
+            match outcome {
+                Ok(()) => rep.ok += 1,
+                Err(RecordFault::Stale) => {
+                    self.stale.fetch_add(1, Ordering::Relaxed);
+                    rep.stale += 1;
+                }
+                Err(RecordFault::Corrupt) => {
+                    self.quarantine_record(&entry.path());
+                    rep.quarantined += 1;
+                }
+            }
+        }
         for entry in sorted_entries(&self.poison)? {
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.starts_with(".tmp-") {
@@ -564,6 +668,40 @@ impl ResultStore {
                 self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
                     match key {
                         Some(k) => validate_record(&text, Some(k)).map(|_| ()),
+                        None => Err(RecordFault::Corrupt),
+                    }
+                });
+            match outcome {
+                Ok(()) => rep.kept += 1,
+                Err(RecordFault::Stale) => {
+                    if self.io_remove(&entry.path()).is_ok() {
+                        rep.stale_removed += 1;
+                    }
+                }
+                Err(RecordFault::Corrupt) => {
+                    if self.io_remove(&entry.path()).is_ok() {
+                        rep.corrupt_removed += 1;
+                    }
+                }
+            }
+        }
+        for entry in sorted_entries(&self.chip)? {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                if tmp_older_than(&entry, min_tmp_age) {
+                    if self.io_remove(&entry.path()).is_ok() {
+                        rep.tmp_removed += 1;
+                    }
+                } else {
+                    rep.tmp_kept += 1;
+                }
+                continue;
+            }
+            let key = name.strip_suffix(".json").and_then(PointKey::from_hex);
+            let outcome =
+                self.io_read(&entry.path()).map_err(|_| RecordFault::Corrupt).and_then(|text| {
+                    match key {
+                        Some(k) => validate_chip(&text, Some(k)).map(|_| ()),
                         None => Err(RecordFault::Corrupt),
                     }
                 });
@@ -709,6 +847,37 @@ fn validate_record(text: &str, expect_key: Option<PointKey>) -> Result<SimStats,
     }
 }
 
+/// Chip-record validation, mirroring [`validate_record`]'s policy
+/// (including salt-last) under the [`CHIPSTORE_SCHEMA`] tag.
+fn validate_chip(text: &str, expect_key: Option<PointKey>) -> Result<ChipStats, RecordFault> {
+    let doc = Json::parse(text).map_err(|_| RecordFault::Corrupt)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(CHIPSTORE_SCHEMA) {
+        return Err(RecordFault::Corrupt);
+    }
+    let embedded = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .and_then(PointKey::from_hex)
+        .ok_or(RecordFault::Corrupt)?;
+    if let Some(k) = expect_key {
+        if embedded != k {
+            return Err(RecordFault::Corrupt);
+        }
+    }
+    let payload = doc.get("stats").ok_or(RecordFault::Corrupt)?;
+    let checksum = doc.get("checksum").and_then(Json::as_str).ok_or(RecordFault::Corrupt)?;
+    if checksum != payload_checksum(payload) {
+        return Err(RecordFault::Corrupt);
+    }
+    let stats = chip_stats_from_json(payload).map_err(|_| RecordFault::Corrupt)?;
+    // Salt last, as in `validate_record`.
+    match doc.get("salt").and_then(Json::as_u64) {
+        Some(CODE_SALT) => Ok(stats),
+        Some(_) => Err(RecordFault::Stale),
+        None => Err(RecordFault::Corrupt),
+    }
+}
+
 /// Poison-record validation, mirroring [`validate_record`]'s policy
 /// (including salt-last).
 fn validate_poison(text: &str, expect_key: Option<PointKey>) -> Result<PoisonRecord, RecordFault> {
@@ -775,6 +944,22 @@ pub fn snapshot_records(root: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
             continue;
         }
         v.push((name, fs::read(e.path())?));
+    }
+    // Chip-level records participate in the identity with a "chip/"
+    // prefix (never colliding with `records/` names). A store written
+    // by a pre-chip code version simply has no such directory.
+    match sorted_entries(&root.join("chip")) {
+        Ok(entries) => {
+            for e in entries {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if name.starts_with(".tmp-") {
+                    continue;
+                }
+                v.push((format!("chip/{name}"), fs::read(e.path())?));
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
     }
     Ok(v)
 }

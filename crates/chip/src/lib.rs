@@ -1,0 +1,486 @@
+#![warn(missing_docs)]
+//! # vr-chip
+//!
+//! Multi-core chip simulation: N per-core [`vr_core::Simulator`]s
+//! stepped by a chip-level clock against a shared banked LLC + DRAM
+//! broker ([`vr_mem::SharedLlc`]). This is the contention regime the
+//! Vector Runahead paper never shows — VR's value proposition is
+//! memory-level parallelism, which is precisely what degrades when N
+//! cores fight over shared LLC banks, a finite shared MSHR pool and
+//! one DRAM channel.
+//!
+//! ## Clocking model
+//!
+//! * **N = 1**: the chip is a thin wrapper around the single-core
+//!   simulator — same validate / `step_cycle` (with idle-cycle
+//!   fast-forward) / seal sequence as [`vr_core::Simulator::try_run`],
+//!   so the reported [`SimStats`] are **bit-identical** to a
+//!   standalone run (pinned by a differential test over every
+//!   golden-stats point).
+//! * **N ≥ 2**: cores advance in *lockstep*, one chip cycle at a
+//!   time, each via [`vr_core::Simulator::step_cycle_lockstep`]
+//!   (fast-forward disabled: skipping a core's idle cycles would
+//!   reorder its arrivals at the shared banks relative to its
+//!   neighbours). Within a cycle cores are stepped in core-index
+//!   order, which is the arrival (= age) order the shared broker's
+//!   FCFS arbitration serves. Lockstep trades simulation speed for
+//!   cross-core timing fidelity; chip experiments use modest
+//!   instruction budgets. Coordinated chip-level fast-forward (skip
+//!   to the minimum next-event cycle across cores) is future work.
+//!
+//! Each core independently enters and leaves runahead episodes;
+//! per-core [`SimStats`] stay separate and [`ChipStats`] aggregates
+//! the chip-level contention counters.
+//!
+//! ```no_run
+//! use vr_chip::{Chip, ChipConfig, CoreSlot};
+//! use vr_core::{CoreConfig, RunaheadConfig};
+//! use vr_isa::{Asm, Memory};
+//! use vr_mem::MemConfig;
+//!
+//! let mut a = Asm::new();
+//! a.halt();
+//! let slot = CoreSlot {
+//!     ra: RunaheadConfig::vector(),
+//!     program: a.assemble(),
+//!     memory: Memory::new(),
+//!     init_regs: vec![],
+//! };
+//! let mut chip = Chip::new(
+//!     ChipConfig::with_cores(4),
+//!     CoreConfig::table1(),
+//!     MemConfig::table1(),
+//!     vec![slot.clone(), slot.clone(), slot.clone(), slot],
+//! );
+//! let run = chip.try_run(10_000).unwrap();
+//! println!("bank conflicts: {}", run.chip.bank_conflicts);
+//! ```
+
+use vr_core::{CoreConfig, RunaheadConfig, SimError, SimStats, Simulator, StopFlag};
+use vr_isa::{Memory, Program, Reg};
+use vr_mem::{MemConfig, SharedLlc, SharedLlcConfig, SharedLlcHandle};
+use vr_obs::Fnv64;
+
+/// Chip-level configuration: core count plus the shared-LLC knobs
+/// that have no per-core analogue. The shared L3 geometry and DRAM
+/// timing are taken from the (common) per-core [`MemConfig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChipConfig {
+    /// Number of cores on the chip.
+    pub cores: usize,
+    /// Number of shared-LLC banks.
+    pub llc_banks: usize,
+    /// Cycles each bank is busy per request (single-ported service
+    /// time; the arbitration quantum).
+    pub bank_service_cycles: u64,
+    /// Shared MSHR pool: chip-wide cap on LLC misses outstanding to
+    /// DRAM. With Table 1's 24 per-core MSHRs, 8 VR cores can want
+    /// ~192 outstanding lines — a smaller shared pool is the global
+    /// budget that makes one core's burst reject another's misses.
+    pub shared_mshrs: usize,
+}
+
+impl ChipConfig {
+    /// A chip with `cores` cores and the default shared-LLC knobs
+    /// (8 banks, 4-cycle bank service, 64 shared MSHRs).
+    pub fn with_cores(cores: usize) -> ChipConfig {
+        ChipConfig { cores, llc_banks: 8, bank_service_cycles: 4, shared_mshrs: 64 }
+    }
+
+    /// Folds every field into `h` (campaign cache key hook). The
+    /// exhaustive destructuring makes adding a field without extending
+    /// the fingerprint a compile error, and the delta test asserts
+    /// every field actually perturbs the hash.
+    pub fn fingerprint(&self, h: &mut Fnv64) {
+        let ChipConfig { cores, llc_banks, bank_service_cycles, shared_mshrs } = self;
+        h.write_str("ChipConfig");
+        h.write_u64(*cores as u64);
+        h.write_u64(*llc_banks as u64);
+        h.write_u64(*bank_service_cycles);
+        h.write_u64(*shared_mshrs as u64);
+    }
+}
+
+/// Chip-level aggregate statistics: the contention counters from the
+/// shared broker plus the chip's wall-clock cycle count. Per-core
+/// pipeline statistics live in each core's [`SimStats`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ChipStats {
+    /// Chip cycles to drain every core's budget (the max over cores).
+    pub cycles: u64,
+    /// Shared-LLC requests that waited behind a *different* core at
+    /// their bank.
+    pub bank_conflicts: u64,
+    /// Total cycles requests spent waiting for a busy bank.
+    pub arbitration_stall_cycles: u64,
+    /// LLC misses rejected because the shared MSHR pool was full.
+    pub shared_mshr_rejections: u64,
+    /// Shared-LLC hits.
+    pub llc_hits: u64,
+    /// Shared-LLC misses (DRAM fetches).
+    pub llc_misses: u64,
+    /// Dirty shared-LLC victims written back to DRAM.
+    pub dram_writebacks: u64,
+}
+
+/// One core's workload assignment: the program/memory image, its
+/// initial registers, and the runahead technique this core runs
+/// (cores can mix VR-on and VR-off).
+#[derive(Clone, Debug)]
+pub struct CoreSlot {
+    /// Runahead configuration for this core.
+    pub ra: RunaheadConfig,
+    /// The program image.
+    pub program: Program,
+    /// Initial functional memory contents.
+    pub memory: Memory,
+    /// Initial architectural register values.
+    pub init_regs: Vec<(Reg, u64)>,
+}
+
+/// Result of a chip run: per-core stats (index = core) plus the
+/// chip-level contention aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChipRun {
+    /// Each core's sealed [`SimStats`], in core order.
+    pub per_core: Vec<SimStats>,
+    /// Chip-level aggregate.
+    pub chip: ChipStats,
+}
+
+/// N cores + the shared LLC broker, advanced by one chip-level clock.
+#[derive(Debug)]
+pub struct Chip {
+    cfg: ChipConfig,
+    cores: Vec<Simulator>,
+    /// `None` for N = 1: the single core keeps its private L3/DRAM so
+    /// the path is the standalone simulator's, bit for bit.
+    shared: Option<SharedLlcHandle>,
+}
+
+impl Chip {
+    /// Builds a chip of `chip.cores` cores sharing one `core_cfg` /
+    /// `mem_cfg` (per-slot runahead configs may differ). For N ≥ 2
+    /// every core's L2-miss traffic is routed through a shared banked
+    /// LLC; for N = 1 the core keeps its private hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() != chip.cores` or `chip.cores == 0`.
+    pub fn new(
+        chip: ChipConfig,
+        core_cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        slots: Vec<CoreSlot>,
+    ) -> Chip {
+        assert!(chip.cores > 0, "a chip needs at least one core");
+        assert_eq!(slots.len(), chip.cores, "one workload slot per core");
+        let shared = (chip.cores > 1).then(|| {
+            SharedLlc::new(SharedLlcConfig {
+                l3: mem_cfg.l3,
+                dram_min_latency: mem_cfg.dram_min_latency,
+                dram_cycles_per_line: mem_cfg.dram_cycles_per_line,
+                banks: chip.llc_banks,
+                bank_service_cycles: chip.bank_service_cycles,
+                shared_mshrs: chip.shared_mshrs,
+            })
+            .into_handle()
+        });
+        let cores = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut sim = Simulator::new(
+                    core_cfg.clone(),
+                    mem_cfg.clone(),
+                    s.ra,
+                    s.program,
+                    s.memory,
+                    &s.init_regs,
+                );
+                if let Some(llc) = &shared {
+                    sim.attach_shared_llc(llc.clone(), i as u32);
+                }
+                sim
+            })
+            .collect();
+        Chip { cfg: chip, cores, shared }
+    }
+
+    /// The chip configuration in use.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Core `i`'s simulator (committed state, telemetry, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn core(&self, i: usize) -> &Simulator {
+        &self.cores[i]
+    }
+
+    /// Arms a cooperative deadline on every core: once tripped, the
+    /// next chip cycle aborts with `SimError::Deadline`.
+    pub fn set_stop_flag(&mut self, flag: StopFlag) {
+        for core in &mut self.cores {
+            core.set_stop_flag(flag.clone());
+        }
+    }
+
+    /// Validates every core's configuration (done once by
+    /// [`Chip::try_run`]; exposed for callers driving [`Chip::step`]
+    /// directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first core's `SimError::BadConfig`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for core in &self.cores {
+            core.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Advances the chip by one clock cycle: every core that has not
+    /// yet committed `max_insts` instructions (or halted) steps once.
+    /// Returns `false` once every core is finished. Allocation-free —
+    /// the alloc gate drives a 4-core chip through this directly.
+    ///
+    /// # Errors
+    ///
+    /// Any core's `SimError` (deadlock, deadline, invariant) aborts
+    /// the whole chip run.
+    pub fn step(&mut self, max_insts: u64) -> Result<bool, SimError> {
+        if self.cores.len() == 1 {
+            // Single core: the standalone stepping path, fast-forward
+            // included (bit-identity with `Simulator::try_run`).
+            return self.cores[0].step_cycle(max_insts);
+        }
+        // Lockstep, in core-index order (= FCFS age order at the
+        // shared banks for same-cycle arrivals).
+        for core in &mut self.cores {
+            if !core.finished(max_insts) {
+                core.step_cycle_lockstep(max_insts)?;
+            }
+        }
+        Ok(self.cores.iter().any(|c| !c.finished(max_insts)))
+    }
+
+    /// Runs every core to its `max_insts` budget (or halt) and seals
+    /// the statistics. Calling again with a larger budget continues
+    /// from the current state. For N = 1 that resumption is exactly
+    /// [`vr_core::Simulator::try_run`]'s (bit-identical to one shot);
+    /// for N ≥ 2 a pause freezes each core at a *different* chip
+    /// cycle (whenever it hit the intermediate budget), so resuming
+    /// yields a valid lockstep schedule that need not match the
+    /// uninterrupted one — chip campaigns therefore always run each
+    /// point in one shot.
+    ///
+    /// # Errors
+    ///
+    /// The first core `SimError` aborts the run (partial state is
+    /// kept; the caller may inspect cores but the run has no stats).
+    pub fn try_run(&mut self, max_insts: u64) -> Result<ChipRun, SimError> {
+        self.validate()?;
+        while self.step(max_insts)? {}
+        let per_core: Vec<SimStats> = self.cores.iter_mut().map(Simulator::seal_stats).collect();
+        Ok(ChipRun { per_core, chip: self.chip_stats() })
+    }
+
+    /// The chip-level aggregate at this instant: shared-broker
+    /// contention counters plus the slowest core's cycle count.
+    pub fn chip_stats(&self) -> ChipStats {
+        let cycles = self.cores.iter().map(Simulator::cycle).max().unwrap_or(0);
+        match &self.shared {
+            None => ChipStats { cycles, ..ChipStats::default() },
+            Some(llc) => {
+                let llc = llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let s = *llc.stats();
+                ChipStats {
+                    cycles,
+                    bank_conflicts: s.bank_conflicts,
+                    arbitration_stall_cycles: s.arbitration_stall_cycles,
+                    shared_mshr_rejections: s.shared_mshr_rejections,
+                    llc_hits: s.llc_hits,
+                    llc_misses: s.llc_misses,
+                    dram_writebacks: s.dram_writebacks,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_workloads::graph::GraphPreset;
+    use vr_workloads::{gap, Scale};
+
+    fn slot(ra: RunaheadConfig) -> CoreSlot {
+        let graph = GraphPreset::Kron.generate(Scale::Test);
+        let w = gap::bfs_on(&graph, GraphPreset::Kron);
+        CoreSlot { ra, program: w.program, memory: w.memory, init_regs: w.init_regs }
+    }
+
+    #[test]
+    fn n1_chip_matches_standalone_simulator() {
+        let graph = GraphPreset::Kron.generate(Scale::Test);
+        let w = gap::bfs_on(&graph, GraphPreset::Kron);
+        let mut sim = Simulator::new(
+            CoreConfig::table1(),
+            MemConfig::table1(),
+            RunaheadConfig::vector(),
+            w.program.clone(),
+            w.memory.clone(),
+            &w.init_regs,
+        );
+        let want = sim.try_run(10_000).unwrap();
+        let mut chip = Chip::new(
+            ChipConfig::with_cores(1),
+            CoreConfig::table1(),
+            MemConfig::table1(),
+            vec![slot(RunaheadConfig::vector())],
+        );
+        let run = chip.try_run(10_000).unwrap();
+        assert_eq!(run.per_core[0], want, "N=1 chip must be bit-identical");
+        assert_eq!(run.chip.bank_conflicts, 0);
+        assert_eq!(run.chip.cycles, want.cycles);
+    }
+
+    #[test]
+    fn four_core_chip_shows_contention_and_separate_stats() {
+        let slots: Vec<CoreSlot> = (0..4).map(|_| slot(RunaheadConfig::vector())).collect();
+        let mut chip =
+            Chip::new(ChipConfig::with_cores(4), CoreConfig::table1(), MemConfig::table1(), slots);
+        let run = chip.try_run(5_000).unwrap();
+        assert_eq!(run.per_core.len(), 4);
+        for s in &run.per_core {
+            // The 5-wide commit may overshoot the budget by up to a
+            // commit group, exactly like the standalone simulator.
+            assert!(s.instructions >= 5_000 && s.instructions < 5_005, "{}", s.instructions);
+        }
+        assert!(run.chip.bank_conflicts > 0, "4 identical cores must collide at banks");
+        assert!(run.chip.arbitration_stall_cycles > 0);
+        assert!(run.chip.llc_misses > 0);
+        assert!(run.chip.cycles >= run.per_core.iter().map(|s| s.cycles).max().unwrap());
+    }
+
+    #[test]
+    fn contention_slows_cores_down_relative_to_solo() {
+        let solo = {
+            let mut chip = Chip::new(
+                ChipConfig::with_cores(1),
+                CoreConfig::table1(),
+                MemConfig::table1(),
+                vec![slot(RunaheadConfig::none())],
+            );
+            chip.try_run(4_000).unwrap().per_core[0].cycles
+        };
+        // A tightly-banked chip: one bank, long service time, few
+        // shared MSHRs — contention must cost cycles.
+        let crowded = {
+            let cfg =
+                ChipConfig { cores: 4, llc_banks: 1, bank_service_cycles: 16, shared_mshrs: 4 };
+            let slots: Vec<CoreSlot> = (0..4).map(|_| slot(RunaheadConfig::none())).collect();
+            let mut chip = Chip::new(cfg, CoreConfig::table1(), MemConfig::table1(), slots);
+            let run = chip.try_run(4_000).unwrap();
+            assert!(run.chip.shared_mshr_rejections > 0, "4 MSHRs must reject under 4 cores");
+            run.per_core.iter().map(|s| s.cycles).max().unwrap()
+        };
+        assert!(
+            crowded > solo,
+            "shared-resource contention must cost cycles: solo {solo}, crowded {crowded}"
+        );
+    }
+
+    #[test]
+    fn n1_chip_resumes_bit_identically_like_the_standalone_simulator() {
+        let mk = || {
+            Chip::new(
+                ChipConfig::with_cores(1),
+                CoreConfig::table1(),
+                MemConfig::table1(),
+                vec![slot(RunaheadConfig::vector())],
+            )
+        };
+        let mut oneshot = mk();
+        let want = oneshot.try_run(4_000).unwrap();
+        let mut resumed = mk();
+        resumed.try_run(1_000).unwrap();
+        let got = resumed.try_run(4_000).unwrap();
+        assert_eq!(got, want, "N=1 resume must be bit-identical to one shot");
+    }
+
+    #[test]
+    fn multicore_resume_completes_the_larger_budget() {
+        // For N >= 2 a pause desynchronizes the lockstep interleaving
+        // (each core freezes at the cycle it hit the intermediate
+        // budget), so we only pin that resuming *completes correctly*,
+        // not that it matches the uninterrupted schedule (see the
+        // try_run docs).
+        let slots: Vec<CoreSlot> = (0..2).map(|_| slot(RunaheadConfig::vector())).collect();
+        let mut chip =
+            Chip::new(ChipConfig::with_cores(2), CoreConfig::table1(), MemConfig::table1(), slots);
+        chip.try_run(1_000).unwrap();
+        let run = chip.try_run(4_000).unwrap();
+        for s in &run.per_core {
+            assert!(s.instructions >= 4_000);
+        }
+    }
+
+    #[test]
+    fn stop_flag_aborts_a_chip_run() {
+        let slots: Vec<CoreSlot> = (0..2).map(|_| slot(RunaheadConfig::vector())).collect();
+        let mut chip =
+            Chip::new(ChipConfig::with_cores(2), CoreConfig::table1(), MemConfig::table1(), slots);
+        let flag = StopFlag::new();
+        chip.set_stop_flag(flag.clone());
+        flag.trip();
+        assert!(matches!(chip.try_run(5_000), Err(SimError::Deadline(_))));
+    }
+
+    #[test]
+    fn mixed_vr_placement_runs_and_keeps_percore_stats_apart() {
+        let slots = vec![
+            slot(RunaheadConfig::vector()),
+            slot(RunaheadConfig::none()),
+            slot(RunaheadConfig::vector()),
+            slot(RunaheadConfig::none()),
+        ];
+        let mut chip =
+            Chip::new(ChipConfig::with_cores(4), CoreConfig::table1(), MemConfig::table1(), slots);
+        let run = chip.try_run(4_000).unwrap();
+        assert!(run.per_core[0].vr_batches > 0, "VR core must vectorize");
+        assert_eq!(run.per_core[1].vr_batches, 0, "non-VR core must not");
+        assert!(run.per_core[2].vr_batches > 0);
+        assert_eq!(run.per_core[3].vr_batches, 0);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_chip_config_field() {
+        // Satellite: exhaustive delta test in the style of the
+        // CoreConfig/MemConfig ones — every field must perturb the
+        // fingerprint, so a cache key can never alias two configs.
+        let base = ChipConfig::with_cores(4);
+        let fp = |c: &ChipConfig| {
+            let mut h = Fnv64::new();
+            c.fingerprint(&mut h);
+            h.finish()
+        };
+        let variants = [
+            ChipConfig { cores: 8, ..base },
+            ChipConfig { llc_banks: 16, ..base },
+            ChipConfig { bank_service_cycles: 9, ..base },
+            ChipConfig { shared_mshrs: 7, ..base },
+        ];
+        let mut seen = vec![fp(&base)];
+        for v in &variants {
+            let f = fp(v);
+            assert!(!seen.contains(&f), "field change must change the fingerprint: {v:?}");
+            seen.push(f);
+        }
+        assert_eq!(fp(&base), fp(&ChipConfig::with_cores(4)), "stable in-process");
+    }
+}

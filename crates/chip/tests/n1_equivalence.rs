@@ -1,0 +1,86 @@
+//! N=1 differential test: a one-core [`Chip`] must be **bit-identical**
+//! to the standalone [`Simulator`] on every golden-stats point (the
+//! same matrix `crates/core/tests/golden_stats.rs` pins).
+//!
+//! A single-core chip has no shared LLC and steps its core through the
+//! same fast-forwarding `step_cycle` path the standalone `run` uses, so
+//! any drift here means the chip layer perturbed single-core semantics
+//! — which would silently re-address every existing result-store
+//! record. Run both with and without `--features checked` (CI does).
+
+use vr_chip::{Chip, ChipConfig, CoreSlot};
+use vr_core::{CoreConfig, RunaheadConfig, RunaheadKind, Simulator};
+use vr_mem::MemConfig;
+use vr_workloads::{gap, graph::GraphPreset, Scale};
+
+/// Same per-point budget as the golden-stats matrix.
+const BUDGET: u64 = 40_000;
+
+fn check(preset: GraphPreset, kind: RunaheadKind) {
+    let graph = preset.generate(Scale::Test);
+    let w = gap::bfs_on(&graph, preset);
+    let ra = match kind {
+        RunaheadKind::None => RunaheadConfig::none(),
+        RunaheadKind::Vector => RunaheadConfig::vector(),
+        k => RunaheadConfig::of(k),
+    };
+
+    let mut sim = Simulator::new(
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        ra.clone(),
+        w.program.clone(),
+        w.memory.clone(),
+        &w.init_regs,
+    );
+    let solo = sim.try_run(BUDGET).expect("standalone run must be clean");
+
+    let mut chip = Chip::new(
+        ChipConfig::with_cores(1),
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        vec![CoreSlot {
+            ra,
+            program: w.program.clone(),
+            memory: w.memory.clone(),
+            init_regs: w.init_regs.clone(),
+        }],
+    );
+    let run = chip.try_run(BUDGET).expect("1-core chip run must be clean");
+
+    assert_eq!(run.per_core.len(), 1);
+    assert_eq!(
+        run.per_core[0], solo,
+        "1-core chip drifted from the standalone simulator on {preset:?}/{kind:?}"
+    );
+}
+
+#[test]
+fn n1_kron_no_runahead() {
+    check(GraphPreset::Kron, RunaheadKind::None);
+}
+
+#[test]
+fn n1_kron_classic_runahead() {
+    check(GraphPreset::Kron, RunaheadKind::Classic);
+}
+
+#[test]
+fn n1_kron_vector_runahead() {
+    check(GraphPreset::Kron, RunaheadKind::Vector);
+}
+
+#[test]
+fn n1_urand_no_runahead() {
+    check(GraphPreset::Urand, RunaheadKind::None);
+}
+
+#[test]
+fn n1_urand_classic_runahead() {
+    check(GraphPreset::Urand, RunaheadKind::Classic);
+}
+
+#[test]
+fn n1_urand_vector_runahead() {
+    check(GraphPreset::Urand, RunaheadKind::Vector);
+}

@@ -378,25 +378,92 @@ impl Simulator {
     /// * [`SimError::Invariant`] — a per-cycle structural check failed
     ///   (only with the `checked` cargo feature).
     pub fn try_run(&mut self, max_insts: u64) -> Result<SimStats, SimError> {
-        self.validate_config()?;
-        while !self.halted && self.committed_insts < max_insts {
-            self.maybe_fast_forward();
-            self.try_tick()?;
-            if self.cycle - self.last_commit_cycle >= self.cfg.watchdog {
-                return Err(SimError::Deadlock(Box::new(self.deadlock_dump())));
-            }
-            // Cooperative wall-clock deadline: one branch when no flag
-            // is installed, one relaxed atomic load when one is — a
-            // supervisor can stop a slow point without preemption.
-            if self.stop.as_ref().is_some_and(StopFlag::is_set) {
-                return Err(SimError::Deadline(Box::new(self.deadlock_dump())));
-            }
+        self.validate()?;
+        while self.step_cycle(max_insts)? {}
+        Ok(self.seal_stats())
+    }
+
+    /// Whether the run budget is exhausted: the program halted or
+    /// `max_insts` instructions have committed.
+    pub fn finished(&self, max_insts: u64) -> bool {
+        self.halted || self.committed_insts >= max_insts
+    }
+
+    /// Validates the configuration without running anything (also done
+    /// by [`Self::try_run`]; external clock owners — `vr-chip` — call
+    /// it once before their stepping loop).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when the configuration is internally
+    /// inconsistent.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.validate_config()
+    }
+
+    /// One scheduler iteration of [`Self::try_run`]'s loop: idle-cycle
+    /// fast-forward, one pipeline tick, then the watchdog and deadline
+    /// checks. Returns `Ok(true)` while there is more work (the budget
+    /// is not [`Self::finished`]); a call on a finished simulator is a
+    /// no-op returning `Ok(false)`. This is the externally-owned-clock
+    /// API: `try_run` is exactly `validate` + this in a loop +
+    /// [`Self::seal_stats`], so a caller-driven loop is bit-identical
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::try_run`] (minus `BadConfig`, which only
+    /// `validate` reports).
+    pub fn step_cycle(&mut self, max_insts: u64) -> Result<bool, SimError> {
+        if self.finished(max_insts) {
+            return Ok(false);
         }
+        self.maybe_fast_forward();
+        self.tick_checked()?;
+        Ok(!self.finished(max_insts))
+    }
+
+    /// [`Self::step_cycle`] without the idle-cycle fast-forward: the
+    /// simulator advances by exactly one cycle per call. A multi-core
+    /// chip clock must step cores in lockstep — a per-core skip would
+    /// let one core's shared-LLC requests arrive out of timestamp
+    /// order at the banks — so it pays the idle cycles for ordering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::step_cycle`].
+    pub fn step_cycle_lockstep(&mut self, max_insts: u64) -> Result<bool, SimError> {
+        if self.finished(max_insts) {
+            return Ok(false);
+        }
+        self.tick_checked()?;
+        Ok(!self.finished(max_insts))
+    }
+
+    fn tick_checked(&mut self) -> Result<(), SimError> {
+        self.try_tick()?;
+        if self.cycle - self.last_commit_cycle >= self.cfg.watchdog {
+            return Err(SimError::Deadlock(Box::new(self.deadlock_dump())));
+        }
+        // Cooperative wall-clock deadline: one branch when no flag
+        // is installed, one relaxed atomic load when one is — a
+        // supervisor can stop a slow point without preemption.
+        if self.stop.as_ref().is_some_and(StopFlag::is_set) {
+            return Err(SimError::Deadline(Box::new(self.deadlock_dump())));
+        }
+        Ok(())
+    }
+
+    /// Folds the live counters (cycles, committed instructions, memory
+    /// statistics) into [`SimStats`] and returns the snapshot — the
+    /// tail of [`Self::try_run`], exposed for external clock owners.
+    /// Idempotent; safe to call mid-run.
+    pub fn seal_stats(&mut self) -> SimStats {
         self.stats.cycles = self.cycle;
         self.stats.instructions = self.committed_insts;
         self.stats.mshr_occupancy_integral = self.ms.mshr_occupancy_integral();
         self.stats.mem = *self.ms.stats();
-        Ok(self.stats)
+        self.stats
     }
 
     /// Panicking convenience wrapper over [`Self::try_run`] for call
@@ -586,6 +653,21 @@ impl Simulator {
     /// bounded `run`).
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// The current cycle count (the core's clock; under a lockstep
+    /// chip clock this equals the chip cycle while the core is live).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Routes this core's L2-miss traffic through a chip-shared banked
+    /// LLC + DRAM broker (see `vr_mem::SharedLlc`). `core` tags this
+    /// core's lines in the shared cache. Must be called before the
+    /// first cycle; a core with no attachment keeps its private
+    /// L3/DRAM, bit-identical to the pre-chip simulator.
+    pub fn attach_shared_llc(&mut self, llc: vr_mem::SharedLlcHandle, core: u32) {
+        self.ms.attach_shared_llc(llc, core);
     }
 
     /// The committed architectural register state — ground truth for

@@ -5,6 +5,7 @@ use crate::config::MemConfig;
 use crate::dram::Dram;
 use crate::imp::Imp;
 use crate::mshr::MshrFile;
+use crate::shared::{SharedLlcHandle, SharedOutcome};
 use crate::stats::{MemStats, TimelinessLevel};
 use crate::stride::StridePrefetcher;
 use crate::telemetry::PfTelemetry;
@@ -95,6 +96,19 @@ pub struct MemorySystem {
     /// (default) case costs one pointer; every hook is an `if let` on
     /// a prefetch *bookkeeping* path, never the per-access fast path.
     telemetry: Option<Box<PfTelemetry>>,
+    /// Chip-shared LLC attachment. `None` (the default) keeps the
+    /// private L3 + DRAM path untouched — single-core timing is
+    /// bit-identical to a build without this field.
+    shared: Option<SharedAttachment>,
+}
+
+/// Attachment of this per-core hierarchy to a chip-shared LLC broker:
+/// when present, every L2 miss bypasses the private L3/DRAM and goes
+/// through the shared banked LLC instead (see [`crate::SharedLlc`]).
+#[derive(Clone, Debug)]
+struct SharedAttachment {
+    llc: SharedLlcHandle,
+    core: u32,
 }
 
 impl MemorySystem {
@@ -115,8 +129,19 @@ impl MemorySystem {
             stats: MemStats::default(),
             chaos: None,
             telemetry: None,
+            shared: None,
             cfg,
         }
+    }
+
+    /// Attaches this hierarchy to a chip-shared LLC + DRAM broker as
+    /// core `core`. From then on every L2 miss crosses the chip
+    /// interconnect into the shared banked LLC instead of the private
+    /// L3/DRAM; the private L3 sits unused. Shared-L3 write-backs are
+    /// accounted on the broker (chip-level stats), not in this core's
+    /// [`MemStats::dram_writebacks`].
+    pub fn attach_shared_llc(&mut self, llc: SharedLlcHandle, core: u32) {
+        self.shared = Some(SharedAttachment { llc, core });
     }
 
     /// Enables per-line prefetch-lifecycle telemetry, retaining the
@@ -353,6 +378,62 @@ impl MemorySystem {
             return Ok(AccessOutcome { ready_at: ready, hit: HitLevel::L2, prefetched_by: was_pf });
         }
 
+        // 4'/5' (chip runs only). With a shared LLC attached, an L2
+        // miss crosses the chip interconnect after the private L1+L2
+        // lookup; the shared broker replaces steps 4 and 5 entirely.
+        let attach = self.shared.as_ref().map(|sh| (sh.llc.clone(), sh.core));
+        if let Some((llc, core)) = attach {
+            let lookup_at = now + l1_lat + l2_lat;
+            let outcome = {
+                let mut llc = llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                llc.access_line(core, la, lookup_at)
+            };
+            return match outcome {
+                SharedOutcome::Hit { ready_at } => {
+                    if is_demand && kind == Access::Load {
+                        self.stats.load_hits[MemStats::level_idx(HitLevel::L3)] += 1;
+                    }
+                    self.mshr.allocate(la, now, ready_at, req);
+                    if req.is_prefetch() {
+                        self.stats.pf_issued[MemStats::req_idx(req)] += 1;
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_issue(la, req, now, ready_at, HitLevel::L3);
+                        }
+                    }
+                    // The shared L3 tracks no per-core prefetch
+                    // ownership, so a shared hit never reports
+                    // `prefetched_by` and the L3 timeliness bucket is
+                    // unreachable in chip runs (DESIGN.md §16).
+                    self.fill_l2_flagged(la, None, false, now);
+                    self.fill_l1(la, kind, req, false, now);
+                    Ok(AccessOutcome { ready_at, hit: HitLevel::L3, prefetched_by: None })
+                }
+                SharedOutcome::Miss { ready_at } => {
+                    self.mshr.allocate(la, now, ready_at, req);
+                    self.stats.dram_reads[MemStats::req_idx(req)] += 1;
+                    if req.is_prefetch() {
+                        self.stats.pf_issued[MemStats::req_idx(req)] += 1;
+                        if let Some(t) = &mut self.telemetry {
+                            t.on_issue(la, req, now, ready_at, HitLevel::Dram);
+                        }
+                    }
+                    if is_demand && kind == Access::Load {
+                        self.stats.load_hits[MemStats::level_idx(HitLevel::Dram)] += 1;
+                    }
+                    let pf_src = req.is_prefetch().then_some(req);
+                    self.fill_l2_flagged(la, None, kind == Access::Store, now);
+                    self.fill_l1_flagged(la, pf_src, kind == Access::Store, now);
+                    Ok(AccessOutcome { ready_at, hit: HitLevel::Dram, prefetched_by: None })
+                }
+                SharedOutcome::Reject => {
+                    if req.is_prefetch() {
+                        self.stats.pf_dropped_mshr += 1;
+                    }
+                    Err(MshrFull)
+                }
+            };
+        }
+
         // 4. L3 hit.
         if let Some(line) = self.l3.lookup(la) {
             let was_pf = line.prefetch_src;
@@ -457,7 +538,24 @@ impl MemorySystem {
                     }
                 }
                 None => {
-                    if victim.dirty {
+                    if let Some((llc, core)) =
+                        self.shared.as_ref().map(|sh| (sh.llc.clone(), sh.core))
+                    {
+                        // Chip run: the victim leaves the private
+                        // hierarchy into the shared LLC (merge or, if
+                        // dirty, install). Prefetch ownership does not
+                        // cross the boundary — its lifecycle ends here.
+                        {
+                            let mut llc =
+                                llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            llc.fill_victim(core, victim.line_addr, victim.dirty);
+                        }
+                        if victim.prefetch_src.is_some() {
+                            if let Some(t) = &mut self.telemetry {
+                                t.on_evict(victim.line_addr, now);
+                            }
+                        }
+                    } else if victim.dirty {
                         self.fill_l3_dirty(victim.line_addr, victim.prefetch_src, now);
                     } else if victim.prefetch_src.is_some() {
                         // A clean, still-flagged victim with no L3 copy

@@ -48,6 +48,12 @@ pub const RESULTSTORE_SCHEMA: &str = "vr-resultstore-v1";
 /// (`experiments campaign run --json`, DESIGN.md §11).
 pub const CAMPAIGN_SCHEMA: &str = "vr-campaign-v1";
 
+/// Schema-version tag of a chip-level record in the on-disk result
+/// store (`chip/` — the shared-LLC contention counters of one
+/// multi-core point, DESIGN.md §16). Same bump policy as
+/// [`RESULTSTORE_SCHEMA`].
+pub const CHIPSTORE_SCHEMA: &str = "vr-chipstore-v1";
+
 /// Schema-version tag of a `campaign serve` point-set manifest (one
 /// JSON object per line on stdin or per spool file, DESIGN.md §15).
 /// Bump on breaking manifest-layout changes; the serve loop rejects
