@@ -6,11 +6,16 @@
 //! Uses the offline `vr_bench::micro` harness (`harness = false`) so
 //! the workspace carries no registry dependencies.
 
+use std::sync::Mutex;
+
 use vr_bench::micro::{black_box, Runner};
+use vr_chip::{Chip, ChipConfig, CoreSlot};
 use vr_core::wakeup::{WakeupLists, NO_LINK};
+use vr_core::{CoreConfig, RunaheadConfig};
 use vr_frontend::{DirectionPredictor, Tage};
 use vr_isa::{Asm, Cpu, Memory, Reg, StoreOverlay};
-use vr_mem::{Access, MemConfig, MemorySystem, Requestor};
+use vr_mem::{Access, MemConfig, MemorySystem, Requestor, SharedLlc, SharedLlcConfig};
+use vr_workloads::Scale;
 
 fn bench_memory() {
     let r = Runner::new("memory");
@@ -275,6 +280,96 @@ fn bench_wakeup_lists() {
     });
 }
 
+/// The shared-LLC broker hot path (DESIGN.md §17): one `access_line`
+/// through an owned `&mut` (the install/take protocol the chip uses)
+/// vs the same access behind the per-access `Mutex` of the original
+/// design. Both locks are uncontended — the comparison isolates the
+/// pure lock/unlock tax the ownership move removed, which the chip
+/// pays once per *core memory access*.
+fn bench_shared_llc() {
+    let r = Runner::new("shared_llc");
+    let mem_cfg = MemConfig::table1();
+    let chip_cfg = ChipConfig::with_cores(4);
+    let cfg = SharedLlcConfig {
+        l3: mem_cfg.l3,
+        dram_min_latency: mem_cfg.dram_min_latency,
+        dram_cycles_per_line: mem_cfg.dram_cycles_per_line,
+        banks: chip_cfg.llc_banks,
+        bank_service_cycles: chip_cfg.bank_service_cycles,
+        shared_mshrs: chip_cfg.shared_mshrs,
+    };
+    let line = cfg.l3.line_bytes;
+    // Warm a small per-core working set so the steady-state accesses
+    // below are all LLC hits (the common case after the first sweep).
+    let warm = |llc: &mut SharedLlc| {
+        for core in 0..4u32 {
+            for i in 0..64u64 {
+                llc.access_line(core, 0x10_0000 + i * line, u64::MAX / 2);
+            }
+        }
+    };
+
+    let mut owned = Box::new(SharedLlc::new(cfg));
+    warm(&mut owned);
+    let mut now = u64::MAX / 2;
+    let mut i = 0u64;
+    r.bench("hit_owned", || {
+        now += 100;
+        i = (i + 1) & 0x3f;
+        black_box(owned.access_line((i & 3) as u32, 0x10_0000 + i * line, now))
+    });
+
+    let mut inner = Box::new(SharedLlc::new(cfg));
+    warm(&mut inner);
+    let locked = Mutex::new(inner);
+    let mut now2 = u64::MAX / 2;
+    let mut j = 0u64;
+    r.bench("hit_mutexed", || {
+        now2 += 100;
+        j = (j + 1) & 0x3f;
+        black_box(locked.lock().unwrap().access_line((j & 3) as u32, 0x10_0000 + j * line, now2))
+    });
+
+    // The miss path for scale: DRAM queueing + MSHR pool bookkeeping
+    // dominate here, so the lock tax matters proportionally less.
+    let mut cold = Box::new(SharedLlc::new(cfg));
+    let mut addr = 0u64;
+    let mut now3 = u64::MAX / 2;
+    r.bench("streaming_miss_owned", || {
+        now3 += 400;
+        addr += line;
+        black_box(cold.access_line(0, 0x4000_0000 + addr, now3))
+    });
+}
+
+/// One lockstep round of a 4-core VR chip (DESIGN.md §17's
+/// `Chip::step`): min-clock selection, broker install/take, and the
+/// per-core action (fast-forward, cheap engine step, or full tick).
+/// The chip is rebuilt when a run completes; at thousands of rounds
+/// per run the rebuild amortizes to noise.
+fn bench_chip_step() {
+    let r = Runner::new("chip");
+    const INSTS: u64 = 20_000;
+    let w = vr_workloads::hpcdb::kangaroo(Scale::Test);
+    let mk = || {
+        let slots = (0..4)
+            .map(|_| CoreSlot {
+                ra: RunaheadConfig::vector(),
+                program: w.program.clone(),
+                memory: w.memory.clone(),
+                init_regs: w.init_regs.clone(),
+            })
+            .collect();
+        Chip::new(ChipConfig::with_cores(4), CoreConfig::table1(), MemConfig::table1(), slots)
+    };
+    let mut chip = mk();
+    r.bench("step_4core_vr", || {
+        if !chip.step(INSTS).expect("chip round") {
+            chip = mk();
+        }
+    });
+}
+
 fn main() {
     bench_memory();
     bench_emulator();
@@ -283,4 +378,6 @@ fn main() {
     bench_store_overlay();
     bench_lane_masks();
     bench_wakeup_lists();
+    bench_shared_llc();
+    bench_chip_step();
 }

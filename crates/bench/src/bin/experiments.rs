@@ -59,6 +59,10 @@ struct Opts {
     /// `--spool DIR`: drain `campaign serve` manifests from `*.json`
     /// files in DIR instead of reading lines from stdin.
     spool: Option<PathBuf>,
+    /// `--chip-threads N`: worker threads for stepping each multi-core
+    /// chip point (default 1 = sequential; bit-identical stats at any
+    /// value).
+    chip_threads: usize,
 }
 
 /// One dispatchable subcommand: the id `main` matches on, the help
@@ -140,6 +144,8 @@ fn usage() -> String {
          \x20 --shards N    total shard count for `campaign serve` (default 1)\n\
          \x20 --shard I     this process's shard index for `campaign serve` (default 0)\n\
          \x20 --spool DIR   `campaign serve` drains *.json manifests from DIR instead of stdin\n\
+         \x20 --chip-threads N  threads for stepping each multi-core chip point (default 1;\n\
+         \x20               stats are bit-identical at any value)\n\
          \nthe `trace` id takes a positional workload name (see its error text \
          for the available names); `campaign` takes a positional action \
          (run, serve, status, verify, gc) and requires --cache DIR. `campaign \
@@ -176,6 +182,7 @@ fn main() {
     let mut shards: u32 = 1;
     let mut shard: u32 = 0;
     let mut spool: Option<PathBuf> = None;
+    let mut chip_threads: usize = 1;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -280,6 +287,15 @@ fn main() {
                     }
                 };
             }
+            "--chip-threads" => {
+                chip_threads = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --chip-threads requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--all-inputs" => presets = GraphPreset::ALL.to_vec(),
             "--quick" => {
                 scale = Scale::Test;
@@ -330,6 +346,7 @@ fn main() {
         shards,
         shard,
         spool,
+        chip_threads,
     };
 
     if let Some(dir) = &cache_dir {
@@ -527,6 +544,7 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
             let cfg = EngineConfig {
                 threads: opts.threads,
                 point_deadline: opts.point_deadline_ms.map(std::time::Duration::from_millis),
+                chip_threads: opts.chip_threads,
                 ..EngineConfig::default()
             };
             let sink = |ev: &ProgressEvent<'_>| {
@@ -624,6 +642,7 @@ fn campaign_cmd(opts: &Opts) -> Vec<Report> {
                 engine: EngineConfig {
                     threads: opts.threads,
                     point_deadline: opts.point_deadline_ms.map(std::time::Duration::from_millis),
+                    chip_threads: opts.chip_threads,
                     ..EngineConfig::default()
                 },
                 shard,
@@ -1351,8 +1370,44 @@ fn fig_chip(opts: &Opts) -> Vec<Report> {
     // lockstep internally, so the fan-out axis is the point list.
     let runs = parallel_map(&points, opts.threads, |p| {
         eprintln!("  [run] {} …", p.label);
-        run_chip_point(p)
+        run_chip_point(p, opts.chip_threads)
     });
+
+    // Chip-level fast-forward telemetry (a `vr-telemetry-v1`
+    // attachment in the JSON export): how the chip *simulated*, never
+    // what it simulated — the figure's tables and stored records are
+    // byte-identical with or without it. A direct probe run of one
+    // representative 4-core point, because store-hit points skip
+    // simulation entirely (their telemetry would be all zeros).
+    if let Some(p) = points
+        .iter()
+        .find(|p| p.chip.cores == 4 && p.label.ends_with("/VR"))
+        .or_else(|| points.last())
+    {
+        let slots = p
+            .slots
+            .iter()
+            .map(|s| vr_chip::CoreSlot {
+                ra: s.ra.clone(),
+                program: s.workload.program.clone(),
+                memory: s.workload.memory.clone(),
+                init_regs: s.workload.init_regs.clone(),
+            })
+            .collect();
+        let mut chip = vr_chip::Chip::new(p.chip, p.core.clone(), p.mem.clone(), slots);
+        chip.set_threads(opts.chip_threads);
+        if chip.try_run(p.max_insts).is_ok() {
+            let mut j = chip.telemetry().to_json();
+            if let vr_obs::Json::Obj(fields) = &mut j {
+                fields.insert(0, ("point".into(), vr_obs::Json::Str(p.label.clone())));
+                fields.insert(
+                    1,
+                    ("chip_threads".into(), vr_obs::Json::U64(opts.chip_threads as u64)),
+                );
+            }
+            r.attach("chip_ff", j);
+        }
+    }
     let per_core_hmean = |run: &vr_chip::ChipRun| {
         let ipcs: Vec<f64> = run.per_core.iter().map(|s| s.ipc()).collect();
         tainted_harmonic_mean(&ipcs).0
@@ -1582,7 +1637,7 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
     runner.samples = 5;
     runner.sample_time = Duration::from_millis(20);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"vr-bench-perf-report-v5\",");
     let _ = writeln!(json, "  \"insts_per_run\": {},", opts.insts);
     let _ = writeln!(json, "  \"threads\": {},", opts.threads);
     json.push_str("  \"kips\": [\n");
@@ -1661,55 +1716,84 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
              {ratio_skipped} ratio value(s) skipped (HOLE points?)"
         );
     }
-    // --- multi-core chip throughput (schema v4, DESIGN.md §16): one
-    // 4-core homogeneous VR chip point timed end to end. The cores run
-    // in lockstep inside one wall-clock window, so every per-core KIPS
-    // shares the denominator and `chip_kips` (their sum) is the
-    // chip-level simulation throughput CI trends.
+    // --- multi-core chip throughput (schema v5, DESIGN.md §16–17):
+    // homogeneous VR chip points timed end to end, N ∈ {2, 4, 8}. The
+    // cores run in lockstep inside one wall-clock window, so every
+    // per-core KIPS shares the denominator and the 4-core aggregate is
+    // the chip-level simulation throughput CI trends; the N=2/8 points
+    // record how that throughput scales with core count, and the
+    // 4-core point's execution telemetry (chip fast-forward windows,
+    // cheap episode steps, broker installs) is exported alongside so a
+    // KIPS regression can be localized without re-running anything.
     {
-        const CHIP_CORES: usize = 4;
         let w = vr_workloads::hpcdb::kangaroo(opts.scale);
-        let slots = (0..CHIP_CORES)
-            .map(|_| vr_chip::CoreSlot {
-                ra: RunaheadConfig::vector(),
-                program: w.program.clone(),
-                memory: w.memory.clone(),
-                init_regs: w.init_regs.clone(),
-            })
-            .collect();
-        let mut chip = vr_chip::Chip::new(
-            vr_chip::ChipConfig::with_cores(CHIP_CORES),
-            CoreConfig::table1(),
-            MemConfig::table1(),
-            slots,
-        );
-        let t0 = Instant::now();
-        let run = chip.try_run(opts.insts).unwrap_or_else(|e| {
-            eprintln!("error: chip perf point: {e}");
-            std::process::exit(1);
-        });
-        let secs = t0.elapsed().as_secs_f64();
-        let per_core: Vec<f64> =
-            run.per_core.iter().map(|s| s.instructions as f64 / secs / 1e3).collect();
-        let chip_kips: f64 = per_core.iter().sum();
-        let cells: Vec<String> = per_core.iter().map(|k| format!("{k:.0}")).collect();
+        let mut primary: Option<(Vec<f64>, f64)> = None;
+        let mut scaling = Vec::new();
+        let mut ff_json = None;
         let mut ct = Table::new(&["cores", "insts/core", "KIPS/core", "chip KIPS"]);
-        ct.row(vec![
-            CHIP_CORES.to_string(),
-            opts.insts.to_string(),
-            cells.join(" "),
-            format!("{chip_kips:.0}"),
-        ]);
+        for cores in [2usize, 4, 8] {
+            let slots = (0..cores)
+                .map(|_| vr_chip::CoreSlot {
+                    ra: RunaheadConfig::vector(),
+                    program: w.program.clone(),
+                    memory: w.memory.clone(),
+                    init_regs: w.init_regs.clone(),
+                })
+                .collect();
+            let mut chip = vr_chip::Chip::new(
+                vr_chip::ChipConfig::with_cores(cores),
+                CoreConfig::table1(),
+                MemConfig::table1(),
+                slots,
+            );
+            chip.set_threads(opts.chip_threads);
+            let t0 = Instant::now();
+            let run = chip.try_run(opts.insts).unwrap_or_else(|e| {
+                eprintln!("error: chip perf point ({cores} cores): {e}");
+                std::process::exit(1);
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            let per_core: Vec<f64> =
+                run.per_core.iter().map(|s| s.instructions as f64 / secs / 1e3).collect();
+            let aggregate: f64 = per_core.iter().sum();
+            let cells: Vec<String> = per_core.iter().map(|k| format!("{k:.0}")).collect();
+            ct.row(vec![
+                cores.to_string(),
+                opts.insts.to_string(),
+                cells.join(" "),
+                format!("{aggregate:.0}"),
+            ]);
+            eprintln!("  [chip] {cores}-core VR chip: {aggregate:.0} aggregate KIPS");
+            let per_core_json =
+                per_core.iter().map(|k| format!("{k:.1}")).collect::<Vec<_>>().join(", ");
+            if cores == 4 {
+                rep.metric("chip_kips", aggregate);
+                ff_json = Some(chip.telemetry().to_json().to_pretty());
+                primary = Some((per_core, aggregate));
+            } else {
+                rep.metric(&format!("chip_kips_n{cores}"), aggregate);
+                scaling.push(format!(
+                    "{{\"cores\": {cores}, \"per_core\": [{per_core_json}], \
+                     \"aggregate\": {aggregate:.1}}}"
+                ));
+            }
+        }
         rep.push_table("chip", ct);
-        rep.metric("chip_kips", chip_kips);
-        eprintln!("  [chip] {CHIP_CORES}-core VR chip: {chip_kips:.0} aggregate KIPS");
+        let (per_core, chip_kips) = primary.expect("the 4-core chip point always runs");
         let per_core_json =
             per_core.iter().map(|k| format!("{k:.1}")).collect::<Vec<_>>().join(", ");
+        // The telemetry sub-object is compacted onto one line (it is
+        // machine-read; `to_pretty` of a small object stays short).
+        let ff = ff_json.expect("telemetry captured with the 4-core point");
         let _ = writeln!(
             json,
-            "  \"chip_kips\": {{\"cores\": {CHIP_CORES}, \"insts_per_core\": {}, \
-             \"per_core\": [{per_core_json}], \"aggregate\": {chip_kips:.1}}},",
-            opts.insts
+            "  \"chip_kips\": {{\"cores\": 4, \"insts_per_core\": {}, \
+             \"per_core\": [{per_core_json}], \"aggregate\": {chip_kips:.1}, \
+             \"chip_threads\": {}, \"scaling\": [{}], \"chip_ff\": {}}},",
+            opts.insts,
+            opts.chip_threads,
+            scaling.join(", "),
+            ff.replace('\n', " ")
         );
     }
     // Result-store effectiveness for this process (zeros when no
@@ -1762,6 +1846,7 @@ fn perf_report(opts: &Opts) -> Vec<Report> {
             shards: 1,
             shard: 0,
             spool: None,
+            chip_threads: 1,
         };
         let timed = |o: &Opts| {
             vr_bench::reset_parallel_region();

@@ -485,7 +485,7 @@ fn perf_report_exports_cache_counters() {
     let doc = Json::parse(&std::fs::read_to_string(dir.join("BENCH_sim.json")).unwrap())
         .expect("BENCH_sim.json parses");
     std::fs::remove_dir_all(&dir).ok();
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v4"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("vr-bench-perf-report-v5"));
     // v4 additions (DESIGN.md §16): multi-core chip throughput — one
     // aggregate `chip_kips` plus a per-core breakdown whose entries
     // share the lockstep wall-clock window.
@@ -501,6 +501,24 @@ fn perf_report_exports_cache_counters() {
         chip.get("aggregate").and_then(Json::as_f64).is_some_and(|v| v > 0.0),
         "missing/invalid aggregate chip_kips"
     );
+    // v5 additions (DESIGN.md §17): core-count scaling points flanking
+    // the primary 4-core measurement, plus the chip's fast-forward
+    // telemetry so a KIPS regression can be localized from the report.
+    let scaling = chip.get("scaling").and_then(Json::as_arr).expect("chip scaling points");
+    let scaled: Vec<u64> =
+        scaling.iter().filter_map(|s| s.get("cores").and_then(Json::as_u64)).collect();
+    assert_eq!(scaled, [2, 8], "scaling sweeps N=2 and N=8: {scaling:?}");
+    for s in scaling {
+        assert!(
+            s.get("aggregate").and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+            "scaling point missing aggregate: {s:?}"
+        );
+    }
+    let ff = chip.get("chip_ff").expect("chip fast-forward telemetry");
+    for field in ["ff_windows", "ff_cycles_skipped", "episode_steps", "broker_installs"] {
+        assert!(ff.get(field).and_then(Json::as_u64).is_some(), "chip_ff missing {field}: {ff:?}");
+    }
+    assert_eq!(chip.get("chip_threads").and_then(Json::as_u64), Some(1));
     // v2 additions (DESIGN.md §14): per-workload VR/OoO throughput
     // ratio and its harmonic mean.
     let ratios = doc.get("vr_ooo_kips_ratio").expect("vr_ooo_kips_ratio section");

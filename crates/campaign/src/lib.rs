@@ -32,7 +32,6 @@ pub mod chaos;
 pub mod chip;
 pub mod engine;
 pub mod fingerprint;
-pub mod pool;
 pub mod serial;
 pub mod serve;
 pub mod store;
@@ -44,7 +43,9 @@ pub use engine::{
     StatusReport, SweepPoint, POISON_DEADLINE_TRIPS,
 };
 pub use fingerprint::{point_key, PointKey, CODE_SALT};
-pub use pool::WorkerPool;
+// The worker pool moved to its own crate (`vr-pool`) so `vr-chip`
+// can step cores on it without a dependency cycle; re-exported here
+// for the existing `vr_campaign::WorkerPool` users.
 pub use serial::{chip_stats_from_json, chip_stats_to_json, stats_from_json, stats_to_json};
 pub use serve::{
     serve_lines, serve_spool, shard_of, Manifest, PointSet, ServeConfig, ServeSummary, ShardSpec,
@@ -53,6 +54,7 @@ pub use store::{
     snapshot_records, GcReport, PoisonRecord, ResultStore, StoreCounters, VerifyReport,
     TMP_GC_GRACE,
 };
+pub use vr_pool::WorkerPool;
 
 /// Unique-per-call nonce for test scratch directories (process id is
 /// not enough: tests in one process share it).

@@ -30,9 +30,9 @@ use crate::chip::ChipPoint;
 use crate::engine::SweepPoint;
 use crate::engine::{run_campaign_on, CampaignOutcome, CancelToken, EngineConfig, Executor};
 use crate::fingerprint::PointKey;
-use crate::pool::WorkerPool;
 use crate::store::ResultStore;
 use crate::CampaignPoint;
+use vr_pool::WorkerPool;
 
 /// Deterministic shard of a point fingerprint in `0..shards`. Folds
 /// the high half into the low half before reducing so the partition
@@ -102,6 +102,11 @@ pub struct Manifest {
     /// Graph-preset abbreviations for the full-set figures (empty
     /// means the enumerate closure's default).
     pub presets: Vec<String>,
+    /// Threads for stepping each multi-core chip point this manifest
+    /// enumerates ([`EngineConfig::chip_threads`]); `None` keeps the
+    /// serve process's configured value. An execution knob only: chip
+    /// stats are bit-identical at any value.
+    pub chip_threads: Option<usize>,
 }
 
 impl Manifest {
@@ -151,7 +156,14 @@ impl Manifest {
             None => format!("{figure}@{insts}"),
             Some(v) => v.as_str().ok_or(r#"manifest "id" must be a string"#)?.to_string(),
         };
-        Ok(Manifest { id, figure, insts, scale, presets })
+        let chip_threads = match doc.get("chip_threads") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) if n >= 1 => Some(n as usize),
+                _ => return Err(r#"manifest "chip_threads" must be a positive integer"#.into()),
+            },
+        };
+        Ok(Manifest { id, figure, insts, scale, presets, chip_threads })
     }
 }
 
@@ -373,6 +385,13 @@ fn serve_one<E: Executor + Executor<ChipPoint>>(
             )
         }
         Ok((points, manifest)) => {
+            // A manifest may pin its own chip-stepping thread count;
+            // otherwise the serve process's configuration applies.
+            let mut cfg = *cfg;
+            if let Some(ct) = manifest.chip_threads {
+                cfg.engine.chip_threads = ct;
+            }
+            let cfg = &cfg;
             // Sharding, driving and outcome accounting are identical
             // for both point kinds — only the static type differs.
             let (enumerated, outcome) = match points {
@@ -515,6 +534,7 @@ mod tests {
                 insts: 5000,
                 scale: "quick".into(),
                 presets: vec![],
+                chip_threads: None,
             }
         );
         let full = format!(

@@ -17,16 +17,45 @@
 //!   so the reported [`SimStats`] are **bit-identical** to a
 //!   standalone run (pinned by a differential test over every
 //!   golden-stats point).
-//! * **N ≥ 2**: cores advance in *lockstep*, one chip cycle at a
-//!   time, each via [`vr_core::Simulator::step_cycle_lockstep`]
-//!   (fast-forward disabled: skipping a core's idle cycles would
-//!   reorder its arrivals at the shared banks relative to its
-//!   neighbours). Within a cycle cores are stepped in core-index
-//!   order, which is the arrival (= age) order the shared broker's
-//!   FCFS arbitration serves. Lockstep trades simulation speed for
-//!   cross-core timing fidelity; chip experiments use modest
-//!   instruction budgets. Coordinated chip-level fast-forward (skip
-//!   to the minimum next-event cycle across cores) is future work.
+//! * **N ≥ 2**: cores follow the *lockstep schedule* — each core
+//!   ticks once per chip cycle via
+//!   [`vr_core::Simulator::step_cycle_lockstep`], and within a cycle
+//!   cores act in core-index order, which is the arrival (= age)
+//!   order the shared broker's FCFS arbitration serves.
+//!
+//! ## Chip-level fast-forward (the event horizon)
+//!
+//! Executing that schedule tick-by-tick wastes most of its time on
+//! provable no-ops. Instead, each chip round asks every core at the
+//! **minimum** core clock for its
+//! [`vr_core::Simulator::lockstep_horizon`] — the earliest future
+//! cycle at which it could possibly act (next completion event,
+//! dispatch gate, runahead-engine event, watchdog deadline). A
+//! quiescent core *fast-forwards*: it bulk-applies exactly the
+//! per-cycle stats its skipped no-op ticks would have recorded, jumps
+//! its clock to the horizon, and then sleeps — it is not stepped
+//! again until the chip's minimum clock catches up to it. A core that
+//! may act takes one real tick. Because a quiescent window contains
+//! no broker arrivals by construction, and only minimum-clock cores
+//! ever access the broker (in core-index order), every arrival at the
+//! shared banks happens at the same timestamp, in the same order, as
+//! in the tick-by-tick walk — the result is bit-identical (pinned by
+//! the golden chip-stats tests). See DESIGN.md §17 for the full
+//! equivalence argument.
+//!
+//! ## LLC ownership (no lock)
+//!
+//! Cores are stepped on one thread in deterministic core-index order,
+//! so the broker needs no `Mutex`: the chip *owns* the
+//! [`SharedLlc`] in a `Box` and moves it into the stepping core's
+//! hierarchy before its tick, taking it back after — every access is
+//! an uncontended `&mut`. [`Chip::set_threads`] enables opt-in
+//! parallel stepping: each round's quiescent cores apply their
+//! fast-forward windows (pure per-core state, no shared reads or
+//! writes) concurrently on a persistent [`vr_pool::WorkerPool`],
+//! while cores that may act keep the sequential core-index-order walk
+//! with the broker installed — stats stay bit-identical at any thread
+//! count.
 //!
 //! Each core independently enters and leaves runahead episodes;
 //! per-core [`SimStats`] stay separate and [`ChipStats`] aggregates
@@ -56,10 +85,13 @@
 //! println!("bank conflicts: {}", run.chip.bank_conflicts);
 //! ```
 
-use vr_core::{CoreConfig, RunaheadConfig, SimError, SimStats, Simulator, StopFlag};
+use vr_core::{
+    CoreConfig, LockstepAction, RunaheadConfig, SimError, SimStats, Simulator, StopFlag,
+};
 use vr_isa::{Memory, Program, Reg};
-use vr_mem::{MemConfig, SharedLlc, SharedLlcConfig, SharedLlcHandle};
-use vr_obs::Fnv64;
+use vr_mem::{MemConfig, SharedLlc, SharedLlcConfig};
+use vr_obs::{Fnv64, Json};
+use vr_pool::WorkerPool;
 
 /// Chip-level configuration: core count plus the shared-LLC knobs
 /// that have no per-core analogue. The shared L3 geometry and DRAM
@@ -148,14 +180,112 @@ pub struct ChipRun {
     pub chip: ChipStats,
 }
 
+/// Chip-level execution telemetry: how the chip *simulated*, never
+/// what it simulated. These counters are always on (plain u64 bumps on
+/// paths that run anyway) and are deliberately **not** part of
+/// [`ChipRun`] / [`ChipStats`], so stored campaign records and cache
+/// fingerprints are byte-identical whether or not a consumer reads
+/// them — the same discipline as the PR 3 episode telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChipTelemetry {
+    /// Per-core fast-forward windows taken (a quiescent core bulk-
+    /// advancing through its proven no-op window instead of ticking).
+    pub ff_windows: u64,
+    /// Core-cycles those windows skipped — lockstep ticks that were
+    /// never executed.
+    pub ff_cycles_skipped: u64,
+    /// Cheap single-cycle vector-engine steps taken in place of full
+    /// pipeline ticks (live episode, every other phase proven frozen).
+    pub episode_steps: u64,
+    /// Broker installs into a stepping core (the de-mutexed analogue
+    /// of lock acquisitions: one per core-step that could touch the
+    /// shared LLC).
+    pub broker_installs: u64,
+    /// Chip rounds on which the parallel phase fast-forwarded at least
+    /// two quiescent cores on the worker pool.
+    pub par_cycles: u64,
+    /// Cores handled by the parallel phase in total.
+    pub par_core_steps: u64,
+    /// Horizon-stall census, per core: real (possibly-acting) ticks
+    /// this core took — how often it held the chip's minimum clock
+    /// back instead of skipping ahead.
+    pub horizon_blocks: Vec<u64>,
+    /// Per core: fast-forward windows this core took.
+    pub core_ff_windows: Vec<u64>,
+}
+
+impl ChipTelemetry {
+    fn new(cores: usize) -> ChipTelemetry {
+        ChipTelemetry {
+            horizon_blocks: vec![0; cores],
+            core_ff_windows: vec![0; cores],
+            ..ChipTelemetry::default()
+        }
+    }
+
+    /// The telemetry as a JSON object (for `fig-chip --json` and the
+    /// perf report).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ff_windows".into(), Json::U64(self.ff_windows)),
+            ("ff_cycles_skipped".into(), Json::U64(self.ff_cycles_skipped)),
+            ("episode_steps".into(), Json::U64(self.episode_steps)),
+            ("broker_installs".into(), Json::U64(self.broker_installs)),
+            ("par_cycles".into(), Json::U64(self.par_cycles)),
+            ("par_core_steps".into(), Json::U64(self.par_core_steps)),
+            (
+                "horizon_blocks".into(),
+                Json::Arr(self.horizon_blocks.iter().map(|&v| Json::U64(v)).collect()),
+            ),
+            (
+                "core_ff_windows".into(),
+                Json::Arr(self.core_ff_windows.iter().map(|&v| Json::U64(v)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Shares a `*mut Simulator` with pool workers. Sound because the
+/// parallel phase hands each worker a *disjoint* strided subset of
+/// core indices and joins every worker before returning (see
+/// [`Chip::step_round_parallel`]).
+struct CoresPtr(*mut Simulator);
+// SAFETY: workers dereference disjoint offsets only, within the
+// blocking `WorkerPool::run` call that keeps the owner alive.
+unsafe impl Sync for CoresPtr {}
+
+impl CoresPtr {
+    /// Raw pointer to core `i`; the caller reborrows it `&mut` under
+    /// the disjointness guarantee below.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `i` is in bounds and that no other
+    /// live reference (on any thread) aliases core `i`.
+    unsafe fn core_mut(&self, i: usize) -> *mut Simulator {
+        self.0.add(i)
+    }
+}
+
 /// N cores + the shared LLC broker, advanced by one chip-level clock.
 #[derive(Debug)]
 pub struct Chip {
     cfg: ChipConfig,
     cores: Vec<Simulator>,
     /// `None` for N = 1: the single core keeps its private L3/DRAM so
-    /// the path is the standalone simulator's, bit for bit.
-    shared: Option<SharedLlcHandle>,
+    /// the path is the standalone simulator's, bit for bit. For N ≥ 2
+    /// the chip owns the broker and threads it through the stepping
+    /// core (uncontended `&mut`, no lock); it is only ever absent from
+    /// this slot *during* a core-step.
+    shared: Option<Box<SharedLlc>>,
+    telemetry: ChipTelemetry,
+    /// Parallel-stepping pool ([`Chip::set_threads`]); `None` =
+    /// sequential stepping (the default).
+    pool: Option<WorkerPool>,
+    /// Scratch for the per-cycle quiescent/active partition
+    /// (pre-sized; stepping stays allocation-free).
+    quiescent: Vec<usize>,
+    active: Vec<usize>,
 }
 
 impl Chip {
@@ -176,17 +306,16 @@ impl Chip {
         assert!(chip.cores > 0, "a chip needs at least one core");
         assert_eq!(slots.len(), chip.cores, "one workload slot per core");
         let shared = (chip.cores > 1).then(|| {
-            SharedLlc::new(SharedLlcConfig {
+            Box::new(SharedLlc::new(SharedLlcConfig {
                 l3: mem_cfg.l3,
                 dram_min_latency: mem_cfg.dram_min_latency,
                 dram_cycles_per_line: mem_cfg.dram_cycles_per_line,
                 banks: chip.llc_banks,
                 bank_service_cycles: chip.bank_service_cycles,
                 shared_mshrs: chip.shared_mshrs,
-            })
-            .into_handle()
+            }))
         });
-        let cores = slots
+        let cores: Vec<Simulator> = slots
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
@@ -198,13 +327,38 @@ impl Chip {
                     s.memory,
                     &s.init_regs,
                 );
-                if let Some(llc) = &shared {
-                    sim.attach_shared_llc(llc.clone(), i as u32);
+                if shared.is_some() {
+                    sim.attach_shared_llc(i as u32);
                 }
                 sim
             })
             .collect();
-        Chip { cfg: chip, cores, shared }
+        let n = cores.len();
+        Chip {
+            cfg: chip,
+            cores,
+            shared,
+            telemetry: ChipTelemetry::new(n),
+            pool: None,
+            quiescent: Vec::with_capacity(n),
+            active: Vec::with_capacity(n),
+        }
+    }
+
+    /// Opt-in parallel core stepping: with `threads ≥ 2` (and N ≥ 2),
+    /// each lockstep cycle partitions the unfinished cores into
+    /// *quiescent* (their tick is provably a no-op by
+    /// [`vr_core::Simulator::lockstep_horizon`], so it touches no
+    /// shared state) and *active*. Quiescent cores step concurrently
+    /// on a persistent worker pool; active cores keep the sequential
+    /// core-index-order walk with the broker installed. Because the
+    /// partition is a pure function of core state and quiescent ticks
+    /// commute with everything, the resulting stats are **bit-identical
+    /// to sequential stepping at any thread count** (pinned by the
+    /// thread-invariance test). `threads ≤ 1` restores sequential
+    /// stepping and drops the pool.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = (self.cores.len() > 1 && threads > 1).then(|| WorkerPool::new(threads));
     }
 
     /// The chip configuration in use.
@@ -258,14 +412,197 @@ impl Chip {
             // included (bit-identity with `Simulator::try_run`).
             return self.cores[0].step_cycle(max_insts);
         }
-        // Lockstep, in core-index order (= FCFS age order at the
-        // shared banks for same-cycle arrivals).
-        for core in &mut self.cores {
+        // One chip round: only cores at the *minimum* core clock can
+        // act — a core whose clock is ahead got there by proving a
+        // no-op window and now sleeps until the chip catches up.
+        let mut t = u64::MAX;
+        for core in &self.cores {
             if !core.finished(max_insts) {
-                core.step_cycle_lockstep(max_insts)?;
+                t = t.min(core.cycle());
             }
         }
+        if t == u64::MAX {
+            return Ok(false); // every core finished
+        }
+        if self.pool.is_some() {
+            self.step_round_parallel(max_insts, t)?;
+        } else {
+            self.step_round_sequential(max_insts, t)?;
+        }
         Ok(self.cores.iter().any(|c| !c.finished(max_insts)))
+    }
+
+    /// One chip round at minimum clock `t`, sequential. Each core at
+    /// `t` either **fast-forwards** through its proven-quiescent
+    /// window ([`vr_core::Simulator::lockstep_horizon`]) — bulk stats,
+    /// no tick, no broker — and then sleeps until the chip's minimum
+    /// clock catches up to it, or **steps one real tick** in
+    /// core-index order with the owned broker moved in and out (the
+    /// de-mutexed hot path). See DESIGN.md §17 for why this preserves
+    /// the lockstep schedule cycle-exactly.
+    fn step_round_sequential(&mut self, max_insts: u64, t: u64) -> Result<(), SimError> {
+        let mut llc = self.take_broker()?;
+        let mut installs = 0u64;
+        for i in 0..self.cores.len() {
+            let core = &mut self.cores[i];
+            if core.finished(max_insts) || core.cycle() != t {
+                continue;
+            }
+            core.install_shared_llc(llc);
+            installs += 1;
+            let r = core.lockstep_advance(max_insts);
+            llc = core.take_shared_llc();
+            match r {
+                Ok(LockstepAction::FastForwarded(h)) => {
+                    self.telemetry.ff_windows += 1;
+                    self.telemetry.ff_cycles_skipped += h - t;
+                    self.telemetry.core_ff_windows[i] += 1;
+                }
+                Ok(LockstepAction::EngineStepped) => {
+                    self.telemetry.episode_steps += 1;
+                    self.telemetry.horizon_blocks[i] += 1;
+                }
+                Ok(LockstepAction::Ticked) => {
+                    self.telemetry.horizon_blocks[i] += 1;
+                }
+                Err(e) => {
+                    self.shared = Some(llc);
+                    self.telemetry.broker_installs += installs;
+                    return Err(e);
+                }
+            }
+        }
+        self.shared = Some(llc);
+        self.telemetry.broker_installs += installs;
+        Ok(())
+    }
+
+    /// One chip round at minimum clock `t`, parallel
+    /// ([`Chip::set_threads`]): the two-phase split of the sequential
+    /// round. Phase 1 *computes and applies* the quiescent cores'
+    /// fast-forward windows concurrently on the worker pool — each
+    /// window is a pure function of that core's private state and its
+    /// application touches only that core, so any execution order
+    /// (including concurrent) gives the sequential result, and it
+    /// cannot error. Phase 2 then drains the cores that may act, in
+    /// deterministic core-index order with the broker installed —
+    /// identical to the sequential walk, so every broker arrival
+    /// happens in the same order with the same timestamps. Stats are
+    /// therefore **bit-identical at any thread count** (pinned by the
+    /// thread-invariance test).
+    fn step_round_parallel(&mut self, max_insts: u64, t: u64) -> Result<(), SimError> {
+        self.quiescent.clear();
+        self.active.clear();
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.finished(max_insts) || core.cycle() != t {
+                continue;
+            }
+            if core.lockstep_horizon().is_some() {
+                self.quiescent.push(i);
+            } else {
+                self.active.push(i);
+            }
+        }
+
+        // Phase 1: fast-forward the quiescent cores, strided over the
+        // pool workers (deterministic assignment; the result doesn't
+        // depend on it). A single quiescent core isn't worth a pool
+        // broadcast.
+        if self.quiescent.len() >= 2 {
+            let pool = self.pool.as_ref().expect("parallel stepping without a pool");
+            let workers = pool.size().min(self.quiescent.len());
+            let base = CoresPtr(self.cores.as_mut_ptr());
+            let quiescent = &self.quiescent;
+            pool.run(workers, &|w| {
+                let mut j = w;
+                while j < quiescent.len() {
+                    let i = quiescent[j];
+                    // SAFETY: worker `w` owns exactly the strided
+                    // indices {w, w+workers, …} of `quiescent`, whose
+                    // entries are distinct core indices — the `&mut`s
+                    // are disjoint, and `run` joins every worker
+                    // before this frame returns.
+                    let core = unsafe { &mut *base.core_mut(i) };
+                    if let Some(h) = core.lockstep_horizon() {
+                        core.fast_forward_to(h);
+                    }
+                    j += workers;
+                }
+            });
+            self.telemetry.par_cycles += 1;
+            self.telemetry.par_core_steps += self.quiescent.len() as u64;
+            for k in 0..self.quiescent.len() {
+                let i = self.quiescent[k];
+                self.telemetry.ff_windows += 1;
+                self.telemetry.ff_cycles_skipped += self.cores[i].cycle() - t;
+                self.telemetry.core_ff_windows[i] += 1;
+            }
+        } else if let Some(&i) = self.quiescent.first() {
+            let core = &mut self.cores[i];
+            if let Some(h) = core.lockstep_horizon() {
+                core.fast_forward_to(h);
+                self.telemetry.ff_windows += 1;
+                self.telemetry.ff_cycles_skipped += h - t;
+                self.telemetry.core_ff_windows[i] += 1;
+            }
+        }
+
+        // Phase 2: the cores that may act, in core-index order with
+        // the broker — identical to the sequential walk. (Phase 1 only
+        // mutated *other* cores, so an active core's analysis is
+        // unchanged since classification; the fast-forward arm is
+        // unreachable but harmless.)
+        let mut llc = self.take_broker()?;
+        let mut installs = 0u64;
+        for k in 0..self.active.len() {
+            let i = self.active[k];
+            let core = &mut self.cores[i];
+            core.install_shared_llc(llc);
+            installs += 1;
+            let r = core.lockstep_advance(max_insts);
+            llc = core.take_shared_llc();
+            match r {
+                Ok(LockstepAction::FastForwarded(h)) => {
+                    self.telemetry.ff_windows += 1;
+                    self.telemetry.ff_cycles_skipped += h - t;
+                    self.telemetry.core_ff_windows[i] += 1;
+                }
+                Ok(LockstepAction::EngineStepped) => {
+                    self.telemetry.episode_steps += 1;
+                    self.telemetry.horizon_blocks[i] += 1;
+                }
+                Ok(LockstepAction::Ticked) => {
+                    self.telemetry.horizon_blocks[i] += 1;
+                }
+                Err(e) => {
+                    self.shared = Some(llc);
+                    self.telemetry.broker_installs += installs;
+                    return Err(e);
+                }
+            }
+        }
+        self.shared = Some(llc);
+        self.telemetry.broker_installs += installs;
+        Ok(())
+    }
+
+    /// Takes the owned broker for a stepping phase; its absence means
+    /// an install/take imbalance (a previous step left it inside a
+    /// core), surfaced as a structured error instead of a panic deep
+    /// in the hierarchy.
+    fn take_broker(&mut self) -> Result<Box<SharedLlc>, SimError> {
+        self.shared.take().ok_or_else(|| SimError::Invariant {
+            cycle: self.cores.iter().map(Simulator::cycle).max().unwrap_or(0),
+            what: "chip shared-LLC broker missing (install/take imbalance)".into(),
+        })
+    }
+
+    /// Chip-level execution telemetry (fast-forward windows, broker
+    /// installs, horizon-stall census). Always on; never part of
+    /// [`ChipRun`], so results are bit-identical whether or not it is
+    /// read.
+    pub fn telemetry(&self) -> &ChipTelemetry {
+        &self.telemetry
     }
 
     /// Runs every core to its `max_insts` budget (or halt) and seals
@@ -296,7 +633,6 @@ impl Chip {
         match &self.shared {
             None => ChipStats { cycles, ..ChipStats::default() },
             Some(llc) => {
-                let llc = llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let s = *llc.stats();
                 ChipStats {
                     cycles,

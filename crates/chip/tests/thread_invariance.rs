@@ -1,0 +1,64 @@
+//! Thread-invariance of parallel chip stepping (DESIGN.md §17):
+//! `Chip::set_threads(N)` is an *execution* knob, never a *model*
+//! knob. The parallel round only moves the quiescent cores'
+//! fast-forwards onto the worker pool — each is a pure function of
+//! that core's private state — while every core that can touch the
+//! shared broker still steps sequentially in core-index order. The
+//! whole `ChipRun` (per-core stats and chip contention counters) must
+//! therefore be **bit-identical at any thread count**, which is what
+//! lets `--chip-threads` stay out of campaign point keys.
+
+use vr_chip::{Chip, ChipConfig, ChipRun, CoreSlot};
+use vr_core::{CoreConfig, RunaheadConfig};
+use vr_mem::MemConfig;
+use vr_workloads::{gap, graph::GraphPreset, Scale};
+
+const BUDGET: u64 = 20_000;
+
+fn slot(ra: RunaheadConfig) -> CoreSlot {
+    let graph = GraphPreset::Kron.generate(Scale::Test);
+    let w = gap::bfs_on(&graph, GraphPreset::Kron);
+    CoreSlot { ra, program: w.program, memory: w.memory, init_regs: w.init_regs }
+}
+
+fn mixed_slots(n: usize) -> Vec<CoreSlot> {
+    (0..n)
+        .map(|i| slot(if i % 2 == 0 { RunaheadConfig::vector() } else { RunaheadConfig::none() }))
+        .collect()
+}
+
+fn run_with_threads(n: usize, threads: usize) -> (ChipRun, u64, u64) {
+    let mut chip = Chip::new(
+        ChipConfig::with_cores(n),
+        CoreConfig::table1(),
+        MemConfig::table1(),
+        mixed_slots(n),
+    );
+    chip.set_threads(threads);
+    let run = chip.try_run(BUDGET).expect("chip point runs clean");
+    let tel = chip.telemetry();
+    (run, tel.ff_windows, tel.ff_cycles_skipped)
+}
+
+#[test]
+fn chip_stats_are_bit_identical_at_any_thread_count() {
+    let (base, base_ffw, base_ffc) = run_with_threads(4, 1);
+    for threads in [2usize, 4, 8] {
+        let (run, ffw, ffc) = run_with_threads(4, threads);
+        assert_eq!(
+            run, base,
+            "4-core chip stats diverged between sequential and {threads}-thread stepping"
+        );
+        // The fast-forward telemetry is also schedule-identical: the
+        // parallel round classifies exactly the cores the sequential
+        // walk would have fast-forwarded.
+        assert_eq!((ffw, ffc), (base_ffw, base_ffc), "ff telemetry diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn more_threads_than_cores_is_harmless() {
+    let (base, ..) = run_with_threads(2, 1);
+    let (run, ..) = run_with_threads(2, 16);
+    assert_eq!(run, base, "2-core chip stats diverged under a 16-thread pool");
+}

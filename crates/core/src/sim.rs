@@ -144,6 +144,36 @@ struct RunaheadEpisode {
     decoupled: bool,
 }
 
+/// A provably-quiescent pipeline window (see `Simulator::ff_analysis`).
+struct FfWindow {
+    /// Earliest cycle anything can happen: the skip may advance the
+    /// clock up to (and including) this cycle, whose tick stays real.
+    horizon: u64,
+    /// The steady-state `backend_stalled` value the skipped dispatch
+    /// phases would have recomputed each cycle.
+    stalled: bool,
+    /// A live (non-decoupled) vector episode: the *pipeline* is
+    /// frozen, but the engine itself still has work — the standalone
+    /// skip runs it in virtual time, the lockstep skip requires it
+    /// independently idle.
+    vector: bool,
+}
+
+/// The action [`Simulator::lockstep_advance`] took for one chip round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockstepAction {
+    /// Fast-forwarded through a proven no-op window to the returned
+    /// cycle without ticking — no memory-system access was made, so
+    /// the core can sleep until the chip clock catches up.
+    FastForwarded(u64),
+    /// A live vector-runahead episode stepped its engine for one cycle
+    /// on the cheap path (identical memory accesses to a full tick;
+    /// every other pipeline phase proven frozen).
+    EngineStepped,
+    /// One full pipeline tick (the core may act this cycle).
+    Ticked,
+}
+
 /// Per-cycle functional-unit budget.
 #[derive(Default)]
 struct FuBudget {
@@ -665,9 +695,22 @@ impl Simulator {
     /// LLC + DRAM broker (see `vr_mem::SharedLlc`). `core` tags this
     /// core's lines in the shared cache. Must be called before the
     /// first cycle; a core with no attachment keeps its private
-    /// L3/DRAM, bit-identical to the pre-chip simulator.
-    pub fn attach_shared_llc(&mut self, llc: vr_mem::SharedLlcHandle, core: u32) {
-        self.ms.attach_shared_llc(llc, core);
+    /// L3/DRAM, bit-identical to the pre-chip simulator. The broker
+    /// itself is owned by the chip and moved in/out around every tick
+    /// via [`Self::install_shared_llc`] / [`Self::take_shared_llc`].
+    pub fn attach_shared_llc(&mut self, core: u32) {
+        self.ms.attach_shared_llc(core);
+    }
+
+    /// Hands this core the chip's LLC broker for its next tick(s) — a
+    /// `Box` move, no lock (see `vr_mem::MemorySystem::install_shared_llc`).
+    pub fn install_shared_llc(&mut self, llc: Box<vr_mem::SharedLlc>) {
+        self.ms.install_shared_llc(llc);
+    }
+
+    /// Takes the chip's LLC broker back after this core's tick(s).
+    pub fn take_shared_llc(&mut self) -> Box<vr_mem::SharedLlc> {
+        self.ms.take_shared_llc()
     }
 
     /// The committed architectural register state — ground truth for
@@ -800,114 +843,9 @@ impl Simulator {
     /// episode is live, so any armed fault plan disables the episode
     /// skip entirely.
     fn maybe_fast_forward(&mut self) {
-        if !self.ready.is_empty() || !self.store_buffer.is_empty() {
-            return;
-        }
+        let Some(w) = self.ff_analysis() else { return };
         let c = self.cycle;
-
-        let mut engine_idle = None;
-        let mut vector_steps = false;
-        if let Some(ep) = &self.runahead {
-            // Decoupled episodes leave the whole pipeline live; a
-            // fault plan consumes RNG per episode cycle.
-            if ep.decoupled || self.fault_rng.is_some() {
-                return;
-            }
-            match &ep.engine {
-                Engine::Scalar(eng) => match eng.idle_until(c, ep.end_at) {
-                    Some(t) if t > c => engine_idle = Some(t),
-                    _ => return, // engine may act this cycle
-                },
-                // The vector engine is run forward in *virtual time*
-                // below — active cycles stepped, idle windows jumped —
-                // so it needs no idle precondition here.
-                Engine::Vector(_) => vector_steps = true,
-                // The reference path never skips: the differential
-                // test runs it unskipped against the fast-forwarded
-                // SWAR path, proving the skip cycle-exact.
-                #[cfg(test)]
-                Engine::RefVector(_) => return,
-            }
-            // Commit, trigger and fetch are frozen by the episode
-            // itself; only dispatch below needs checking.
-        } else {
-            // Commit and trigger must be frozen.
-            let mut head_blocked_dram = false;
-            if let Some(head) = self.rob_front() {
-                if head.done_by(c) {
-                    return; // commit acts this cycle
-                }
-                head_blocked_dram =
-                    head.is_load() && head.issued && head.hit == Some(HitLevel::Dram);
-            }
-            if self.ra_cfg.kind != RunaheadKind::None && head_blocked_dram {
-                // The runahead trigger could fire as soon as the back
-                // end reports full; don't reason about it, just don't
-                // skip.
-                return;
-            }
-
-            // Fetch must be frozen.
-            if let Some(bseq) = self.pending_branch {
-                let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq
-                {
-                    true
-                } else {
-                    bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
-                };
-                if resolved {
-                    return; // fetch clears the redirect this cycle
-                }
-            } else if !self.fetch_done && self.fetch_q_len() < fetch_q_cap(&self.cfg) {
-                return; // fetch has work
-            }
-        }
-
-        // Dispatch must be frozen: empty, time-gated, or blocked.
-        // `stalled` is the steady-state `backend_stalled` value the
-        // skipped dispatch phases would have recomputed each cycle.
-        let mut dispatch_gate = None;
-        let mut stalled = false;
-        if self.rob_end_seq != self.next_seq {
-            let front = self.slot(self.rob_end_seq);
-            let eligible_at = front.fetch_at + self.cfg.frontend_depth;
-            if eligible_at > c {
-                dispatch_gate = Some(eligible_at);
-            } else {
-                let inst = front.step.inst;
-                let blocked = self.rob_len() >= self.cfg.rob
-                    || self.iq_used >= self.cfg.iq
-                    || (inst.is_load() && self.lq_used >= self.cfg.lq)
-                    || (inst.is_store() && self.sq_used >= self.cfg.sq)
-                    || match inst.dst() {
-                        Some(RegRef::Int(_)) => self.free_int == 0,
-                        Some(RegRef::Fp(_)) => self.free_fp == 0,
-                        None => false,
-                    };
-                if !blocked {
-                    return; // dispatch acts this cycle
-                }
-                stalled = true;
-            }
-        }
-
-        // Horizon: the earliest cycle anything can happen — the next
-        // completion event, the dispatch time gate, the runahead
-        // engine's next event, or the watchdog deadline (exclusive of
-        // the reporting cycle itself).
-        let mut target = self.last_commit_cycle.saturating_add(self.cfg.watchdog - 1);
-        if let Some(t) = engine_idle {
-            target = target.min(t);
-        }
-        if let Some(&Reverse((t, _))) = self.wake_events.peek() {
-            target = target.min(t);
-        }
-        if let Some(gate) = dispatch_gate {
-            target = target.min(gate);
-        }
-        if target <= c {
-            return;
-        }
+        let target = w.horizon;
 
         // A live vector engine runs forward in virtual time up to the
         // pipeline horizon: active cycles (gather issue, chain
@@ -921,7 +859,7 @@ impl Simulator {
         // unskipped one. The cycle that *finishes* the episode
         // (`interval_over`) is left for a real tick.
         let mut t = target;
-        if vector_steps {
+        if w.vector {
             t = c;
             let Some(ep) = &mut self.runahead else { unreachable!("episode checked above") };
             let end_at = ep.end_at;
@@ -954,9 +892,129 @@ impl Simulator {
             }
         }
 
-        // Skip cycles c .. t: bulk-apply the per-cycle stats the
-        // skipped (or engine-only) ticks would have recorded.
-        let delta = t - c;
+        self.apply_fast_forward(t, w.stalled);
+    }
+
+    /// Quiescence analysis for the fast-forward paths: decides whether
+    /// every `try_tick` phase is a provable no-op from the current
+    /// cycle up to a horizon, without mutating anything. Returns `None`
+    /// when any phase may act this cycle. Shared by the standalone
+    /// skip ([`Self::maybe_fast_forward`]) and the chip's cross-core
+    /// skip ([`Self::lockstep_horizon`]).
+    fn ff_analysis(&self) -> Option<FfWindow> {
+        if !self.ready.is_empty() || !self.store_buffer.is_empty() {
+            return None;
+        }
+        let c = self.cycle;
+
+        let mut engine_idle = None;
+        let mut vector = false;
+        if let Some(ep) = &self.runahead {
+            // Decoupled episodes leave the whole pipeline live; a
+            // fault plan consumes RNG per episode cycle.
+            if ep.decoupled || self.fault_rng.is_some() {
+                return None;
+            }
+            match &ep.engine {
+                Engine::Scalar(eng) => match eng.idle_until(c, ep.end_at) {
+                    Some(t) if t > c => engine_idle = Some(t),
+                    _ => return None, // engine may act this cycle
+                },
+                // The vector engine needs no idle precondition here:
+                // the standalone skip runs it forward in *virtual
+                // time* (active cycles stepped, idle windows jumped),
+                // and the lockstep skip separately requires it idle.
+                Engine::Vector(_) => vector = true,
+                // The reference path never skips: the differential
+                // test runs it unskipped against the fast-forwarded
+                // SWAR path, proving the skip cycle-exact.
+                #[cfg(test)]
+                Engine::RefVector(_) => return None,
+            }
+            // Commit, trigger and fetch are frozen by the episode
+            // itself; only dispatch below needs checking.
+        } else {
+            // Commit and trigger must be frozen.
+            let mut head_blocked_dram = false;
+            if let Some(head) = self.rob_front() {
+                if head.done_by(c) {
+                    return None; // commit acts this cycle
+                }
+                head_blocked_dram =
+                    head.is_load() && head.issued && head.hit == Some(HitLevel::Dram);
+            }
+            if self.ra_cfg.kind != RunaheadKind::None && head_blocked_dram {
+                // The runahead trigger could fire as soon as the back
+                // end reports full; don't reason about it, just don't
+                // skip.
+                return None;
+            }
+
+            // Fetch must be frozen.
+            if let Some(bseq) = self.pending_branch {
+                let resolved = if self.rob_head_seq == self.rob_end_seq || bseq < self.rob_head_seq
+                {
+                    true
+                } else {
+                    bseq < self.rob_end_seq && self.slot(bseq).done_by(c)
+                };
+                if resolved {
+                    return None; // fetch clears the redirect this cycle
+                }
+            } else if !self.fetch_done && self.fetch_q_len() < fetch_q_cap(&self.cfg) {
+                return None; // fetch has work
+            }
+        }
+
+        // Dispatch must be frozen: empty, time-gated, or blocked.
+        // `stalled` is the steady-state `backend_stalled` value the
+        // skipped dispatch phases would have recomputed each cycle.
+        let mut dispatch_gate = None;
+        let mut stalled = false;
+        if self.rob_end_seq != self.next_seq {
+            let front = self.slot(self.rob_end_seq);
+            let eligible_at = front.fetch_at + self.cfg.frontend_depth;
+            if eligible_at > c {
+                dispatch_gate = Some(eligible_at);
+            } else {
+                let inst = front.step.inst;
+                let blocked = self.rob_len() >= self.cfg.rob
+                    || self.iq_used >= self.cfg.iq
+                    || (inst.is_load() && self.lq_used >= self.cfg.lq)
+                    || (inst.is_store() && self.sq_used >= self.cfg.sq)
+                    || match inst.dst() {
+                        Some(RegRef::Int(_)) => self.free_int == 0,
+                        Some(RegRef::Fp(_)) => self.free_fp == 0,
+                        None => false,
+                    };
+                if !blocked {
+                    return None; // dispatch acts this cycle
+                }
+                stalled = true;
+            }
+        }
+
+        // Horizon: the earliest cycle anything can happen — the next
+        // completion event, the dispatch time gate, the runahead
+        // engine's next event, or the watchdog deadline (exclusive of
+        // the reporting cycle itself).
+        let mut target = self.last_commit_cycle.saturating_add(self.cfg.watchdog - 1);
+        if let Some(t) = engine_idle {
+            target = target.min(t);
+        }
+        if let Some(&Reverse((t, _))) = self.wake_events.peek() {
+            target = target.min(t);
+        }
+        if let Some(gate) = dispatch_gate {
+            target = target.min(gate);
+        }
+        (target > c).then_some(FfWindow { horizon: target, stalled, vector })
+    }
+
+    /// Skip cycles `self.cycle .. t`: bulk-apply the per-cycle stats
+    /// the skipped (or engine-only) ticks would have recorded.
+    fn apply_fast_forward(&mut self, t: u64, stalled: bool) {
+        let delta = t - self.cycle;
         self.cycle = t;
         self.stats.commit_stall_cycles += delta;
         if self.rob_len() >= self.cfg.rob || stalled {
@@ -966,6 +1024,123 @@ impl Simulator {
         if self.runahead.is_some() {
             self.stats.runahead_cycles += delta;
         }
+    }
+
+    /// The chip-level fast-forward hook: the earliest future cycle at
+    /// which this core could possibly act, or `None` if it may act
+    /// *this* cycle. Every `try_tick` phase is a proven no-op for each
+    /// cycle in `self.cycle() .. horizon` — in particular the core
+    /// makes **no memory-system access** in that window, so a lockstep
+    /// chip may bulk-advance a set of cores whose windows overlap
+    /// without reordering any arrivals at the shared LLC banks.
+    ///
+    /// Unlike the standalone skip, a live vector engine is *not* run
+    /// forward in virtual time here (its gathers would interleave with
+    /// other cores' arrivals out of lockstep order); instead the
+    /// engine must itself be idle, and its next event (capped at the
+    /// episode deadline, whose tick must stay real) bounds the
+    /// horizon.
+    pub fn lockstep_horizon(&self) -> Option<u64> {
+        let w = self.ff_analysis()?;
+        let mut h = w.horizon;
+        if w.vector {
+            let ep = self.runahead.as_ref().expect("a vector window implies a live episode");
+            let Engine::Vector(eng) = &ep.engine else {
+                unreachable!("ff_analysis saw a vector engine")
+            };
+            match eng.idle_until(self.cycle, ep.end_at) {
+                Some(i) if i > self.cycle => h = h.min(i).min(ep.end_at),
+                _ => return None, // engine may act this cycle
+            }
+        }
+        (h > self.cycle).then_some(h)
+    }
+
+    /// Bulk-advances this core to `target` — caller must have proven
+    /// quiescence via [`Self::lockstep_horizon`] (the chip uses the
+    /// minimum horizon across cores, so `target` is at or before this
+    /// core's own horizon). Stats are applied exactly as the skipped
+    /// lockstep ticks would have recorded them.
+    pub fn fast_forward_to(&mut self, target: u64) {
+        if target <= self.cycle {
+            return;
+        }
+        debug_assert!(
+            self.lockstep_horizon().is_some_and(|h| target <= h),
+            "fast_forward_to past the proven horizon"
+        );
+        let stalled = self.ff_analysis().is_some_and(|w| w.stalled);
+        self.apply_fast_forward(target, stalled);
+    }
+
+    /// One chip-round advance (DESIGN.md §17): the lockstep analogue
+    /// of [`Self::step_cycle`]'s skip-then-tick, restricted to
+    /// single-cycle granularity wherever the core touches the memory
+    /// system so a chip can keep cross-core arrival order exact.
+    /// Either
+    ///
+    /// * **fast-forwards** through a proven no-op window — no tick, no
+    ///   memory-system access; the caller must not advance this core
+    ///   again until the chip's minimum clock catches up to the
+    ///   returned cycle —
+    /// * **engine-steps** a live vector episode for one cycle: every
+    ///   other phase is proven frozen, so the cheap engine step makes
+    ///   exactly the accesses (same addresses, same timestamps) a full
+    ///   tick would have made, without the phase walk — or
+    /// * **ticks** the full pipeline for one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::step_cycle`] (only the full-tick path can
+    /// fail).
+    pub fn lockstep_advance(&mut self, max_insts: u64) -> Result<LockstepAction, SimError> {
+        if let Some(w) = self.ff_analysis() {
+            let c = self.cycle;
+            if !w.vector {
+                self.apply_fast_forward(w.horizon, w.stalled);
+                return Ok(LockstepAction::FastForwarded(w.horizon));
+            }
+            let ep = self.runahead.as_mut().expect("a vector window implies a live episode");
+            let end_at = ep.end_at;
+            let Engine::Vector(eng) = &mut ep.engine else {
+                unreachable!("ff_analysis saw a vector engine")
+            };
+            match eng.idle_until(c, end_at) {
+                Some(i) if i > c => {
+                    // Idle engine: jump to its next event, capped at
+                    // the episode deadline (whose tick must stay real)
+                    // and the pipeline horizon.
+                    let t = w.horizon.min(i).min(end_at);
+                    if t > c {
+                        self.apply_fast_forward(t, w.stalled);
+                        return Ok(LockstepAction::FastForwarded(t));
+                    }
+                }
+                _ if c < end_at => {
+                    // Engine active this cycle: one virtual-time step,
+                    // exactly as the standalone loop in
+                    // [`Self::maybe_fast_forward`] (which the
+                    // differential suite proves cycle-exact), but at
+                    // single-cycle granularity so its gathers
+                    // interleave with other cores' arrivals in true
+                    // lockstep order.
+                    let mut ctx =
+                        RaCtx { prog: &self.prog, mem: &self.mem, ms: &mut self.ms, now: c };
+                    let status = eng.step_cycle(&mut ctx, false);
+                    debug_assert_eq!(
+                        status,
+                        VrStatus::Working,
+                        "a vector engine cannot finish before end_at"
+                    );
+                    let _ = status;
+                    self.apply_fast_forward(c + 1, w.stalled);
+                    return Ok(LockstepAction::EngineStepped);
+                }
+                _ => {} // deadline cycle: a real tick ends the episode
+            }
+        }
+        self.step_cycle_lockstep(max_insts)?;
+        Ok(LockstepAction::Ticked)
     }
 
     /// Per-cycle structural assertions (the `checked` cargo feature).

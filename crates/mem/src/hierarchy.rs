@@ -5,7 +5,7 @@ use crate::config::MemConfig;
 use crate::dram::Dram;
 use crate::imp::Imp;
 use crate::mshr::MshrFile;
-use crate::shared::{SharedLlcHandle, SharedOutcome};
+use crate::shared::{SharedLlc, SharedOutcome};
 use crate::stats::{MemStats, TimelinessLevel};
 use crate::stride::StridePrefetcher;
 use crate::telemetry::PfTelemetry;
@@ -105,9 +105,14 @@ pub struct MemorySystem {
 /// Attachment of this per-core hierarchy to a chip-shared LLC broker:
 /// when present, every L2 miss bypasses the private L3/DRAM and goes
 /// through the shared banked LLC instead (see [`crate::SharedLlc`]).
+///
+/// The broker itself is owned by the chip and only *installed* here
+/// (`llc: Some`) for the duration of this core's tick — the chip moves
+/// the `Box` in before stepping the core and takes it back after, so
+/// the hot path is an uncontended `&mut` with no lock.
 #[derive(Clone, Debug)]
 struct SharedAttachment {
-    llc: SharedLlcHandle,
+    llc: Option<Box<SharedLlc>>,
     core: u32,
 }
 
@@ -140,8 +145,39 @@ impl MemorySystem {
     /// L3/DRAM; the private L3 sits unused. Shared-L3 write-backs are
     /// accounted on the broker (chip-level stats), not in this core's
     /// [`MemStats::dram_writebacks`].
-    pub fn attach_shared_llc(&mut self, llc: SharedLlcHandle, core: u32) {
-        self.shared = Some(SharedAttachment { llc, core });
+    ///
+    /// This only marks the routing; the broker itself must be
+    /// installed (and taken back) around every tick via
+    /// [`MemorySystem::install_shared_llc`] /
+    /// [`MemorySystem::take_shared_llc`] — an access while attached
+    /// but not installed is a chip sequencing bug and panics.
+    pub fn attach_shared_llc(&mut self, core: u32) {
+        self.shared = Some(SharedAttachment { llc: None, core });
+    }
+
+    /// Hands this core the chip's LLC broker for the duration of one
+    /// tick (a `Box` move, no lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy is not attached, or a broker is already
+    /// installed (the chip failed to take it back).
+    pub fn install_shared_llc(&mut self, llc: Box<SharedLlc>) {
+        let sh = self.shared.as_mut().expect("install_shared_llc on an unattached hierarchy");
+        assert!(sh.llc.is_none(), "shared LLC already installed (missing take_shared_llc)");
+        sh.llc = Some(llc);
+    }
+
+    /// Takes the chip's LLC broker back after this core's tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no broker is installed.
+    pub fn take_shared_llc(&mut self) -> Box<SharedLlc> {
+        self.shared
+            .as_mut()
+            .and_then(|sh| sh.llc.take())
+            .expect("take_shared_llc with no broker installed")
     }
 
     /// Enables per-line prefetch-lifecycle telemetry, retaining the
@@ -381,13 +417,22 @@ impl MemorySystem {
         // 4'/5' (chip runs only). With a shared LLC attached, an L2
         // miss crosses the chip interconnect after the private L1+L2
         // lookup; the shared broker replaces steps 4 and 5 entirely.
-        let attach = self.shared.as_ref().map(|sh| (sh.llc.clone(), sh.core));
-        if let Some((llc, core)) = attach {
-            let lookup_at = now + l1_lat + l2_lat;
-            let outcome = {
-                let mut llc = llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                llc.access_line(core, la, lookup_at)
-            };
+        // The broker access is an uncontended `&mut` — the chip
+        // installs the owned broker around this core's tick (computed
+        // in its own scope so the `self.shared` borrow ends before the
+        // outcome is applied to the private structures below).
+        let shared_outcome = match self.shared.as_mut() {
+            None => None,
+            Some(sh) => {
+                let core = sh.core;
+                let llc = sh
+                    .llc
+                    .as_mut()
+                    .expect("shared-LLC access outside a chip core-step (broker not installed)");
+                Some(llc.access_line(core, la, now + l1_lat + l2_lat))
+            }
+        };
+        if let Some(outcome) = shared_outcome {
             return match outcome {
                 SharedOutcome::Hit { ready_at } => {
                     if is_demand && kind == Access::Load {
@@ -538,18 +583,21 @@ impl MemorySystem {
                     }
                 }
                 None => {
-                    if let Some((llc, core)) =
-                        self.shared.as_ref().map(|sh| (sh.llc.clone(), sh.core))
-                    {
+                    let shared = if let Some(sh) = self.shared.as_mut() {
                         // Chip run: the victim leaves the private
                         // hierarchy into the shared LLC (merge or, if
                         // dirty, install). Prefetch ownership does not
                         // cross the boundary — its lifecycle ends here.
-                        {
-                            let mut llc =
-                                llc.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                            llc.fill_victim(core, victim.line_addr, victim.dirty);
-                        }
+                        let core = sh.core;
+                        sh.llc
+                            .as_mut()
+                            .expect("shared-LLC victim outside a chip core-step")
+                            .fill_victim(core, victim.line_addr, victim.dirty);
+                        true
+                    } else {
+                        false
+                    };
+                    if shared {
                         if victim.prefetch_src.is_some() {
                             if let Some(t) = &mut self.telemetry {
                                 t.on_evict(victim.line_addr, now);

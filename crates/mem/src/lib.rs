@@ -43,7 +43,7 @@ pub use dram::Dram;
 pub use hierarchy::{Access, AccessOutcome, HitLevel, MemorySystem, MshrFull};
 pub use imp::{Imp, ImpConfig, ImpPrefetch};
 pub use mshr::MshrFile;
-pub use shared::{SharedLlc, SharedLlcConfig, SharedLlcHandle, SharedLlcStats, SharedOutcome};
+pub use shared::{SharedLlc, SharedLlcConfig, SharedLlcStats, SharedOutcome};
 pub use stats::{MemStats, TimelinessLevel};
 pub use stride::{PrefetchAddrs, StrideDetector, StrideEntry, StridePrefetcher};
 pub use telemetry::{PfEvent, PfOutcome, PfTelemetry};

@@ -28,15 +28,18 @@
 //! core index ([`SharedLlc::tag`]) — cores never alias each other's
 //! lines (no false sharing, no cross-core MSHR merging), they only
 //! compete for capacity, banks, MSHRs and DRAM bandwidth.
-
-use std::sync::{Arc, Mutex};
+//!
+//! **Ownership (no lock).** The broker is a plain owned value: the
+//! chip holds it in a `Box` and *installs* it into the stepping core's
+//! hierarchy before that core's tick, taking it back afterwards — a
+//! pointer move on a single thread, in core-index order, so every
+//! access uses an uncontended `&mut` and the per-access
+//! `Arc<Mutex<_>>` of the original design is gone entirely (see
+//! `vr_chip` for the install/take protocol and its equivalence
+//! argument).
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::Dram;
-
-/// Shared handle to the chip's LLC + DRAM broker. One lock per L2
-/// miss: the private L1/L2/MSHR fast path never touches it.
-pub type SharedLlcHandle = Arc<Mutex<SharedLlc>>;
 
 /// Geometry and timing of the shared LLC broker.
 #[derive(Clone, Copy, Debug)]
@@ -104,7 +107,7 @@ pub enum SharedOutcome {
 /// The chip-shared banked LLC + DRAM broker. See the module docs for
 /// the model; construction pre-sizes every per-bank and in-flight
 /// structure so steady state is allocation-free.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SharedLlc {
     l3: Cache,
     dram: Dram,
@@ -139,11 +142,6 @@ impl SharedLlc {
             stats: SharedLlcStats::default(),
             cfg,
         }
-    }
-
-    /// Wraps the broker in its shared handle.
-    pub fn into_handle(self) -> SharedLlcHandle {
-        Arc::new(Mutex::new(self))
     }
 
     /// The configuration in use.

@@ -68,6 +68,12 @@ impl Inner {
     }
 }
 
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.handles.len()).finish_non_exhaustive()
+    }
+}
+
 /// A fixed-size pool of persistent worker threads that repeatedly
 /// execute broadcast jobs (see the module docs for the contracts).
 pub struct WorkerPool {
